@@ -1,0 +1,152 @@
+"""Section 4.1 / Section 8 ablations of MTraceCheck's design choices.
+
+* **Signature sort layout** (Section 4.1): sorting by the concatenated
+  layout (thread 0 most significant) vs the interleaved word layout the
+  paper tried and rejected — measured as collective-checker work.
+* **Sorted vs unsorted checking** (Section 4): the similarity exploited
+  by the collective checker comes from sorting; checking signatures in
+  arrival order must do measurably more re-sorting.
+* **Static pruning via regularization** (Section 8): epoch barriers
+  shrink candidate sets, signatures and instrumented code.
+* **ws mode** (our substitution knob): static (paper) vs observed
+  (ground-truth coherence order) graph building — cost of the extra
+  precision.
+"""
+
+from conftest import campaign_graphs, record_table, run_campaign
+from repro.checker import CollectiveChecker
+from repro.graph import GraphBuilder
+from repro.harness import format_table
+from repro.instrument import SignatureCodec, pruned_candidate_sources, regularize
+from repro.instrument.weights import build_weight_tables
+from repro.testgen import TestConfig, paper_config, generate
+
+_ITERS = 500
+
+
+def _sorted_vertices(graphs):
+    return CollectiveChecker().check(graphs).sorted_vertices
+
+
+def test_ablation_sort_layout(benchmark):
+    """Concatenated signature order beats the interleaved layout."""
+    rows = []
+    for name in ("ARM-2-100-32", "x86-2-100-32", "ARM-4-50-64"):
+        cfg = paper_config(name)
+        campaign, result, _ = campaign_graphs(cfg, iterations=_ITERS, seed=31)
+        builder = GraphBuilder(campaign.program, campaign.model, ws_mode="static")
+
+        def graphs_in(order_key):
+            sigs = sorted(result.signature_counts, key=order_key)
+            return [builder.build(campaign.codec.decode(s)) for s in sigs]
+
+        concat = _sorted_vertices(graphs_in(lambda s: s.flat))
+        interleaved = _sorted_vertices(graphs_in(lambda s: s.interleaved_key()))
+        unsorted = _sorted_vertices(graphs_in(lambda s: hash(s)))
+        rows.append([name, result.unique_signatures, concat, interleaved, unsorted])
+
+    record_table("ablation_sort_layout", format_table(
+        ["config", "unique", "sorted vertices (concat)",
+         "sorted vertices (interleaved)", "sorted vertices (unsorted)"], rows,
+        title="Section 4.1 ablation: signature sort layouts "
+              "(paper: interleaved layout gave worse similarity)"))
+
+    total_concat = sum(r[2] for r in rows)
+    total_unsorted = sum(r[4] for r in rows)
+    assert total_concat < total_unsorted
+
+    cfg = paper_config("ARM-2-100-32")
+    campaign, result, graphs = campaign_graphs(cfg, iterations=_ITERS, seed=31)
+    benchmark(_sorted_vertices, graphs)
+
+
+def test_ablation_static_pruning(benchmark):
+    """Regularization + epoch pruning shrinks signatures and code."""
+    rows = []
+    for threads, ops in ((2, 48), (4, 48)):
+        cfg = TestConfig(isa="arm", threads=threads, ops_per_thread=ops,
+                         addresses=16, seed=51)
+        program = regularize(generate(cfg), epoch=12)
+        full = SignatureCodec(program, 32)
+        pruned_tables = build_weight_tables(
+            program, 32, pruned_candidate_sources(program))
+        full_words = full.total_words
+        pruned_words = sum(t.num_words for t in pruned_tables)
+        full_cands = sum(len(s.candidates) for t in full.tables for s in t.slots)
+        pruned_cands = sum(len(s.candidates) for t in pruned_tables for s in t.slots)
+        rows.append(["%d threads" % threads, full_cands, pruned_cands,
+                     full_words, pruned_words])
+
+    record_table("ablation_pruning", format_table(
+        ["test", "candidates (full)", "candidates (pruned)",
+         "sig words (full)", "sig words (pruned)"], rows,
+        title="Section 8 ablation: static pruning with epoch barriers"))
+
+    assert all(r[2] < r[1] for r in rows)
+    assert all(r[4] <= r[3] for r in rows)
+
+    cfg = TestConfig(isa="arm", threads=4, ops_per_thread=48, addresses=16, seed=51)
+    program = regularize(generate(cfg), epoch=12)
+    benchmark(pruned_candidate_sources, program)
+
+
+def test_ablation_ws_mode(benchmark):
+    """Observed-ws graphs are costlier to check than static-ws graphs."""
+    rows = []
+    for name in ("ARM-2-100-32", "x86-4-50-64"):
+        cfg = paper_config(name)
+        _, _, static_graphs = campaign_graphs(cfg, iterations=_ITERS, seed=31,
+                                              ws_mode="static")
+        _, _, observed_graphs = campaign_graphs(cfg, iterations=_ITERS, seed=31,
+                                                ws_mode="observed")
+        rows.append([name,
+                     _sorted_vertices(static_graphs),
+                     _sorted_vertices(observed_graphs),
+                     sum(g.num_edges for g in static_graphs) / len(static_graphs),
+                     sum(g.num_edges for g in observed_graphs) / len(observed_graphs)])
+
+    record_table("ablation_ws_mode", format_table(
+        ["config", "sorted vertices (static)", "sorted vertices (observed)",
+         "edges/graph (static)", "edges/graph (observed)"], rows,
+        title="Ablation: static (paper) vs observed write-serialization"))
+
+    assert all(r[1] <= r[2] for r in rows)
+
+    cfg = paper_config("ARM-2-100-32")
+    _, _, graphs = campaign_graphs(cfg, iterations=_ITERS, seed=31,
+                                   ws_mode="observed")
+    benchmark(_sorted_vertices, graphs)
+
+
+def test_ablation_frontier_pruning(benchmark):
+    """Section 8 dynamic pruning: variable-length frontier signatures
+    are substantially smaller than the static fixed-width encoding on
+    strong-model platforms."""
+    from repro.instrument import FrontierCodec
+    from repro.sim import OperationalExecutor, platform_for_isa
+
+    rows = []
+    for name in ("x86-2-100-32", "x86-4-50-64", "x86-4-200-64"):
+        cfg = paper_config(name)
+        program = generate(cfg.with_seed(71))
+        static_bits = SignatureCodec(program, cfg.register_width).byte_size * 8
+        codec = FrontierCodec(program)
+        executor = OperationalExecutor(program, platform_for_isa("x86").memory_model,
+                                       seed=9, layout=cfg.layout)
+        sizes = [codec.size_of(e.rf) for e in executor.run(100)]
+        mean_bits = sum(sizes) / len(sizes)
+        rows.append([name, static_bits, mean_bits, 100.0 * mean_bits / static_bits])
+
+    record_table("ablation_frontier", format_table(
+        ["config", "static bits", "frontier bits (avg)", "relative %"], rows,
+        title="Section 8 ablation: dynamic (frontier) pruning under TSO"))
+
+    assert all(r[2] < r[1] for r in rows)
+
+    cfg = paper_config("x86-4-50-64")
+    program = generate(cfg.with_seed(71))
+    codec = FrontierCodec(program)
+    executor = OperationalExecutor(program, platform_for_isa("x86").memory_model,
+                                   seed=9, layout=cfg.layout)
+    execution = executor.run_one()
+    benchmark(lambda: codec.decode(codec.encode(execution.rf)))

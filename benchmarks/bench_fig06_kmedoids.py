@@ -1,0 +1,56 @@
+"""Figure 6 — k-medoids clustering limit study.
+
+Reproduces the series "number of differing reads-from relationships vs k"
+for the paper's two tests:
+
+* test 1: 2 threads, 50 operations, 32 shared locations (few unique
+  interleavings -> distance collapses quickly with k),
+* test 2: 4 threads, 50 operations, 32 locations (nearly every execution
+  unique -> large residual distance even at high k).
+
+Executions come from the uniform-random SC simulator, exactly as in the
+paper's limit study.  The benchmark kernel is one k=10 clustering.
+"""
+
+from conftest import record_table
+from repro.analysis import distance_matrix, k_medoids, limit_study
+from repro.harness import format_table
+from repro.sim import OperationalExecutor
+from repro.mcm import SC
+from repro.testgen import TestConfig, generate
+
+_KS = (1, 2, 3, 5, 10, 30, 100)
+_RUNS = 400        # paper: 1,000 uniform-random SC executions
+
+
+def _distances(threads):
+    cfg = TestConfig(threads=threads, ops_per_thread=50, addresses=32, seed=61)
+    program = generate(cfg)
+    ex = OperationalExecutor(program, SC, seed=6, uniform_random=True)
+    rfs = [e.rf for e in ex.run(_RUNS)]
+    unique = len({tuple(sorted(rf.items())) for rf in rfs})
+    return distance_matrix(rfs), unique
+
+
+def test_fig06_limit_study(benchmark):
+    rows = []
+    matrices = {}
+    for label, threads in (("test 1 (2 threads)", 2), ("test 2 (4 threads)", 4)):
+        matrix, unique = _distances(threads)
+        matrices[label] = matrix
+        series = limit_study(matrix, ks=_KS, seed=1)
+        for k, total in series:
+            rows.append([label, k, total, "%d unique/%d runs" % (unique, _RUNS)])
+
+    record_table("fig06_kmedoids", format_table(
+        ["test", "k", "total differing rf", "note"], rows,
+        title="Figure 6: k-medoids limit study "
+              "(distance falls slowly for the diverse test)"))
+
+    # sanity of the figure's shape: monotone decrease, test 2 > test 1
+    t1 = dict(limit_study(matrices["test 1 (2 threads)"], ks=_KS, seed=1))
+    t2 = dict(limit_study(matrices["test 2 (4 threads)"], ks=_KS, seed=1))
+    assert t1[100] <= t1[1] and t2[100] <= t2[1]
+    assert t2[10] > t1[10]
+
+    benchmark(k_medoids, matrices["test 2 (4 threads)"], 10, 1)

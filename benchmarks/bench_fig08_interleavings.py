@@ -1,0 +1,56 @@
+"""Figure 8 — number of unique memory-access interleavings.
+
+Sweeps the paper's 21 test configurations in four variants:
+
+* bare metal, no false sharing (dark-blue bars),
+* 4 and 16 shared words per cache line (orange/green bars),
+* bare metal under the OS perturbation model (light-blue bars).
+
+Counts unique signatures over ``BENCH_ITERS`` iterations, averaged over
+``BENCH_TESTS`` generated tests.  The benchmark kernel is one iteration
+batch (execute + encode) of a representative configuration.
+"""
+
+from conftest import BENCH_ITERS, BENCH_TESTS, record_table, run_campaign
+from repro.harness import format_table
+from repro.testgen import PAPER_CONFIGS
+
+
+def _unique(config, variant_kwargs, seed_base=11):
+    total = 0
+    for i in range(BENCH_TESTS):
+        _, result = run_campaign(config.with_seed(config.seed * 977 + i),
+                                 seed=seed_base + i, **variant_kwargs)
+        total += result.unique_signatures
+    return total / BENCH_TESTS
+
+
+def test_fig08_unique_interleavings(benchmark):
+    rows = []
+    for config in PAPER_CONFIGS:
+        row = [config.name,
+               _unique(config, {}),
+               _unique(config.with_layout(4), {}),
+               _unique(config.with_layout(16), {}),
+               _unique(config, {"os_model": True})]
+        rows.append(row)
+
+    record_table("fig08_interleavings", format_table(
+        ["config", "bare", "4w/line", "16w/line", "linux"], rows,
+        title="Figure 8: unique interleavings per %d iterations "
+              "(avg of %d tests; paper: 65,536 iterations)"
+              % (BENCH_ITERS, BENCH_TESTS)))
+
+    by = {r[0]: r for r in rows}
+    # headline shapes from the paper
+    assert by["ARM-2-50-32"][1] < by["ARM-2-200-32"][1]      # more ops
+    assert by["ARM-2-50-32"][1] < by["ARM-7-50-64"][1]       # more threads
+    assert by["ARM-2-50-64"][1] <= by["ARM-2-50-32"][1]      # more addresses
+    assert by["x86-4-50-64"][1] <= by["ARM-4-50-64"][1]      # TSO stricter
+    assert by["x86-4-50-64"][1] < by["x86-4-50-64"][2]       # false sharing
+    assert by["x86-4-50-64"][2] < by["x86-4-50-64"][3]       # more false sharing
+
+    campaign, _ = run_campaign(PAPER_CONFIGS[6], seed=11)    # ARM-4-50-64
+    benchmark.pedantic(
+        lambda: [campaign.codec.encode(e.rf) for e in campaign.executor.run(16)],
+        rounds=3, iterations=1)

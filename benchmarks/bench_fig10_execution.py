@@ -1,0 +1,48 @@
+"""Figure 10 — test-execution time breakdown on the ARM platform.
+
+Reports, per configuration, the three components the paper measures with
+performance counters: original test execution, signature computation
+(compare/branch chains + final signature stores), and on-device signature
+sorting (balanced-BST model).  Units are simulated cycles; the paper's
+claims are relative (signature computation averages 22% of the original
+time, sorting 38%, both growing with non-determinism).
+"""
+
+from conftest import BENCH_ITERS, record_table, run_campaign
+from repro.harness import format_table
+from repro.testgen import PAPER_CONFIGS
+
+_ARM_CONFIGS = [c for c in PAPER_CONFIGS if c.isa == "arm"]
+
+
+def test_fig10_execution_breakdown(benchmark):
+    rows = []
+    overheads = {}
+    for cfg in _ARM_CONFIGS:
+        _, result = run_campaign(cfg, seed=41)
+        base = result.base_cycles
+        rows.append([
+            cfg.name, base / 1e3,
+            result.instrumentation_cycles / 1e3,
+            result.signature_sort_cycles / 1e3,
+            100.0 * result.instrumentation_cycles / base,
+            100.0 * result.signature_sort_cycles / base,
+        ])
+        overheads[cfg.name] = (100.0 * result.instrumentation_cycles / base,
+                               100.0 * result.signature_sort_cycles / base)
+
+    record_table("fig10_execution", format_table(
+        ["config", "original kcycles", "signature kcycles", "sorting kcycles",
+         "signature %", "sorting %"], rows,
+        title="Figure 10: execution-time breakdown over %d iterations "
+              "(simulated cycles; paper: signature 22%%, sorting 38%% of "
+              "original on average)" % BENCH_ITERS))
+
+    # shape: low-diversity tests pay almost nothing; high-diversity pay more
+    assert overheads["ARM-2-50-64"][0] < overheads["ARM-2-200-32"][0]
+    assert overheads["ARM-2-50-64"][1] < overheads["ARM-2-200-32"][1]
+    # overheads stay bounded (paper worst case ~98% signature, ~140% sort)
+    assert all(o[0] < 150 for o in overheads.values())
+
+    campaign, _ = run_campaign(_ARM_CONFIGS[6], seed=41)
+    benchmark.pedantic(lambda: campaign.executor.run_one(), rounds=20, iterations=1)

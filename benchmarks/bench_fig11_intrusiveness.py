@@ -1,0 +1,55 @@
+"""Figure 11 — intrusiveness of verification.
+
+Memory accesses unrelated to the original test execution, normalized to
+the register-flushing baseline [24] (one extra store per executed load),
+with the average execution-signature size in bytes (the in-bar numbers).
+Averaged over generated tests per configuration, exactly as the paper
+averages over its 10 tests.
+
+Paper: signatures need only ~7% of the flushing accesses on average
+(3.9%-11.5%), with sizes from 8.4 B (ARM-2-50-32) to 324 B (ARM-7-200-64).
+"""
+
+from conftest import record_table
+from repro.harness import format_table
+from repro.instrument import SignatureCodec, intrusiveness
+from repro.testgen import PAPER_CONFIGS, generate_suite
+
+_TESTS = 10      # matches the paper
+
+
+def _rows():
+    rows = []
+    for cfg in PAPER_CONFIGS:
+        normalized = overhead = size = 0.0
+        for program in generate_suite(cfg, _TESTS):
+            codec = SignatureCodec(program, cfg.register_width)
+            report = intrusiveness(program, codec)
+            normalized += report.normalized
+            overhead += report.signature_overhead
+            size += report.signature_bytes
+        rows.append([cfg.name, 100.0 * normalized / _TESTS,
+                     100.0 * overhead / _TESTS, size / _TESTS])
+    return rows
+
+
+def test_fig11_intrusiveness(benchmark):
+    rows = _rows()
+    record_table("fig11_intrusiveness", format_table(
+        ["config", "normalized accesses % (vs flushing)",
+         "overhead % (vs test accesses)", "signature bytes"], rows,
+        title="Figure 11: memory accesses unrelated to the test "
+              "(paper avg: 7%% of register flushing)"))
+
+    by = {r[0]: r for r in rows}
+    mean = sum(r[1] for r in rows) / len(rows)
+    assert 2.0 < mean < 20.0
+    # size grows with contention (threads up, ops up, addresses down)
+    assert by["ARM-7-200-64"][3] > by["ARM-2-50-32"][3]
+    assert by["ARM-2-50-32"][3] < 20
+    # paper: ARM-7-200-64 needs ~324 bytes; ours must be the same order
+    assert 100 < by["ARM-7-200-64"][3] < 700
+
+    cfg = PAPER_CONFIGS[13]    # ARM-7-200-64
+    program = generate_suite(cfg, 1)[0]
+    benchmark(lambda: intrusiveness(program, SignatureCodec(program, 32)))

@@ -1,0 +1,56 @@
+"""Section 3.2 — signature size estimate and codec throughput (ablation).
+
+Compares the paper's analytic cardinality estimate
+``{1 + S/A (T-1)}^L`` against the exact per-test cardinality from the
+weight tables, shows the multi-word splitting behaviour for 32- vs 64-bit
+registers, and benchmarks encode/decode throughput (the operations the
+instrumented test and the host-side Algorithm 1 perform).
+"""
+
+import math
+
+from conftest import record_table
+from repro.analysis import estimated_signature_bits
+from repro.harness import format_table
+from repro.instrument import SignatureCodec
+from repro.sim import OperationalExecutor, platform_for_isa
+from repro.testgen import PAPER_CONFIGS, generate_suite
+
+_TESTS = 5
+
+
+def test_signature_cardinality_estimate(benchmark):
+    rows = []
+    for cfg in PAPER_CONFIGS:
+        est_bits = estimated_signature_bits(cfg) * cfg.threads
+        exact_bits = words32 = words64 = 0.0
+        for program in generate_suite(cfg, _TESTS):
+            codec32 = SignatureCodec(program, 32)
+            exact_bits += math.log2(codec32.cardinality)
+            words32 += codec32.total_words
+            words64 += SignatureCodec(program, 64).total_words
+        rows.append([cfg.name, est_bits, exact_bits / _TESTS,
+                     words32 / _TESTS, words64 / _TESTS])
+
+    record_table("sec32_cardinality", format_table(
+        ["config", "estimated bits", "exact bits (avg)",
+         "words @32-bit", "words @64-bit"], rows,
+        title="Section 3.2: signature cardinality estimate vs exact "
+              "(paper example: 2 threads, S=L=50, A=32 -> 68 bits/thread)"))
+
+    for row in rows:
+        # the analytic estimate has the right order of magnitude
+        assert row[1] == 0 or 0.3 < row[2] / max(row[1], 1e-9) < 3.0
+        assert row[4] <= row[3]           # wider registers -> fewer words
+
+    cfg = PAPER_CONFIGS[8]      # ARM-4-200-64
+    program = generate_suite(cfg, 1)[0]
+    codec = SignatureCodec(program, 32)
+    execution = OperationalExecutor(
+        program, platform_for_isa("arm").memory_model, seed=3).run_one()
+
+    def roundtrip():
+        return codec.decode(codec.encode(execution.rf))
+
+    assert roundtrip() == execution.rf
+    benchmark(roundtrip)

@@ -1,0 +1,72 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each ``bench_*`` file regenerates one table or figure of the paper's
+evaluation.  Results are registered via :func:`record_table`; a terminal-
+summary hook prints every recorded table after the benchmark run (so the
+paper-style rows appear even without ``-s``), and each table is also
+written to ``benchmarks/results/``.
+
+Scaling: the paper runs 65,536 iterations per test on native silicon and
+10 tests per configuration.  Pure-Python simulation scales both down; the
+defaults below reproduce the *shapes* in minutes.  Set ``REPRO_BENCH_ITERS``
+and ``REPRO_BENCH_TESTS`` to larger values for tighter statistics.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.graph import GraphBuilder
+from repro.harness import Campaign
+from repro.sim import platform_for_isa
+
+#: iterations per test run (paper: 65,536)
+BENCH_ITERS = int(os.environ.get("REPRO_BENCH_ITERS", "192"))
+#: distinct tests per configuration (paper: 10)
+BENCH_TESTS = int(os.environ.get("REPRO_BENCH_TESTS", "2"))
+
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+_TABLES: list[tuple[str, str]] = []
+
+
+def record_table(name: str, text: str) -> None:
+    """Register a paper-style table for terminal + file output."""
+    _TABLES.append((name, text))
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    (_RESULTS_DIR / (name + ".txt")).write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter):
+    for name, text in _TABLES:
+        terminalreporter.write_sep("=", name)
+        terminalreporter.write_line(text)
+
+
+_CAMPAIGN_CACHE: dict = {}
+
+
+def run_campaign(config, iterations=None, seed=1, **kwargs):
+    """Run (and cache) a campaign for a configuration."""
+    iterations = iterations or BENCH_ITERS
+    key = (config, iterations, seed, tuple(sorted(kwargs.items())))
+    if key not in _CAMPAIGN_CACHE:
+        campaign = Campaign(config=config, seed=seed, **kwargs)
+        _CAMPAIGN_CACHE[key] = (campaign, campaign.run(iterations))
+    return _CAMPAIGN_CACHE[key]
+
+
+def campaign_graphs(config, iterations=None, seed=1, ws_mode="static"):
+    """Signature-sorted constraint graphs of a campaign's unique executions."""
+    campaign, result = run_campaign(config, iterations, seed)
+    builder = GraphBuilder(campaign.program, campaign.model, ws_mode=ws_mode)
+    graphs = []
+    for sig in result.sorted_signatures():
+        rf = campaign.codec.decode(sig)
+        if ws_mode == "observed":
+            graphs.append(builder.build(rf, result.representatives[sig].ws))
+        else:
+            graphs.append(builder.build(rf))
+    return campaign, result, graphs

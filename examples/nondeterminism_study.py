@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Non-determinism study: what diversifies memory-access interleavings?
+
+A compact version of the paper's Figure 8 exploration.  For a family of
+test configurations, counts unique interleaving signatures while varying
+one factor at a time:
+
+* thread count (the strongest factor),
+* operations per thread,
+* number of shared addresses (more addresses -> fewer conflicts),
+* false sharing (shared words per cache line),
+* platform memory model (weakly-ordered ARM vs x86-TSO),
+* OS interference vs bare metal.
+
+Run:  python examples/nondeterminism_study.py
+"""
+
+from repro.analysis import uniqueness
+from repro.harness import Campaign, format_bar_chart
+from repro.testgen import TestConfig
+
+ITERATIONS = 400
+
+
+def unique_count(config, **campaign_kwargs):
+    campaign = Campaign(config=config, seed=5, **campaign_kwargs)
+    return uniqueness(campaign.run(ITERATIONS)).unique
+
+
+def study(title, variants):
+    labels, values = [], []
+    for label, cfg, kwargs in variants:
+        labels.append(label)
+        values.append(unique_count(cfg, **kwargs))
+    print(format_bar_chart(labels, values,
+                           title="%s  (unique / %d runs)" % (title, ITERATIONS)))
+    print()
+
+
+def main():
+    base = TestConfig(isa="arm", threads=2, ops_per_thread=50, addresses=32, seed=3)
+
+    study("thread count", [
+        ("2 threads", base, {}),
+        ("4 threads", TestConfig(isa="arm", threads=4, ops_per_thread=50,
+                                 addresses=64, seed=3), {}),
+        ("7 threads", TestConfig(isa="arm", threads=7, ops_per_thread=50,
+                                 addresses=64, seed=3), {}),
+    ])
+
+    study("operations per thread", [
+        ("50 ops", base, {}),
+        ("100 ops", TestConfig(isa="arm", threads=2, ops_per_thread=100,
+                               addresses=32, seed=3), {}),
+        ("200 ops", TestConfig(isa="arm", threads=2, ops_per_thread=200,
+                               addresses=32, seed=3), {}),
+    ])
+
+    study("shared addresses (2 threads, 200 ops)", [
+        ("32 addresses", TestConfig(isa="arm", threads=2, ops_per_thread=200,
+                                    addresses=32, seed=3), {}),
+        ("64 addresses", TestConfig(isa="arm", threads=2, ops_per_thread=200,
+                                    addresses=64, seed=3), {}),
+    ])
+
+    fs_base = TestConfig(isa="x86", threads=4, ops_per_thread=50, addresses=64, seed=3)
+    study("false sharing (x86, 4 threads)", [
+        ("1 word/line", fs_base, {}),
+        ("4 words/line", fs_base.with_layout(4), {}),
+        ("16 words/line", fs_base.with_layout(16), {}),
+    ])
+
+    study("memory model (4 threads, 50 ops, 64 addresses)", [
+        ("x86-TSO", TestConfig(isa="x86", threads=4, ops_per_thread=50,
+                               addresses=64, seed=3), {}),
+        ("ARM weak", TestConfig(isa="arm", threads=4, ops_per_thread=50,
+                                addresses=64, seed=3), {}),
+    ])
+
+    study("operating system (2 threads)", [
+        ("bare metal", base, {}),
+        ("under OS", base, {"os_model": True}),
+    ])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Shim for environments without the `wheel` package (offline install).
+
+`pip install -e . --no-build-isolation` needs bdist_wheel for PEP 660
+editable installs; this shim lets `python setup.py develop` and legacy
+editable installs work offline.
+"""
+from setuptools import setup
+
+setup()

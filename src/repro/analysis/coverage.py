@@ -1,0 +1,83 @@
+"""Interleaving-coverage analysis (Section 6.1's saturation discussion).
+
+The paper observes that the fraction of unique interleavings falls as the
+iteration count grows (ARM-2-200-32: 54% at 65,536 iterations, 30% at
+1M), i.e. test campaigns *saturate*.  This module quantifies that:
+
+* :func:`saturation_curve` — unique-signature count after each iteration
+  prefix, the raw material for a coverage-vs-effort plot;
+* :func:`discovery_rate` — new uniques per iteration over a trailing
+  window, a practical stop-here signal for a validation campaign;
+* :func:`coverage_summary` — uniques observed vs. the test's total
+  signature cardinality, plus a Good-Turing estimate of the probability
+  that the *next* iteration reveals a new interleaving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def saturation_curve(signatures: Iterable) -> list[int]:
+    """Unique count after each iteration, in observation order."""
+    seen = set()
+    curve = []
+    for signature in signatures:
+        seen.add(signature)
+        curve.append(len(seen))
+    return curve
+
+
+def discovery_rate(curve: Sequence[int], window: int = 100) -> float:
+    """New unique interleavings per iteration over the last ``window``."""
+    if not curve:
+        return 0.0
+    window = min(window, len(curve))
+    if window < 2:
+        return float(curve[-1])
+    return (curve[-1] - curve[-window]) / (window - 1)
+
+
+@dataclass(frozen=True)
+class CoverageSummary:
+    """How much of a test's interleaving space a campaign explored."""
+
+    iterations: int
+    unique: int
+    cardinality: int           # total signatures the test can produce
+    singleton_count: int       # signatures observed exactly once
+
+    @property
+    def unique_fraction(self) -> float:
+        return self.unique / self.iterations if self.iterations else 0.0
+
+    @property
+    def space_fraction(self) -> float:
+        """Uniques over the (usually astronomical) signature space."""
+        return self.unique / self.cardinality if self.cardinality else 0.0
+
+    @property
+    def next_new_probability(self) -> float:
+        """Good-Turing estimate: P(next iteration is a new interleaving).
+
+        The classic missing-mass estimator — the number of signatures
+        seen exactly once divided by the number of observations.
+        """
+        return self.singleton_count / self.iterations if self.iterations else 1.0
+
+    @property
+    def saturated(self) -> bool:
+        """Heuristic: under 1% chance that another run finds anything new."""
+        return self.next_new_probability < 0.01
+
+
+def coverage_summary(result) -> CoverageSummary:
+    """Build a :class:`CoverageSummary` from a :class:`CampaignResult`."""
+    singletons = sum(1 for count in result.signature_counts.values() if count == 1)
+    return CoverageSummary(
+        iterations=result.iterations,
+        unique=result.unique_signatures,
+        cardinality=result.codec.cardinality,
+        singleton_count=singletons,
+    )

@@ -1,0 +1,94 @@
+"""k-medoids clustering limit study (paper Section 4.1, Figure 6).
+
+Before settling on signature sorting, the paper evaluated clustering
+constraint graphs around k representative medoids, measuring the total
+number of differing reads-from relationships between each execution and
+its closest medoid.  The study shows the total distance falls slowly with
+k for high-diversity tests — and that optimal k-medoids is far too
+expensive — which motivates the lightweight sort-and-diff approach.
+
+This module implements the standard *Voronoi iteration* (alternating
+assignment and medoid update) with a greedy k-medoids++-style seeding,
+operating on a precomputed distance matrix.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ClusteringResult:
+    """Outcome of one k-medoids run."""
+
+    k: int
+    medoids: tuple[int, ...]
+    assignment: tuple[int, ...]      # execution index -> medoid (index into medoids)
+    total_distance: int              # sum of distances to the closest medoid
+
+    @property
+    def mean_distance(self) -> float:
+        return self.total_distance / len(self.assignment) if self.assignment else 0.0
+
+
+def k_medoids(distances, k: int, seed: int = 0, max_rounds: int = 30) -> ClusteringResult:
+    """Cluster items into ``k`` groups around medoids.
+
+    Args:
+        distances: square symmetric matrix (numpy array or nested lists)
+            of pairwise distances.
+        k: number of medoids (clamped to the item count).
+        seed: RNG seed for the greedy seeding.
+        max_rounds: Voronoi iteration bound.
+    """
+    import numpy as np
+
+    dist = np.asarray(distances)
+    n = dist.shape[0]
+    if n == 0:
+        return ClusteringResult(0, (), (), 0)
+    k = min(k, n)
+    rng = random.Random(seed)
+
+    # k-medoids++ seeding: first medoid random, then greedily take the
+    # item farthest from its current closest medoid.
+    medoids = [rng.randrange(n)]
+    closest = dist[medoids[0]].copy()
+    while len(medoids) < k:
+        candidate = int(closest.argmax())
+        if closest[candidate] == 0:
+            candidate = rng.randrange(n)   # all remaining identical
+        medoids.append(candidate)
+        np.minimum(closest, dist[candidate], out=closest)
+
+    medoids_arr = np.array(medoids)
+    for _ in range(max_rounds):
+        assignment = dist[:, medoids_arr].argmin(axis=1)
+        changed = False
+        for cluster in range(len(medoids_arr)):
+            members = np.flatnonzero(assignment == cluster)
+            if members.size == 0:
+                continue
+            # best medoid of this cluster: member minimizing intra-cluster cost
+            sub = dist[np.ix_(members, members)]
+            best = members[sub.sum(axis=1).argmin()]
+            if best != medoids_arr[cluster]:
+                medoids_arr[cluster] = best
+                changed = True
+        if not changed:
+            break
+
+    assignment = dist[:, medoids_arr].argmin(axis=1)
+    total = int(dist[np.arange(n), medoids_arr[assignment]].sum())
+    return ClusteringResult(
+        k=len(medoids_arr),
+        medoids=tuple(int(m) for m in medoids_arr),
+        assignment=tuple(int(a) for a in assignment),
+        total_distance=total,
+    )
+
+
+def limit_study(distances, ks=(1, 2, 3, 5, 10, 30, 100), seed: int = 0):
+    """Figure 6 series: total distance to closest medoid for each k."""
+    return [(k, k_medoids(distances, k, seed=seed).total_distance) for k in ks]

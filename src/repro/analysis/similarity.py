@@ -1,0 +1,47 @@
+"""Similarity measures between executions (paper Section 4.1).
+
+The paper measures the distance between two test executions as the
+number of *differing reads-from relationships* — the loads whose source
+store differs between the two runs.  This is the metric behind the
+k-medoids limit study (Figure 6) and the intuition behind sorting
+signatures: adjacent signatures have small rf distance.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def rf_distance(rf_a: dict, rf_b: dict) -> int:
+    """Number of loads observing different sources in the two executions.
+
+    Both maps must cover the same loads (executions of the same test).
+    """
+    if rf_a.keys() != rf_b.keys():
+        raise ValueError("executions cover different load sets")
+    return sum(1 for load, src in rf_a.items() if rf_b[load] != src)
+
+
+def distance_matrix(rfs: Sequence[dict]):
+    """Full pairwise rf-distance matrix as a numpy int32 array."""
+    import numpy as np
+
+    # Stable per-load source indexing lets numpy do the heavy comparison.
+    if not rfs:
+        return np.zeros((0, 0), dtype=np.int32)
+    loads = sorted(rfs[0].keys())
+    source_ids: dict = {}
+    coded = np.empty((len(rfs), len(loads)), dtype=np.int32)
+    for i, rf in enumerate(rfs):
+        for j, load in enumerate(loads):
+            src = rf[load]
+            coded[i, j] = source_ids.setdefault(src, len(source_ids))
+    n = len(rfs)
+    out = np.zeros((n, n), dtype=np.int32)
+    # Row blocks bound the broadcast to ~tens of MB for 1000 executions.
+    block = max(1, 4_000_000 // max(1, n * len(loads)))
+    for start in range(0, n, block):
+        stop = min(n, start + block)
+        diff = coded[start:stop, None, :] != coded[None, :, :]
+        out[start:stop] = diff.sum(axis=2, dtype=np.int32)
+    return out

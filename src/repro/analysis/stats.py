@@ -1,0 +1,46 @@
+"""Campaign statistics and the paper's signature cardinality estimate."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.testgen.config import TestConfig
+
+
+def estimated_signature_cardinality(stores_per_thread: float, loads_per_thread: float,
+                                    addresses: int, threads: int) -> float:
+    """Paper Section 3.2 estimate of per-thread signature cardinality.
+
+    ``{1 + S/A * (T-1)}^L``: each load reads either the last same-thread
+    store (the 1) or any of the ~S/A matching stores of each of the T-1
+    other threads.  With S=L=50, A=32, T=2 this gives ~2.7e20 (~2^68).
+    """
+    per_load = 1.0 + (stores_per_thread / addresses) * (threads - 1)
+    return per_load ** loads_per_thread
+
+
+def estimated_signature_bits(config: TestConfig) -> float:
+    """Estimated per-thread signature size in bits for a configuration."""
+    half = config.ops_per_thread * (1.0 - config.load_fraction)
+    loads = config.ops_per_thread * config.load_fraction
+    cardinality = estimated_signature_cardinality(
+        half, loads, config.addresses, config.threads)
+    return math.log2(cardinality) if cardinality > 1 else 0.0
+
+
+@dataclass(frozen=True)
+class UniquenessStats:
+    """Unique-interleaving statistics of a campaign (Figure 8 numbers)."""
+
+    iterations: int
+    unique: int
+
+    @property
+    def fraction(self) -> float:
+        return self.unique / self.iterations if self.iterations else 0.0
+
+
+def uniqueness(result) -> UniquenessStats:
+    """Extract Figure 8 statistics from a :class:`CampaignResult`."""
+    return UniquenessStats(result.iterations, result.unique_signatures)

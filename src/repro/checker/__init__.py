@@ -1,0 +1,28 @@
+"""MCM violation checkers: conventional baseline and MTraceCheck collective."""
+
+from repro.checker.baseline import BaselineChecker
+from repro.checker.collective import CollectiveChecker
+from repro.checker.minimize import MinimizedViolation, minimize_violation
+from repro.checker.results import (
+    COMPLETE,
+    INCREMENTAL,
+    NO_RESORT,
+    CheckReport,
+    Verdict,
+    describe_cycle,
+)
+from repro.checker.ws_inference import infer_constraint_graph
+
+__all__ = [
+    "COMPLETE",
+    "INCREMENTAL",
+    "NO_RESORT",
+    "BaselineChecker",
+    "CheckReport",
+    "CollectiveChecker",
+    "MinimizedViolation",
+    "minimize_violation",
+    "Verdict",
+    "describe_cycle",
+    "infer_constraint_graph",
+]

@@ -1,0 +1,163 @@
+"""Violation minimization: shrink a failing test to a litmus-sized core.
+
+Post-silicon debugging wants the smallest program that still exhibits a
+detected violation (the paper's Figure 13 manually extracts such a
+snippet).  :func:`minimize_violation` automates it: starting from the
+witness cycle, it keeps only the operations that participate in the
+violation — the cycle's vertices, the stores their loads read from, and
+whatever same-address stores are needed to preserve the cycle's
+coherence (fr/ws) edges — then renumbers everything into a compact
+:class:`TestProgram` with the corresponding reads-from assignment.
+
+The result is verified: the reduced graph must still be cyclic under the
+same memory model, otherwise reduction falls back to a larger kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CheckerError
+from repro.graph.builder import GraphBuilder
+from repro.graph.constraint_graph import ConstraintGraph
+from repro.graph.toposort import find_cycle, topological_sort
+from repro.isa.instructions import INIT, Operation
+from repro.isa.program import TestProgram
+from repro.mcm.model import MemoryModel
+
+
+@dataclass(frozen=True)
+class MinimizedViolation:
+    """A reduced violating test case."""
+
+    program: TestProgram
+    rf: dict
+    ws: dict
+    cycle: tuple
+    #: original-uid -> reduced-uid mapping for traceability
+    uid_map: dict
+
+    @property
+    def num_ops(self) -> int:
+        return self.program.num_ops
+
+
+def _closure_uids(program: TestProgram, rf: dict, cycle) -> set:
+    """Operations needed to preserve the cycle's edges."""
+    keep = {uid for uid in cycle}
+    # sources of kept loads (rf edges on the cycle need their stores)
+    for uid in list(keep):
+        op = program.op(uid)
+        if op.is_load:
+            source = rf.get(uid)
+            if source is not None and not (source is INIT or source == INIT):
+                keep.add(source)
+    return keep
+
+
+def _rebuild(program: TestProgram, keep: set):
+    """Re-create a compact program from a kept-uid set.
+
+    Thread and program order are preserved; store IDs are renumbered
+    densely (loads keep observing the same *operations* via the uid map).
+    """
+    threads_present = sorted({program.op(uid).thread for uid in keep})
+    thread_map = {old: new for new, old in enumerate(threads_present)}
+    addrs_present = sorted({program.op(uid).addr for uid in keep
+                            if program.op(uid).addr is not None})
+    addr_map = {old: new for new, old in enumerate(addrs_present)}
+
+    per_thread: list[list[Operation]] = [[] for _ in threads_present]
+    uid_map: dict[int, int] = {}
+    next_value = 1
+    running_uid = 0
+    # first pass: construct ops thread by thread in original order
+    for old_thread in threads_present:
+        new_thread = thread_map[old_thread]
+        for op in program.threads[old_thread].ops:
+            if op.uid not in keep:
+                continue
+            index = len(per_thread[new_thread])
+            if op.is_store:
+                new_op = Operation(op.kind, new_thread, index,
+                                   addr=addr_map[op.addr], value=next_value)
+                next_value += 1
+            elif op.is_load:
+                new_op = Operation(op.kind, new_thread, index,
+                                   addr=addr_map[op.addr])
+            else:
+                new_op = Operation(op.kind, new_thread, index)
+            per_thread[new_thread].append(new_op)
+            uid_map[op.uid] = running_uid
+            running_uid += 1
+    reduced = TestProgram.from_ops(per_thread, max(len(addrs_present), 1),
+                                   name=(program.name or "test") + "-min")
+    return reduced, uid_map
+
+
+def minimize_violation(program: TestProgram, model: MemoryModel,
+                       rf: dict, ws: dict = None,
+                       graph: ConstraintGraph = None) -> MinimizedViolation:
+    """Reduce a violating execution to its participating operations.
+
+    Args:
+        program: the original test.
+        model: memory model the violation was detected under.
+        rf: the violating execution's reads-from map.
+        ws: per-address coherence order (enables observed-mode
+            verification; optional).
+        graph: the violating constraint graph, if already built
+            (otherwise it is rebuilt here).
+
+    Returns:
+        A :class:`MinimizedViolation` whose reduced graph is verified to
+        still contain a cycle.
+
+    Raises:
+        CheckerError: when the provided execution is not actually
+            violating, or reduction cannot preserve the cycle.
+    """
+    ws_mode = "observed" if ws is not None else "static"
+    builder = GraphBuilder(program, model, ws_mode=ws_mode)
+    if graph is None:
+        graph = builder.build(rf, ws) if ws is not None else builder.build(rf)
+    vertices = range(program.num_ops)
+    if topological_sort(vertices, graph.adjacency) is not None:
+        raise CheckerError("execution is not violating; nothing to minimize")
+    cycle = find_cycle(vertices, graph.adjacency)
+
+    keep = _closure_uids(program, rf, cycle)
+    reduced, uid_map = _rebuild(program, keep)
+
+    reduced_rf = {}
+    for old_uid, source in rf.items():
+        if old_uid not in uid_map:
+            continue
+        if source is INIT or source == INIT or source not in uid_map:
+            reduced_rf[uid_map[old_uid]] = INIT
+        else:
+            reduced_rf[uid_map[old_uid]] = uid_map[source]
+    reduced_ws = {}
+    if ws is not None:
+        addr_of = {uid_map[u]: reduced.op(uid_map[u]).addr
+                   for u in keep if program.op(u).is_store}
+        for chain in ws.values():
+            kept_chain = [uid_map[u] for u in chain if u in uid_map]
+            if kept_chain:
+                reduced_ws[addr_of[kept_chain[0]]] = kept_chain
+        for addr in range(reduced.num_addresses):
+            reduced_ws.setdefault(addr, [s.uid for s in reduced.stores_to(addr)])
+
+    # verify the reduction preserved the violation
+    reduced_builder = GraphBuilder(reduced, model, ws_mode=ws_mode)
+    reduced_graph = (reduced_builder.build(reduced_rf, reduced_ws)
+                     if ws is not None else reduced_builder.build(reduced_rf))
+    reduced_cycle = None
+    if topological_sort(range(reduced.num_ops), reduced_graph.adjacency) is None:
+        reduced_cycle = find_cycle(range(reduced.num_ops), reduced_graph.adjacency)
+    if reduced_cycle is None:
+        raise CheckerError(
+            "reduction lost the violation (cycle depended on operations "
+            "outside the kept kernel); report the full execution instead")
+    return MinimizedViolation(reduced, reduced_rf, reduced_ws,
+                              tuple(reduced_cycle), uid_map)

@@ -1,0 +1,81 @@
+"""Verdicts, violation reports and checking statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.constraint_graph import ConstraintGraph
+from repro.isa.program import TestProgram
+
+#: How a graph was validated by the collective checker (Figure 14 legend).
+COMPLETE, NO_RESORT, INCREMENTAL = "complete", "no-resort", "incremental"
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Outcome of checking one unique execution.
+
+    Attributes:
+        index: position of the graph in the checked sequence.
+        violation: True when no topological sort exists.
+        cycle: witness cycle (vertex uids, first == last) for violations.
+        method: how the collective checker handled this graph
+            (always ``complete`` for the baseline checker).
+        resorted_vertices: size of the re-sorting window (0 when skipped).
+    """
+
+    index: int
+    violation: bool
+    cycle: tuple | None = None
+    method: str = COMPLETE
+    resorted_vertices: int = 0
+
+
+@dataclass
+class CheckReport:
+    """Aggregate result of checking a sequence of constraint graphs."""
+
+    verdicts: list[Verdict] = field(default_factory=list)
+    #: wall-clock seconds spent topologically sorting (Figure 9 metric)
+    elapsed: float = 0.0
+    #: total vertices fed to Kahn's algorithm (computation proxy)
+    sorted_vertices: int = 0
+    num_vertices_per_graph: int = 0
+
+    @property
+    def num_graphs(self) -> int:
+        return len(self.verdicts)
+
+    @property
+    def violations(self) -> list[Verdict]:
+        return [v for v in self.verdicts if v.violation]
+
+    def count(self, method: str) -> int:
+        """Number of graphs handled via ``method`` (Figure 14 bars)."""
+        return sum(1 for v in self.verdicts if v.method == method)
+
+    @property
+    def affected_vertex_fraction(self) -> float:
+        """Mean re-sorting window size over incrementally checked graphs,
+        as a fraction of the graph's vertex count (Figure 14 line)."""
+        windows = [v.resorted_vertices for v in self.verdicts
+                   if v.method == INCREMENTAL]
+        if not windows or not self.num_vertices_per_graph:
+            return 0.0
+        return sum(windows) / len(windows) / self.num_vertices_per_graph
+
+
+def describe_cycle(program: TestProgram, graph: ConstraintGraph, cycle) -> str:
+    """Render a violation witness like the paper's Figure 13.
+
+    Lists each operation on the cycle and the dependency type of each hop,
+    e.g. ``t0.3 st [0x1] #5 --rf--> t3.4 ld [0x1]``.
+    """
+    lines = ["memory consistency violation (cycle of %d operations):" % (len(cycle) - 1)]
+    for src, dst in zip(cycle, cycle[1:]):
+        op_src, op_dst = program.op(src), program.op(dst)
+        kind = graph.edge_kind(src, dst)
+        lines.append("  t%d.%d %-16s --%s--> t%d.%d %s"
+                     % (op_src.thread, op_src.index, op_src.describe(),
+                        kind, op_dst.thread, op_dst.index, op_dst.describe()))
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Inferring write-serialization and from-read edges from rf + ppo alone.
+
+Signatures encode only reads-from choices.  Our execution substrates also
+expose the per-address coherence order (as unique store IDs let real
+frameworks do), but when only rf is available — e.g. when consuming
+signatures from an external source — the coherence order must be
+*inferred*.  This module implements the classic TSOtool-style [24]
+fixpoint closure:
+
+* **R1** (observed order): if store ``s'`` (same address as ``s``, with
+  ``s' != s``) happens-before a load that reads ``s``, then ``s'`` is
+  coherence-before ``s``  →  add edge ``s' -> s`` (ws).
+* **R2** (from-read): if ``s`` is coherence-before ``s'`` then every load
+  reading ``s`` happens-before ``s'``  →  add edge ``load -> s'`` (fr).
+* Loads that read INIT precede every store to their address (fr).
+
+The closure is *sound*: it only adds edges implied by the observation, so
+a cycle after closure is a genuine violation.  It is not complete — some
+violations detectable with ground-truth ws may be missed (the paper makes
+the same "false negatives may result" caveat for missing edges).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import INIT
+from repro.isa.program import TestProgram
+from repro.mcm.model import MemoryModel
+from repro.graph.constraint_graph import FR, PO, RF, WS, ConstraintGraph, Edge
+
+
+def _reachable_from(adjacency: dict[int, list[int]], num_vertices: int) -> list[set]:
+    """All-pairs reachability via reverse-post-order DFS per vertex.
+
+    Graphs here are a few hundred vertices, so the straightforward
+    O(V * (V + E)) sweep is acceptable for the inference use case.
+    """
+    reach = [set() for _ in range(num_vertices)]
+    for start in range(num_vertices):
+        stack = list(adjacency.get(start, ()))
+        seen = reach[start]
+        while stack:
+            v = stack.pop()
+            if v in seen:
+                continue
+            seen.add(v)
+            stack.extend(adjacency.get(v, ()))
+    return reach
+
+
+def infer_constraint_graph(program: TestProgram, model: MemoryModel,
+                           rf: dict[int, object],
+                           max_rounds: int = 10) -> ConstraintGraph:
+    """Build a constraint graph from rf only, inferring ws/fr edges.
+
+    Args:
+        program: the test program.
+        model: memory model providing ppo edges.
+        rf: load uid -> source (store uid or INIT).
+        max_rounds: fixpoint iteration bound (each round recomputes
+            reachability; closure typically converges in 2-3 rounds).
+
+    Returns:
+        A constraint graph containing ppo, inter-thread rf, and all
+        inferred ws/fr edges.  Cyclic iff a violation is implied.
+    """
+    graph = ConstraintGraph(program.num_ops)
+    for tp in program.threads:
+        for src, dst in model.ppo_edges(tp):
+            graph.add_edge(Edge(src, dst, PO))
+    readers: dict[int, list[int]] = {}    # store uid -> loads reading it
+    init_readers: dict[int, list[int]] = {}  # addr -> loads reading INIT
+    for load_uid, source in rf.items():
+        load_op = program.op(load_uid)
+        if source is INIT or source == INIT:
+            init_readers.setdefault(load_op.addr, []).append(load_uid)
+            continue
+        store_op = program.op(source)
+        if store_op.thread != load_op.thread:
+            graph.add_edge(Edge(source, load_uid, RF))
+        readers.setdefault(source, []).append(load_uid)
+
+    # INIT readers precede every store to the address (coherence: the
+    # initial value is coherence-first).
+    for addr, loads in init_readers.items():
+        for st in program.stores_to(addr):
+            for load_uid in loads:
+                graph.add_edge(Edge(load_uid, st.uid, FR))
+
+    for _ in range(max_rounds):
+        before = graph.num_edges
+        reach = _reachable_from(graph.adjacency, program.num_ops)
+        for addr in range(program.num_addresses):
+            stores = program.stores_to(addr)
+            for s in stores:
+                for s_prime in stores:
+                    if s.uid == s_prime.uid:
+                        continue
+                    # R1: s' happens-before a reader of s => ws s' -> s
+                    if (s_prime.uid, s.uid) not in graph:
+                        for load_uid in readers.get(s.uid, ()):
+                            if load_uid in reach[s_prime.uid]:
+                                graph.add_edge(Edge(s_prime.uid, s.uid, WS))
+                                break
+                    # R2: ws s -> s' => readers of s happen-before s'
+                    if s_prime.uid in reach[s.uid]:
+                        for load_uid in readers.get(s.uid, ()):
+                            graph.add_edge(Edge(load_uid, s_prime.uid, FR))
+        if graph.num_edges == before:
+            break
+    return graph

@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's flow so each stage can run standalone:
+
+* ``generate`` — emit a constrained-random test program (assembler text),
+* ``instrument`` — show the instrumented pseudo-assembly and its static
+  metrics (signature size, code size, intrusiveness),
+* ``run`` — execute a test for N iterations on a simulated platform and
+  dump the collected signatures to JSON (the device side),
+* ``check`` — load a signature dump, decode, build graphs, and run the
+  collective checker (the host side),
+* ``litmus`` — run the litmus library against a memory model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import io as repro_io
+from repro.errors import ReproError
+from repro.checker import CollectiveChecker, describe_cycle
+from repro.graph import GraphBuilder
+from repro.harness import Campaign, format_table
+from repro.instrument import SignatureCodec, code_size, emit_listing, intrusiveness
+from repro.isa.assembler import disassemble
+from repro.mcm import get_model
+from repro.sim import OperationalExecutor, platform_for_isa
+from repro.testgen import TestConfig, generate
+from repro.testgen.litmus import all_litmus_tests, extended_litmus_tests
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--isa", choices=("x86", "arm"), default="arm")
+    parser.add_argument("--threads", type=int, default=2)
+    parser.add_argument("--ops", type=int, default=50)
+    parser.add_argument("--addresses", type=int, default=32)
+    parser.add_argument("--words-per-line", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _config_from(args) -> TestConfig:
+    return TestConfig(isa=args.isa, threads=args.threads, ops_per_thread=args.ops,
+                      addresses=args.addresses, words_per_line=args.words_per_line,
+                      seed=args.seed)
+
+
+def _cmd_generate(args) -> int:
+    program = generate(_config_from(args))
+    sys.stdout.write(disassemble(program))
+    return 0
+
+
+def _cmd_instrument(args) -> int:
+    config = _config_from(args)
+    program = generate(config)
+    codec = SignatureCodec(program, config.register_width)
+    if args.listing:
+        sys.stdout.write(emit_listing(program, codec))
+    cs = code_size(program, codec, config.isa)
+    report = intrusiveness(program, codec)
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["signature bytes", codec.byte_size],
+            ["signature words", codec.total_words],
+            ["cardinality bits", codec.cardinality.bit_length()],
+            ["original code bytes", cs.original_bytes],
+            ["instrumented code bytes", cs.instrumented_bytes],
+            ["code size ratio", "%.2f" % cs.ratio],
+            ["accesses vs register flushing", "%.1f%%" % (100 * report.normalized)],
+        ],
+        title="instrumentation metrics (%s)" % config.name))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    config = _config_from(args)
+    extra = {}
+    if args.detailed or args.bug:
+        if config.isa != "x86":
+            raise ValueError("the detailed MESI simulator models x86 only; "
+                             "use --isa x86 with --detailed/--bug")
+        from repro.sim.detailed import DetailedExecutor
+        from repro.sim.faults import Bug, FaultConfig
+        from repro.sim.platform import GEM5_X86_8CORE
+
+        faults = FaultConfig(bug=Bug(args.bug) if args.bug else None,
+                             l1_lines=args.l1_lines)
+        extra["platform"] = GEM5_X86_8CORE
+        extra["executor_cls"] = (
+            lambda *a, **kw: DetailedExecutor(*a, faults=faults, **kw))
+    campaign = Campaign(config=config, seed=args.run_seed,
+                        os_model=args.os or None, **extra)
+    result = campaign.run(args.iterations)
+    print("%s: %d iterations, %d unique signatures, %d crashes"
+          % (config.name, result.iterations, result.unique_signatures,
+             result.crashes))
+    if args.output:
+        repro_io.save_campaign(result, args.output)
+        print("signatures written to %s" % args.output)
+    return 0
+
+
+def _cmd_check(args) -> int:
+    result = repro_io.read_campaign(args.dump)
+    config_model = get_model(args.model) if args.model else \
+        platform_for_isa("x86" if result.codec.register_width == 64 else "arm").memory_model
+    builder = GraphBuilder(result.program, config_model, ws_mode=args.ws_mode)
+    graphs = []
+    for signature in result.sorted_signatures():
+        rf = result.codec.decode(signature)
+        if args.ws_mode == "observed":
+            graphs.append(builder.build(rf, result.representatives[signature].ws))
+        else:
+            graphs.append(builder.build(rf))
+    report = CollectiveChecker().check(graphs)
+    print("checked %d unique executions under %s (%s ws): %d violations"
+          % (report.num_graphs, config_model.name, args.ws_mode,
+             len(report.violations)))
+    for verdict in report.violations:
+        print()
+        print(describe_cycle(result.program, graphs[verdict.index], verdict.cycle))
+    return 1 if report.violations else 0
+
+
+def _cmd_litmus(args) -> int:
+    model = get_model(args.model)
+    tests = all_litmus_tests() + (extended_litmus_tests() if args.extended else [])
+    rows = []
+    failures = 0
+    for lt in tests:
+        executor = OperationalExecutor(lt.program, model, seed=args.run_seed)
+        seen = False
+        for execution in executor.run(args.iterations):
+            hit = all(execution.rf.get(k) == v
+                      for k, v in lt.interesting_rf.items())
+            if hit and lt.interesting_ws is not None:
+                hit = all(execution.ws.get(a) == c
+                          for a, c in lt.interesting_ws.items())
+            if hit:
+                seen = True
+                break
+        allowed = lt.allowed[model.name]
+        ok = allowed or not seen
+        if not ok:
+            failures += 1
+        rows.append([lt.name, "allowed" if allowed else "forbidden",
+                     "seen" if seen else "never", "ok" if ok else "VIOLATION"])
+    print(format_table(["test", "model verdict", "observed", "status"], rows,
+                       title="litmus run under %s (%d iterations)"
+                             % (model.name, args.iterations)))
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MTraceCheck reproduction: post-silicon MCM validation")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="emit a constrained-random test")
+    _add_config_arguments(p)
+    p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser("instrument", help="show instrumentation metrics")
+    _add_config_arguments(p)
+    p.add_argument("--listing", action="store_true",
+                   help="print the instrumented pseudo-assembly")
+    p.set_defaults(fn=_cmd_instrument)
+
+    p = sub.add_parser("run", help="execute a test, collect signatures")
+    _add_config_arguments(p)
+    p.add_argument("--iterations", type=int, default=1000)
+    p.add_argument("--run-seed", type=int, default=1)
+    p.add_argument("--os", action="store_true", help="enable OS perturbation")
+    p.add_argument("--detailed", action="store_true",
+                   help="use the detailed MESI simulator (x86 only)")
+    p.add_argument("--bug", type=int, choices=(1, 2, 3),
+                   help="inject a paper Section-7 bug (implies --detailed)")
+    p.add_argument("--l1-lines", type=int, default=4,
+                   help="detailed simulator L1 capacity in lines")
+    p.add_argument("--output", "-o", help="write a JSON signature dump")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("check", help="check a signature dump (host side)")
+    p.add_argument("dump", help="JSON dump from 'repro run -o'")
+    p.add_argument("--model", choices=("sc", "tso", "weak"),
+                   help="memory model (default: inferred from the dump)")
+    p.add_argument("--ws-mode", choices=("static", "observed"), default="static")
+    p.set_defaults(fn=_cmd_check)
+
+    p = sub.add_parser("litmus", help="run the litmus library")
+    p.add_argument("--model", choices=("sc", "tso", "weak"), default="tso")
+    p.add_argument("--iterations", type=int, default=2000)
+    p.add_argument("--run-seed", type=int, default=1)
+    p.add_argument("--extended", action="store_true",
+                   help="include the extended litmus set")
+    p.set_defaults(fn=_cmd_litmus)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

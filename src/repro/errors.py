@@ -1,0 +1,42 @@
+"""Exception hierarchy for the MTraceCheck reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ProgramError(ReproError):
+    """A test program is malformed (duplicate store IDs, bad indices, ...)."""
+
+
+class InstrumentationError(ReproError):
+    """Instrumentation could not be applied to a program."""
+
+
+class SignatureError(ReproError):
+    """A signature could not be encoded or decoded.
+
+    Raised, for example, when a signature word exceeds the value range
+    implied by the weight tables, which corresponds to the ``assert error``
+    arm of the instrumented branch chains in the paper (Figure 4).
+    """
+
+
+class ExecutionError(ReproError):
+    """The execution substrate encountered an unrecoverable condition."""
+
+
+class ProtocolCrash(ExecutionError):
+    """The coherence protocol reached an invalid state (paper bug 3).
+
+    Mirrors gem5's behaviour of aborting with "protocol deadlock" or
+    "invalid transition" messages when the PUTX/GETX race is mishandled.
+    """
+
+    def __init__(self, message, cycle=None):
+        super().__init__(message)
+        self.cycle = cycle
+
+
+class CheckerError(ReproError):
+    """The consistency checker was used inconsistently."""

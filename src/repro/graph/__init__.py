@@ -1,0 +1,20 @@
+"""Constraint graphs, builders and topological sorting."""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.export import to_dot, to_networkx
+from repro.graph.constraint_graph import FR, PO, RF, WS, ConstraintGraph, Edge
+from repro.graph.toposort import find_cycle, topological_sort
+
+__all__ = [
+    "FR",
+    "PO",
+    "RF",
+    "WS",
+    "ConstraintGraph",
+    "Edge",
+    "GraphBuilder",
+    "find_cycle",
+    "to_dot",
+    "to_networkx",
+    "topological_sort",
+]

@@ -1,0 +1,152 @@
+"""Building constraint graphs from decoded signatures (paper Section 3.2).
+
+Everything static — the MCM's intra-thread edges, store locations, vertex
+IDs — is computed once per test at construction; :meth:`GraphBuilder.build`
+then adds the dynamic edges of one execution.
+
+Dependency-edge rules (notation of [4, 32], as adopted by the paper):
+
+* ``rf``: source store -> load, *skipped when intra-thread* — a forwarded
+  store is not globally ordered with its load (paper footnote 4).
+* ``ws``: write-serialization order of same-address stores.
+* ``fr``: load -> a store known to coherence-follow the load's source.
+
+Write-serialization handling comes in two modes:
+
+* ``"static"`` (default, paper-faithful): the paper gathers "the
+  write-serialization order ... statically during the instrumentation
+  process".  Only statically-known coherence order is used: same-thread
+  same-address store chains (program order implies coherence order), and
+  INIT precedes every store.  fr edges point from a load to the po-next
+  same-address store of its source's thread (or, for INIT readers, to
+  every thread's first store to the address).  Graphs then depend only on
+  the signature's rf choices, which is what makes signature-adjacent
+  graphs nearly identical — the property the collective checker exploits.
+
+* ``"observed"``: the execution substrate's full per-address coherence
+  order is added as ws chains with exact fr edges.  Strictly stronger
+  checking (catches pure write-serialization cycles like 2+2W) at the
+  cost of per-execution graph variety; used as an ablation and for the
+  detailed-simulator bug studies.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CheckerError
+from repro.isa.instructions import INIT
+from repro.isa.program import TestProgram
+from repro.mcm.model import MemoryModel
+from repro.graph.constraint_graph import FR, PO, RF, WS, ConstraintGraph, Edge
+
+
+class GraphBuilder:
+    """Constructs per-execution constraint graphs for one test program."""
+
+    def __init__(self, program: TestProgram, model: MemoryModel,
+                 ws_mode: str = "static"):
+        if ws_mode not in ("static", "observed"):
+            raise CheckerError("ws_mode must be 'static' or 'observed'")
+        self.program = program
+        self.model = model
+        self.ws_mode = ws_mode
+        static_edges = [
+            Edge(src, dst, PO)
+            for tp in program.threads
+            for src, dst in model.ppo_edges(tp)
+        ]
+        # Statically-known coherence order: same-thread same-address store
+        # chains, valid under every coherent memory model.
+        self._po_next_store: dict[int, int] = {}
+        self._first_stores: dict[int, list[int]] = {}
+        for tp in program.threads:
+            last_store: dict[int, int] = {}
+            for op in tp.ops:
+                if not op.is_store:
+                    continue
+                prev = last_store.get(op.addr)
+                if prev is not None:
+                    static_edges.append(Edge(prev, op.uid, WS))
+                    self._po_next_store[prev] = op.uid
+                else:
+                    self._first_stores.setdefault(op.addr, []).append(op.uid)
+                last_store[op.addr] = op.uid
+        self.static_edges: tuple[Edge, ...] = tuple(static_edges)
+
+    def build(self, rf: dict[int, object], ws: dict[int, list[int]] = None) -> ConstraintGraph:
+        """Build the constraint graph of one execution.
+
+        Args:
+            rf: map of load uid -> observed source (store uid or INIT).
+            ws: map of address -> store uids in coherence order; required
+                (and used) only in ``"observed"`` mode.
+
+        Returns:
+            The typed constraint graph; cyclic iff the execution violates
+            the memory model (up to the completeness of the ws mode).
+        """
+        graph = ConstraintGraph(self.program.num_ops, self.static_edges)
+        if self.ws_mode == "observed":
+            self._add_observed(graph, rf, ws)
+        else:
+            self._add_static(graph, rf)
+        return graph
+
+    # -- static (paper) mode ----------------------------------------------------
+
+    def _add_static(self, graph: ConstraintGraph, rf: dict[int, object]) -> None:
+        program = self.program
+        for load_uid, source in rf.items():
+            load_op = program.op(load_uid)
+            if source is INIT or source == INIT:
+                # INIT is coherence-first: the load precedes every thread's
+                # first store to the address.
+                for st_uid in self._first_stores.get(load_op.addr, ()):
+                    graph.add_edge(Edge(load_uid, st_uid, FR))
+                continue
+            store_op = program.op(source)
+            if store_op.thread != load_op.thread:
+                graph.add_edge(Edge(source, load_uid, RF))
+            successor = self._po_next_store.get(source)
+            if successor is not None:
+                graph.add_edge(Edge(load_uid, successor, FR))
+
+    # -- observed mode ------------------------------------------------------------
+
+    def _add_observed(self, graph: ConstraintGraph, rf: dict[int, object],
+                      ws: dict[int, list[int]]) -> None:
+        if ws is None:
+            raise CheckerError("observed ws_mode requires a ws order")
+        program = self.program
+        # A missing chain would silently weaken the graph (dropped ws/fr
+        # edges can hide violations), so coverage is mandatory.
+        missing = [addr for addr in self._first_stores if addr not in ws]
+        if missing:
+            raise CheckerError(
+                "observed ws order missing chains for store-bearing "
+                "addresses %s (was the dump saved without ws?)"
+                % sorted(missing))
+        next_in_ws: dict[int, int] = {}
+        first_in_ws: dict[int, int] = {}
+        for addr, chain in ws.items():
+            expected = {st.uid for st in program.stores_to(addr)}
+            if set(chain) != expected:
+                raise CheckerError(
+                    "ws chain for address 0x%x lists %r, program has %r"
+                    % (addr, sorted(chain), sorted(expected)))
+            if chain:
+                first_in_ws[addr] = chain[0]
+            for a, b in zip(chain, chain[1:]):
+                graph.add_edge(Edge(a, b, WS))
+                next_in_ws[a] = b
+
+        for load_uid, source in rf.items():
+            load_op = program.op(load_uid)
+            if source is INIT or source == INIT:
+                successor = first_in_ws.get(load_op.addr)
+            else:
+                store_op = program.op(source)
+                if store_op.thread != load_op.thread:
+                    graph.add_edge(Edge(source, load_uid, RF))
+                successor = next_in_ws.get(source)
+            if successor is not None:
+                graph.add_edge(Edge(load_uid, successor, FR))

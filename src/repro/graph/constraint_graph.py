@@ -1,0 +1,86 @@
+"""Constraint graphs over test-program operations (paper Section 2).
+
+Vertices are operation uids (dense ints, shared by every execution of the
+same test — "vertex data structures are recycled for all constraint
+graphs").  Edges carry a dependency type:
+
+* ``po`` — intra-thread ordering required by the MCM (plus barriers),
+* ``rf`` — reads-from: store -> load that observed it,
+* ``fr`` — from-read: load -> store that coherence-overwrites its source,
+* ``ws`` — write serialization: per-address coherence order of stores.
+
+A cyclic constraint graph witnesses a memory-consistency violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Edge type tags.
+PO, RF, FR, WS = "po", "rf", "fr", "ws"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A typed, directed dependency between two operations."""
+
+    src: int
+    dst: int
+    kind: str
+
+    def __repr__(self):
+        return "%d-%s->%d" % (self.src, self.kind, self.dst)
+
+
+class ConstraintGraph:
+    """A constraint graph for one unique test execution.
+
+    Args:
+        num_vertices: total operation count of the test program (vertex
+            IDs are ``range(num_vertices)``).
+        edges: iterable of :class:`Edge`.
+
+    The pair set (src, dst) is deduplicated; types are retained for
+    reporting (an rf and a po edge between the same pair collapse into
+    one adjacency entry but both remain queryable via ``edge_kinds``).
+    """
+
+    def __init__(self, num_vertices: int, edges=()):
+        self.num_vertices = num_vertices
+        self._pairs: set[tuple[int, int]] = set()
+        self._kinds: dict[tuple[int, int], str] = {}
+        self.adjacency: dict[int, list[int]] = {}
+        for edge in edges:
+            self.add_edge(edge)
+
+    def add_edge(self, edge: Edge) -> None:
+        if edge.src == edge.dst:
+            return  # self-loops carry no ordering information
+        pair = (edge.src, edge.dst)
+        if pair in self._pairs:
+            return
+        self._pairs.add(pair)
+        self._kinds[pair] = edge.kind
+        self.adjacency.setdefault(edge.src, []).append(edge.dst)
+
+    @property
+    def edge_pairs(self) -> frozenset:
+        """Immutable (src, dst) pair set — the unit of graph diffing."""
+        return frozenset(self._pairs)
+
+    def edge_kind(self, src: int, dst: int) -> str:
+        """Dependency type recorded for an edge pair."""
+        return self._kinds[(src, dst)]
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._pairs)
+
+    def successors(self, vertex: int) -> list[int]:
+        return self.adjacency.get(vertex, [])
+
+    def __contains__(self, pair: tuple[int, int]) -> bool:
+        return pair in self._pairs
+
+    def __repr__(self):
+        return "ConstraintGraph(V=%d, E=%d)" % (self.num_vertices, self.num_edges)

@@ -1,0 +1,76 @@
+"""Constraint-graph export: networkx and Graphviz DOT.
+
+Handy for debugging a violation interactively or embedding constraint
+graphs in documentation.  Edges are coloured by dependency type in DOT
+output, with the paper's legend: program order solid, reads-from /
+from-read / write-serialization in distinct colours, and an optional
+highlighted cycle.
+"""
+
+from __future__ import annotations
+
+from repro.graph.constraint_graph import FR, PO, RF, WS, ConstraintGraph
+from repro.isa.program import TestProgram
+
+_DOT_STYLES = {
+    PO: 'color="black"',
+    RF: 'color="forestgreen" fontcolor="forestgreen"',
+    FR: 'color="firebrick" fontcolor="firebrick"',
+    WS: 'color="royalblue" fontcolor="royalblue"',
+}
+
+
+def to_networkx(graph: ConstraintGraph, program: TestProgram = None):
+    """Convert to a ``networkx.DiGraph``.
+
+    Nodes carry ``thread``/``index``/``label`` attributes when a program
+    is supplied; edges carry their dependency ``kind``.
+    """
+    import networkx as nx
+
+    g = nx.DiGraph()
+    g.add_nodes_from(range(graph.num_vertices))
+    if program is not None:
+        for op in program.all_ops:
+            g.nodes[op.uid].update(thread=op.thread, index=op.index,
+                                   label=op.describe())
+    for u, v in graph.edge_pairs:
+        g.add_edge(u, v, kind=graph.edge_kind(u, v))
+    return g
+
+
+def to_dot(graph: ConstraintGraph, program: TestProgram = None,
+           highlight_cycle=None, name: str = "constraint_graph") -> str:
+    """Render the graph as Graphviz DOT text.
+
+    Args:
+        graph: the constraint graph.
+        program: optional program for operation labels and per-thread
+            clustering.
+        highlight_cycle: optional vertex sequence (first == last) drawn
+            bold — pass a :func:`repro.graph.find_cycle` result.
+    """
+    hot_edges = set()
+    if highlight_cycle:
+        hot_edges = set(zip(highlight_cycle, highlight_cycle[1:]))
+
+    lines = ["digraph %s {" % name, "  rankdir=TB;", "  node [shape=box];"]
+    if program is not None:
+        for tp in program.threads:
+            lines.append("  subgraph cluster_t%d {" % tp.thread)
+            lines.append('    label="thread %d";' % tp.thread)
+            for op in tp.ops:
+                lines.append('    n%d [label="%d: %s"];'
+                             % (op.uid, op.index, op.describe()))
+            lines.append("  }")
+    else:
+        for v in range(graph.num_vertices):
+            lines.append('  n%d [label="%d"];' % (v, v))
+
+    for u, v in sorted(graph.edge_pairs):
+        kind = graph.edge_kind(u, v)
+        style = _DOT_STYLES.get(kind, "")
+        extra = ' penwidth=3 style=bold' if (u, v) in hot_edges else ""
+        lines.append('  n%d -> n%d [label="%s" %s%s];' % (u, v, kind, style, extra))
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,18 @@
+"""End-to-end campaign harness and report formatting."""
+
+from repro.harness.reporting import format_bar_chart, format_table
+from repro.harness.runner import Campaign, CampaignResult, CheckOutcome, run_and_check
+from repro.harness.sortmodel import SortCostModel
+from repro.harness.suite import SuiteRunner, SuiteStats
+
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "CheckOutcome",
+    "SortCostModel",
+    "SuiteRunner",
+    "SuiteStats",
+    "format_bar_chart",
+    "format_table",
+    "run_and_check",
+]

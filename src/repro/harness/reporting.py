@@ -1,0 +1,50 @@
+"""ASCII table/figure formatting for benchmark output.
+
+Every benchmark prints the same rows/series the paper's evaluation
+reports; these helpers keep that output uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "") -> str:
+    """Render a fixed-width table with a rule under the header."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return "%.0f" % cell
+        if abs(cell) >= 10:
+            return "%.1f" % cell
+        return "%.3f" % cell
+    return str(cell)
+
+
+def format_bar_chart(labels: Sequence[str], values: Sequence[float],
+                     width: int = 40, title: str = "") -> str:
+    """Render a horizontal ASCII bar chart (one bar per label)."""
+    peak = max(values) if values else 1.0
+    lines = [title] if title else []
+    label_width = max((len(l) for l in labels), default=0)
+    for label, value in zip(labels, values):
+        bar = "#" * (int(round(width * value / peak)) if peak else 0)
+        lines.append("%s  %s %s" % (label.ljust(label_width), bar, _fmt(value)))
+    return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""End-to-end campaign runner (the paper's Figure 1 flow).
+
+``tests generation -> code instrumentation -> tests execution ->
+violation checking``:
+
+1. generate (or accept) a test program,
+2. build its :class:`~repro.instrument.SignatureCodec`,
+3. execute it for N iterations on an execution substrate, collecting the
+   signature of every run and keeping one representative execution per
+   *unique* signature,
+4. sort the unique signatures, decode each back to its reads-from map
+   (Algorithm 1), build constraint graphs, and check them with both the
+   collective checker and the conventional baseline.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.harness.sortmodel import SortCostModel
+from repro.checker.baseline import BaselineChecker
+from repro.checker.collective import CollectiveChecker
+from repro.checker.results import CheckReport
+from repro.graph.builder import GraphBuilder
+from repro.instrument.signature import Signature, SignatureCodec
+from repro.isa.program import TestProgram
+from repro.mcm.model import MemoryModel
+from repro.sim.execution import Execution
+from repro.sim.executor import OperationalExecutor
+from repro.sim.os_model import OSModel
+from repro.sim.platform import Platform, platform_for_isa
+from repro.testgen.config import TestConfig
+from repro.testgen.generator import generate
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign observed before checking."""
+
+    program: TestProgram
+    codec: SignatureCodec
+    iterations: int = 0
+    #: signature -> occurrence count over all iterations
+    signature_counts: Counter = field(default_factory=Counter)
+    #: signature -> representative execution (first with that signature)
+    representatives: dict = field(default_factory=dict)
+    #: summed cycle accounting over all iterations
+    base_cycles: float = 0.0
+    instrumentation_cycles: float = 0.0
+    signature_sort_cycles: float = 0.0
+    test_accesses: int = 0
+    extra_accesses: int = 0
+    crashes: int = 0
+
+    @property
+    def unique_signatures(self) -> int:
+        """The paper's "number of unique memory-access interleavings"."""
+        return len(self.signature_counts)
+
+    def sorted_signatures(self) -> list[Signature]:
+        return sorted(self.signature_counts)
+
+
+@dataclass
+class CheckOutcome:
+    """Violation-checking results over a campaign's unique executions."""
+
+    collective: CheckReport
+    baseline: CheckReport
+    #: signatures, in the checked (ascending) order
+    signatures: list = field(default_factory=list)
+
+    @property
+    def violating_signatures(self) -> list:
+        return [self.signatures[v.index] for v in self.collective.violations]
+
+
+class Campaign:
+    """Runs one test program many times and checks the outcomes.
+
+    Args:
+        program: test to run, or ``None`` to generate from ``config``.
+        config: test configuration (required when ``program`` is None;
+            also selects register width / platform defaults).
+        platform: system under validation; defaults to the Table 1
+            platform matching the configuration's ISA.
+        model: memory model override (defaults to the platform's).
+        instrumentation: "signature" (MTraceCheck), "flush" (baseline
+            [24]) or None (bare test).
+        os_model: pass True for the Linux-perturbation variant, or an
+            :class:`OSModel` instance for custom interference.
+        seed: executor RNG seed.
+    """
+
+    def __init__(self, program: TestProgram = None, config: TestConfig = None,
+                 platform: Platform = None, model: MemoryModel = None, *,
+                 instrumentation: str = "signature", os_model=None, seed: int = 0,
+                 executor_cls=OperationalExecutor, sync_barriers: bool = False):
+        if program is None:
+            if config is None:
+                raise ValueError("need a program or a config")
+            program = generate(config)
+        self.program = program
+        self.config = config
+        if platform is None:
+            platform = platform_for_isa(config.isa if config else "arm")
+        self.platform = platform
+        self.model = model if model is not None else platform.memory_model
+        self.codec = SignatureCodec(program, platform.register_width)
+        layout = config.layout if config else None
+        if os_model is True:
+            os_model = OSModel(__import__("random").Random(seed ^ 0x05),
+                               program.num_threads, platform.num_cores)
+        self.executor = executor_cls(
+            program, self.model, platform, seed=seed,
+            instrumentation=instrumentation, codec=self.codec,
+            layout=layout, os_model=os_model, sync_barriers=sync_barriers)
+        self.instrumentation = instrumentation
+        self._sort_model = SortCostModel()
+
+    def run(self, iterations: int) -> CampaignResult:
+        """Execute ``iterations`` runs, collecting signatures."""
+        result = CampaignResult(self.program, self.codec, iterations)
+        encode = self.codec.encode
+        counts = result.signature_counts
+        reps = result.representatives
+        for execution in self.executor.run(iterations):
+            if execution.crashed:
+                result.crashes += 1
+                continue
+            signature = encode(execution.rf)
+            counts[signature] += 1
+            if signature not in reps:
+                reps[signature] = execution
+            c = execution.counters
+            result.base_cycles += c.base_cycles
+            result.instrumentation_cycles += c.instrumentation_cycles
+            result.test_accesses += c.test_accesses
+            result.extra_accesses += c.extra_accesses
+            if self.instrumentation == "signature":
+                result.signature_sort_cycles += self._sort_model.insert_cost(
+                    len(counts), self.codec.total_words)
+        return result
+
+    def check(self, result: CampaignResult, ws_mode: str = "static") -> CheckOutcome:
+        """Decode, build and check all unique executions of a campaign.
+
+        Args:
+            result: the finished campaign.
+            ws_mode: write-serialization handling — ``"static"`` (paper
+                default; graphs depend on signatures alone) or
+                ``"observed"`` (use each representative execution's
+                coherence order for strictly stronger checking).
+        """
+        builder = GraphBuilder(self.program, self.model, ws_mode=ws_mode)
+        signatures = result.sorted_signatures()
+        graphs = []
+        for signature in signatures:
+            rf = self.codec.decode(signature)
+            if ws_mode == "observed":
+                graphs.append(builder.build(rf, result.representatives[signature].ws))
+            else:
+                graphs.append(builder.build(rf))
+        return CheckOutcome(
+            collective=CollectiveChecker().check(graphs),
+            baseline=BaselineChecker().check(graphs),
+            signatures=signatures,
+        )
+
+
+def run_and_check(config: TestConfig, iterations: int, **kwargs):
+    """One-call convenience: build a campaign, run it, check it.
+
+    Returns:
+        (campaign, result, outcome) triple.
+    """
+    campaign = Campaign(config=config, **kwargs)
+    result = campaign.run(iterations)
+    outcome = campaign.check(result)
+    return campaign, result, outcome

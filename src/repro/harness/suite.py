@@ -1,0 +1,98 @@
+"""Multi-test validation suites (the paper's per-configuration campaigns).
+
+The paper evaluates every configuration with 10 generated tests, each run
+for 65,536 iterations, and aggregates across them.  :class:`SuiteRunner`
+packages that loop: generate a suite, run each test as a campaign, check
+every campaign, and aggregate the statistics the evaluation section
+reports (unique interleavings, checking work, violations, crashes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.checker.results import COMPLETE, INCREMENTAL, NO_RESORT
+from repro.harness.runner import Campaign, CampaignResult, CheckOutcome
+from repro.testgen.config import TestConfig
+from repro.testgen.generator import generate_suite
+
+
+@dataclass
+class SuiteStats:
+    """Aggregated results of one configuration's test suite."""
+
+    config: TestConfig
+    tests: int = 0
+    iterations_per_test: int = 0
+    unique_signatures: list = field(default_factory=list)
+    violating_signatures: int = 0
+    tests_with_violations: int = 0
+    crashes: int = 0
+    collective_sorted_vertices: int = 0
+    baseline_sorted_vertices: int = 0
+    collective_seconds: float = 0.0
+    baseline_seconds: float = 0.0
+    method_counts: dict = field(default_factory=lambda: {
+        COMPLETE: 0, NO_RESORT: 0, INCREMENTAL: 0})
+
+    @property
+    def mean_unique(self) -> float:
+        return (sum(self.unique_signatures) / len(self.unique_signatures)
+                if self.unique_signatures else 0.0)
+
+    @property
+    def checking_reduction(self) -> float:
+        """Fraction of topological-sort computation saved (Figure 9)."""
+        if not self.baseline_sorted_vertices:
+            return 0.0
+        return 1.0 - self.collective_sorted_vertices / self.baseline_sorted_vertices
+
+
+class SuiteRunner:
+    """Runs a configuration's suite of generated tests.
+
+    Args:
+        config: test configuration.
+        tests: how many distinct tests to generate (paper: 10).
+        iterations: iterations per test (paper: 65,536).
+        campaign_kwargs: forwarded to every :class:`Campaign`
+            (platform, instrumentation, executor_cls, os_model, ...).
+    """
+
+    def __init__(self, config: TestConfig, tests: int = 10,
+                 iterations: int = 1000, **campaign_kwargs):
+        self.config = config
+        self.tests = tests
+        self.iterations = iterations
+        self.campaign_kwargs = campaign_kwargs
+
+    def run(self, seed: int = 0, check: bool = True) -> SuiteStats:
+        """Execute the whole suite; optionally check every campaign."""
+        stats = SuiteStats(self.config, tests=self.tests,
+                           iterations_per_test=self.iterations)
+        for index, program in enumerate(generate_suite(self.config, self.tests)):
+            campaign = Campaign(program=program, config=self.config,
+                                seed=seed + index, **self.campaign_kwargs)
+            result = campaign.run(self.iterations)
+            stats.unique_signatures.append(result.unique_signatures)
+            stats.crashes += result.crashes
+            if not check:
+                continue
+            outcome = campaign.check(result)
+            self._absorb(stats, result, outcome)
+        return stats
+
+    @staticmethod
+    def _absorb(stats: SuiteStats, result: CampaignResult,
+                outcome: CheckOutcome) -> None:
+        report = outcome.collective
+        violations = len(report.violations)
+        stats.violating_signatures += violations
+        if violations:
+            stats.tests_with_violations += 1
+        stats.collective_sorted_vertices += report.sorted_vertices
+        stats.baseline_sorted_vertices += outcome.baseline.sorted_vertices
+        stats.collective_seconds += report.elapsed
+        stats.baseline_seconds += outcome.baseline.elapsed
+        for method in (COMPLETE, NO_RESORT, INCREMENTAL):
+            stats.method_counts[method] += report.count(method)

@@ -1,0 +1,33 @@
+"""Observability-enhancing instrumentation: signatures, codegen, baselines."""
+
+from repro.instrument.codegen import CodeSize, code_size, emit_listing
+from repro.instrument.dynamic_pruning import FrontierCodec, FrontierSignature
+from repro.instrument.pruning import pruned_candidate_sources, regularize
+from repro.instrument.register_flush import (
+    IntrusivenessReport,
+    flush_log_size,
+    intrusiveness,
+)
+from repro.instrument.signature import Signature, SignatureCodec
+from repro.instrument.static_analysis import candidate_sources, observable_values
+from repro.instrument.weights import LoadSlot, ThreadWeightTable, build_weight_tables
+
+__all__ = [
+    "CodeSize",
+    "FrontierCodec",
+    "FrontierSignature",
+    "IntrusivenessReport",
+    "LoadSlot",
+    "Signature",
+    "SignatureCodec",
+    "ThreadWeightTable",
+    "build_weight_tables",
+    "candidate_sources",
+    "code_size",
+    "emit_listing",
+    "flush_log_size",
+    "intrusiveness",
+    "observable_values",
+    "pruned_candidate_sources",
+    "regularize",
+]

@@ -1,0 +1,111 @@
+"""Instrumented-code generation and the code-size model (Figures 4, 12).
+
+The real MTraceCheck emits machine code; this reproduction emits the same
+*shape* of code as pseudo-assembly — a compare/branch chain per load, an
+assertion tail, per-word signature-register initialization and final
+signature stores — together with a per-ISA byte-size model so Figure 12
+(instrumented vs original code size) can be regenerated.
+
+The emitted structure is also what the execution substrate charges time
+for: each executed load walks its chain until the observed value matches,
+so its dynamic instruction cost depends on the candidate index and on
+branch-prediction behaviour (Section 6.2's discussion of why signature
+computation is nearly free for low-non-determinism tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import INIT
+from repro.isa.program import TestProgram
+from repro.instrument.signature import SignatureCodec
+
+# Byte-size model per ISA.  ARM (AArch32) instructions are fixed 4 bytes.
+# x86 sizes are representative encodings: mov reg,[disp32] / mov [disp32],imm32 /
+# cmp reg,imm32 / jcc rel8 / add reg,imm32 / mfence / ud2.
+_SIZES = {
+    "arm": {"load": 4, "store": 4, "barrier": 4, "cmp": 4, "branch": 4,
+            "add": 4, "assert": 4, "init": 4, "sig_store": 4},
+    "x86": {"load": 6, "store": 10, "barrier": 3, "cmp": 6, "branch": 2,
+            "add": 6, "assert": 2, "init": 3, "sig_store": 7},
+}
+
+
+@dataclass(frozen=True)
+class CodeSize:
+    """Static code-size accounting for one instrumented test."""
+
+    original_bytes: int
+    instrumented_bytes: int
+    original_insns: int
+    instrumented_insns: int
+
+    @property
+    def ratio(self) -> float:
+        """Instrumented / original size (Figure 12 reports 1.95x-8.16x)."""
+        return self.instrumented_bytes / self.original_bytes
+
+    def fits_in_l1(self, l1_bytes: int = 32 * 1024, threads: int = 1) -> bool:
+        """Whether each core's share of the code fits its L1 I-cache."""
+        return self.instrumented_bytes / threads <= l1_bytes
+
+
+def _sizes_for(isa: str) -> dict:
+    try:
+        return _SIZES[isa]
+    except KeyError:
+        raise ValueError("unknown ISA %r (expected 'x86' or 'arm')" % (isa,)) from None
+
+
+def code_size(program: TestProgram, codec: SignatureCodec, isa: str) -> CodeSize:
+    """Compute the Figure 12 code-size comparison for one test."""
+    sz = _sizes_for(isa)
+    orig_bytes = orig_insns = 0
+    for op in program.all_ops:
+        kind = "barrier" if op.is_barrier else ("store" if op.is_store else "load")
+        orig_bytes += sz[kind]
+        orig_insns += 1
+
+    instr_bytes = orig_bytes
+    instr_insns = orig_insns
+    for table in codec.tables:
+        # one init per signature word, one store per word at the end
+        instr_bytes += table.num_words * (sz["init"] + sz["sig_store"])
+        instr_insns += table.num_words * 2
+        for slot in table.slots:
+            n = len(slot.candidates)
+            # n cmp+branch pairs, an add per non-zero weight arm, assertion tail
+            instr_bytes += n * (sz["cmp"] + sz["branch"]) + (n - 1) * sz["add"] + sz["assert"]
+            instr_insns += n * 2 + (n - 1) + 1
+    return CodeSize(orig_bytes, instr_bytes, orig_insns, instr_insns)
+
+
+def emit_listing(program: TestProgram, codec: SignatureCodec) -> str:
+    """Render the instrumented test as pseudo-assembly (paper Figure 4).
+
+    Intended for inspection and documentation; the execution substrate
+    interprets the structured form directly rather than parsing this text.
+    """
+    lines = []
+    slot_by_uid = {slot.uid: (table, slot)
+                   for table in codec.tables for slot in table.slots}
+    for tp in program.threads:
+        table = codec.tables[tp.thread]
+        lines.append("thread %d:" % tp.thread)
+        for w in range(table.num_words):
+            lines.append("  init: sig%d = 0" % w)
+        for op in tp.ops:
+            lines.append("  %s" % op.describe())
+            if not op.is_load:
+                continue
+            _, slot = slot_by_uid[op.uid]
+            for i, src in enumerate(slot.candidates):
+                value = 0 if src is INIT or src == INIT else program.op(src).value
+                kw = "if" if i == 0 else "else if"
+                lines.append("    %s (value==%d) sig%d += %d"
+                             % (kw, value, slot.word, i * slot.multiplier))
+            lines.append("    else assert error")
+        for w in range(table.num_words):
+            lines.append("  finish: store sig%d to memory" % w)
+    return "\n".join(lines) + "\n"

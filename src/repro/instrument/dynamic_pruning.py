@@ -1,0 +1,178 @@
+"""Dynamic (frontier) pruning for strong MCMs — paper Section 8.
+
+The paper sketches, as future work, a *runtime* signature-size reduction
+for TSO: each thread tracks a frontier of the other threads' store
+operations it has (transitively) observed; any load value originating
+from a store *behind* that frontier is impossible and can be pruned from
+the candidate set before weighting.  The cost the paper predicts — and
+this module embraces — is that signatures become variable-length and
+decoding must replay the frontier.
+
+Soundness (TSO, multiple-copy-atomic, per-thread in-order store
+drain): when a load of thread *t* reads store *s* of thread *u*, all of
+*u*'s program-order-earlier stores are already globally applied.  Any
+later load in *t* (TSO keeps loads in order) therefore reads memory at a
+later time and can no longer observe, for its address *a*:
+
+* *u*'s stores to *a* strictly older than *u*'s last store to *a* at or
+  before the frontier index, and
+* the initial value, once any same-address store is known applied
+  (or once *t* itself stored to *a*).
+
+Encoding uses a per-thread *reverse-Horner* mixed-radix integer: digits
+are folded last-load-first so the decoder can walk loads first-to-last,
+reconstructing each load's pruned radix from the frontier implied by the
+already-decoded prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SignatureError
+from repro.isa.instructions import INIT
+from repro.isa.program import TestProgram
+from repro.instrument.static_analysis import candidate_sources
+
+
+@dataclass(frozen=True)
+class FrontierSignature:
+    """A variable-length, frontier-pruned execution signature."""
+
+    values: tuple[int, ...]        # one arbitrary-precision int per thread
+
+    @property
+    def bit_length(self) -> int:
+        return sum(max(1, v.bit_length()) for v in self.values)
+
+
+class _Frontier:
+    """Per-thread view of which other-thread stores are known applied."""
+
+    def __init__(self, program: TestProgram, thread: int):
+        self._program = program
+        self._thread = thread
+        #: thread id -> highest applied store uid observed (uid order ==
+        #: program order within a thread, so uids serve as indices)
+        self._applied: dict[int, int] = {}
+        #: addresses this thread has itself stored to
+        self._stored: set[int] = set()
+
+    def observe_local_store(self, addr: int) -> None:
+        self._stored.add(addr)
+
+    def observe_read(self, source) -> None:
+        if source is INIT or source == INIT:
+            return
+        op = self._program.op(source)
+        if op.thread == self._thread:
+            return
+        if self._applied.get(op.thread, -1) < source:
+            self._applied[op.thread] = source
+
+    def prune(self, load_addr: int, candidates) -> list:
+        """Filter a canonical candidate list through the frontier."""
+        # newest frontier-applied store per thread for this address
+        floor: dict[int, int] = {}
+        init_dead = load_addr in self._stored
+        for u, upto in self._applied.items():
+            last = None
+            for st in self._program.stores_to(load_addr):
+                if st.thread == u and st.uid <= upto:
+                    last = st.uid
+            if last is not None:
+                floor[u] = last
+                init_dead = True
+        kept = []
+        for source in candidates:
+            if source is INIT or source == INIT:
+                if not init_dead:
+                    kept.append(source)
+                continue
+            thread = self._program.op(source).thread
+            if thread in floor and source < floor[thread]:
+                continue
+            kept.append(source)
+        return kept
+
+
+class FrontierCodec:
+    """Variable-length signature codec with TSO frontier pruning.
+
+    Compared to :class:`repro.instrument.SignatureCodec`, candidate sets
+    shrink as the execution reveals ordering information, so signatures
+    are never longer and often much shorter; the price is variable
+    length and a decoder that replays the frontier (paper Section 8:
+    "signature decoding becomes complicated as the length of signatures
+    varies").  Intended for strong models (TSO/SC) with in-order store
+    visibility; unsound for weak ordering.
+    """
+
+    def __init__(self, program: TestProgram):
+        self.program = program
+        self.candidates = candidate_sources(program)
+
+    # -- encoding -------------------------------------------------------------
+
+    def encode(self, rf: dict[int, object]) -> FrontierSignature:
+        """Encode an execution's reads-from map."""
+        values = []
+        for tp in self.program.threads:
+            digits = []       # (radix, index) per load, program order
+            frontier = _Frontier(self.program, tp.thread)
+            for op in tp.ops:
+                if op.is_store:
+                    frontier.observe_local_store(op.addr)
+                    continue
+                if not op.is_load:
+                    continue
+                pruned = frontier.prune(op.addr, self.candidates[op.uid])
+                source = rf[op.uid]
+                try:
+                    index = pruned.index(source)
+                except ValueError:
+                    raise SignatureError(
+                        "load uid %d observed %r outside its frontier-pruned "
+                        "candidate set (TSO frontier violated)" % (op.uid, source)
+                    ) from None
+                digits.append((len(pruned), index))
+                frontier.observe_read(source)
+            value = 0
+            for radix, index in reversed(digits):
+                value = value * radix + index
+            values.append(value)
+        return FrontierSignature(tuple(values))
+
+    # -- decoding -------------------------------------------------------------
+
+    def decode(self, signature: FrontierSignature) -> dict[int, object]:
+        """Replay the frontier to reconstruct the reads-from map."""
+        if len(signature.values) != self.program.num_threads:
+            raise SignatureError("signature has %d thread sections, test has %d"
+                                 % (len(signature.values), self.program.num_threads))
+        rf: dict[int, object] = {}
+        for tp, value in zip(self.program.threads, signature.values):
+            frontier = _Frontier(self.program, tp.thread)
+            for op in tp.ops:
+                if op.is_store:
+                    frontier.observe_local_store(op.addr)
+                    continue
+                if not op.is_load:
+                    continue
+                pruned = frontier.prune(op.addr, self.candidates[op.uid])
+                radix = len(pruned)
+                if radix == 0:
+                    raise SignatureError("empty candidate set for load uid %d"
+                                         % op.uid)
+                value, index = divmod(value, radix)
+                rf[op.uid] = pruned[index]
+                frontier.observe_read(pruned[index])
+            if value:
+                raise SignatureError("signature residue %d after decoding" % value)
+        return rf
+
+    # -- statistics -----------------------------------------------------------
+
+    def size_of(self, rf: dict[int, object]) -> int:
+        """Encoded size in bits for one execution."""
+        return self.encode(rf).bit_length

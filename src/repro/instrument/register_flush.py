@@ -1,0 +1,58 @@
+"""Register-flushing baseline instrumentation (TSOtool-style, [24]).
+
+The conventional observability technique the paper compares against:
+after every load, store the loaded value to a dedicated log region so the
+host can reconstruct reads-from relationships.  Each executed load thus
+costs one extra memory store *during* the test — the intrusiveness that
+MTraceCheck's signatures avoid (Figure 11: signatures need only ~7% of
+the flushing approach's unrelated accesses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.program import TestProgram
+from repro.instrument.signature import SignatureCodec
+
+
+@dataclass(frozen=True)
+class IntrusivenessReport:
+    """Memory accesses unrelated to the original test, per iteration.
+
+    ``flush_accesses`` is the register-flushing baseline (one store per
+    executed load); ``signature_accesses`` is MTraceCheck (one store per
+    signature word at the end of the run).  ``normalized`` is the Figure
+    11 y-axis: signature accesses as a fraction of flushing accesses.
+    """
+
+    test_accesses: int
+    flush_accesses: int
+    signature_accesses: int
+    signature_bytes: int
+
+    @property
+    def normalized(self) -> float:
+        return self.signature_accesses / self.flush_accesses
+
+    @property
+    def signature_overhead(self) -> float:
+        """Unrelated accesses as a fraction of the test's own accesses."""
+        return self.signature_accesses / self.test_accesses
+
+
+def flush_log_size(program: TestProgram) -> int:
+    """Words of log memory the flushing baseline writes per iteration."""
+    return len(program.loads)
+
+
+def intrusiveness(program: TestProgram, codec: SignatureCodec) -> IntrusivenessReport:
+    """Compute the Figure 11 comparison for one test."""
+    loads = len(program.loads)
+    stores = len(program.stores)
+    return IntrusivenessReport(
+        test_accesses=loads + stores,
+        flush_accesses=loads,
+        signature_accesses=codec.total_words,
+        signature_bytes=codec.byte_size,
+    )

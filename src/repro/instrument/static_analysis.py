@@ -1,0 +1,65 @@
+"""Static per-load candidate analysis (paper Section 3.1, step 1).
+
+For every load the instrumentation must know, ahead of time, the complete
+set of values the load could observe.  With a constrained-random test
+generator every store writes a unique ID and all addresses are known
+statically, so disambiguation is perfect.
+
+The candidate set of a load L to address A in thread t is:
+
+* the *latest* store to A preceding L in t's program order — or the
+  initial memory value if there is none (per-location coherence forbids
+  reading anything older), plus
+* every store to A in *other* threads (any of them may be observed,
+  regardless of position, absent synchronization).
+
+Candidates are kept in a canonical order — local source first, then
+other-thread stores by uid — so weight assignment (Figure 3, step 2) is
+deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import INIT
+from repro.isa.program import TestProgram
+
+#: Type of a candidate source: a store uid, or the INIT sentinel.
+Source = object
+
+
+def candidate_sources(program: TestProgram) -> dict[int, list]:
+    """Map each load uid to its ordered list of candidate sources."""
+    result: dict[int, list] = {}
+    for tp in program.threads:
+        last_local_store: dict[int, int] = {}  # addr -> store uid
+        for op in tp.ops:
+            if op.is_store:
+                last_local_store[op.addr] = op.uid
+            elif op.is_load:
+                local = last_local_store.get(op.addr)
+                candidates = [INIT if local is None else local]
+                for st in program.stores_to(op.addr):
+                    if st.thread != op.thread:
+                        candidates.append(st.uid)
+                result[op.uid] = candidates
+    return result
+
+
+def observable_values(program: TestProgram, load_uid: int,
+                      candidates: dict[int, list] | None = None) -> list[int]:
+    """Concrete memory values a load could return (store IDs / INIT_VALUE).
+
+    Convenience for code generation: translates candidate *sources* into
+    the values the instrumented compare chain tests against.
+    """
+    from repro.isa.instructions import INIT_VALUE
+
+    if candidates is None:
+        candidates = candidate_sources(program)
+    values = []
+    for src in candidates[load_uid]:
+        if src is INIT or src == INIT:
+            values.append(INIT_VALUE)
+        else:
+            values.append(program.op(src).value)
+    return values

@@ -1,0 +1,123 @@
+"""Persistence: programs, signatures and campaign results as JSON.
+
+In the paper's flow, signatures are produced on the device under
+validation and shipped to a host machine for decoding and checking; the
+amount of data transferred matters (Section 1).  This module provides
+that boundary: a campaign's signature multiset (plus, optionally, the
+observed coherence orders of the representatives) serializes to a JSON
+document that a host-side process can load and check without re-running
+anything.
+
+Programs serialize through the textual assembler
+(:mod:`repro.isa.assembler`), keeping dumps human-readable.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.errors import ReproError
+from repro.harness.runner import CampaignResult
+from repro.instrument.signature import Signature, SignatureCodec
+from repro.isa.assembler import assemble, disassemble
+from repro.isa.program import TestProgram
+from repro.sim.execution import Execution
+
+_FORMAT_VERSION = 1
+
+
+class FormatError(ReproError):
+    """A dump file is malformed or from an incompatible version."""
+
+
+def dump_program(program: TestProgram) -> dict:
+    """Serialize a test program (assembler text + metadata)."""
+    return {"name": program.name, "listing": disassemble(program)}
+
+
+def load_program(doc: dict) -> TestProgram:
+    try:
+        return assemble(doc["listing"], name=doc.get("name", ""))
+    except KeyError as exc:
+        raise FormatError("program document missing %s" % exc) from None
+
+
+def _signature_to_list(signature: Signature) -> list:
+    return [list(words) for words in signature.words]
+
+
+def _signature_from_list(data) -> Signature:
+    return Signature(tuple(tuple(int(w) for w in words) for words in data))
+
+
+def dump_campaign(result: CampaignResult, include_ws: bool = True) -> str:
+    """Serialize a campaign's signatures (and optional ws orders) to JSON.
+
+    Args:
+        result: a finished :class:`CampaignResult`.
+        include_ws: also store each representative execution's observed
+            coherence order, enabling host-side ``observed``-mode
+            checking.  Without it the dump carries only what the paper's
+            signature transfer carries.
+    """
+    signatures = []
+    for signature, count in sorted(result.signature_counts.items()):
+        entry = {"words": _signature_to_list(signature), "count": count}
+        if include_ws:
+            ws = result.representatives[signature].ws
+            entry["ws"] = {str(addr): chain for addr, chain in ws.items()}
+        signatures.append(entry)
+    doc = {
+        "format": _FORMAT_VERSION,
+        "program": dump_program(result.program),
+        "register_width": result.codec.register_width,
+        "iterations": result.iterations,
+        "crashes": result.crashes,
+        "signatures": signatures,
+    }
+    return json.dumps(doc, indent=1)
+
+
+def load_campaign(text: str) -> CampaignResult:
+    """Reconstruct a host-side :class:`CampaignResult` from a JSON dump.
+
+    The returned result carries signature counts and (when the dump
+    includes ws) representative executions whose ``rf`` is recovered by
+    decoding each signature — Algorithm 1 on the host, as in the paper.
+    """
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise FormatError("not valid JSON: %s" % exc) from None
+    if doc.get("format") != _FORMAT_VERSION:
+        raise FormatError("unsupported dump format %r" % doc.get("format"))
+    program = load_program(doc["program"])
+    codec = SignatureCodec(program, doc["register_width"])
+    result = CampaignResult(program, codec, iterations=doc.get("iterations", 0))
+    result.crashes = doc.get("crashes", 0)
+    counts = Counter()
+    for entry in doc["signatures"]:
+        signature = _signature_from_list(entry["words"])
+        counts[signature] = int(entry["count"])
+        rf = codec.decode(signature)
+        ws = {int(addr): [int(u) for u in chain]
+              for addr, chain in entry.get("ws", {}).items()} or None
+        if ws is not None:
+            result.representatives[signature] = Execution(rf, ws)
+        else:
+            result.representatives[signature] = Execution(rf, {})
+    result.signature_counts = counts
+    return result
+
+
+def save_campaign(result: CampaignResult, path, include_ws: bool = True) -> None:
+    """Write a campaign dump to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(dump_campaign(result, include_ws=include_ws))
+
+
+def read_campaign(path) -> CampaignResult:
+    """Load a campaign dump from ``path``."""
+    with open(path) as handle:
+        return load_campaign(handle.read())

@@ -1,0 +1,31 @@
+"""Miniature load/store ISA: operations, programs, layouts, assembler."""
+
+from repro.isa.assembler import assemble, disassemble
+from repro.isa.instructions import (
+    INIT,
+    INIT_VALUE,
+    Operation,
+    OpKind,
+    barrier,
+    load,
+    store,
+)
+from repro.isa.layout import LINE_BYTES, WORD_BYTES, MemoryLayout
+from repro.isa.program import TestProgram, ThreadProgram
+
+__all__ = [
+    "INIT",
+    "INIT_VALUE",
+    "LINE_BYTES",
+    "WORD_BYTES",
+    "MemoryLayout",
+    "Operation",
+    "OpKind",
+    "TestProgram",
+    "ThreadProgram",
+    "assemble",
+    "barrier",
+    "disassemble",
+    "load",
+    "store",
+]

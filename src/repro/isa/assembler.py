@@ -1,0 +1,84 @@
+"""Textual format for test programs.
+
+A small assembly-like syntax so tests can be written by hand, dumped for
+inspection, and round-tripped in unit tests::
+
+    .addresses 32
+    thread 0:
+      st [0x3] #1
+      ld [0x5]
+      barrier
+    thread 1:
+      st [0x5] #2
+
+Stores name their unique ID after ``#``; barriers are full fences.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ProgramError
+from repro.isa.instructions import barrier, load, store
+from repro.isa.program import TestProgram
+
+_DIRECTIVE_RE = re.compile(r"^\.addresses\s+(\d+)$")
+_THREAD_RE = re.compile(r"^thread\s+(\d+)\s*:$")
+_STORE_RE = re.compile(r"^st\s+\[(0x[0-9a-fA-F]+|\d+)\]\s+#(\d+)$")
+_LOAD_RE = re.compile(r"^ld\s+\[(0x[0-9a-fA-F]+|\d+)\]$")
+
+
+def assemble(text: str, name: str = "") -> TestProgram:
+    """Parse the textual format into a :class:`TestProgram`."""
+    num_addresses = None
+    per_thread: list[list] = []
+    current: list | None = None
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip() if raw.lstrip().startswith("#") else raw.strip()
+        if not line:
+            continue
+        m = _DIRECTIVE_RE.match(line)
+        if m:
+            num_addresses = int(m.group(1))
+            continue
+        m = _THREAD_RE.match(line)
+        if m:
+            tid = int(m.group(1))
+            if tid != len(per_thread):
+                raise ProgramError("line %d: threads must be declared in order" % lineno)
+            current = []
+            per_thread.append(current)
+            continue
+        if current is None:
+            raise ProgramError("line %d: operation outside thread block" % lineno)
+        tid = len(per_thread) - 1
+        idx = len(current)
+        m = _STORE_RE.match(line)
+        if m:
+            current.append(store(tid, idx, int(m.group(1), 0), int(m.group(2))))
+            continue
+        m = _LOAD_RE.match(line)
+        if m:
+            current.append(load(tid, idx, int(m.group(1), 0)))
+            continue
+        if line == "barrier":
+            current.append(barrier(tid, idx))
+            continue
+        raise ProgramError("line %d: cannot parse %r" % (lineno, raw))
+
+    if num_addresses is None:
+        raise ProgramError("missing .addresses directive")
+    if not per_thread:
+        raise ProgramError("no thread blocks")
+    return TestProgram.from_ops(per_thread, num_addresses, name=name)
+
+
+def disassemble(program: TestProgram) -> str:
+    """Render a :class:`TestProgram` back to the textual format."""
+    lines = [".addresses %d" % program.num_addresses]
+    for tp in program.threads:
+        lines.append("thread %d:" % tp.thread)
+        for op in tp.ops:
+            lines.append("  %s" % op.describe())
+    return "\n".join(lines) + "\n"

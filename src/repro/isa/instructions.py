@@ -1,0 +1,99 @@
+"""Miniature load/store ISA used by generated test programs.
+
+The paper's constrained-random tests consist only of word-sized loads and
+stores to a small pool of shared memory addresses, plus memory barriers
+(``mfence`` on x86, ``dmb`` on ARM).  This module defines those operations
+in an ISA-neutral form.
+
+Every store carries a globally unique *store ID*, the value it writes to
+memory.  This matches the paper's instrumentation requirement (Section 2):
+"every store operation is assigned a unique ID, which is the value actually
+written into memory, so that the operation can be easily identified by
+subsequent loads".
+
+Operations are identified by a ``uid``: a dense integer assigned by the
+enclosing :class:`~repro.isa.program.TestProgram` in (thread, index) order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+#: Value returned by a load that observes the initial memory contents.
+INIT_VALUE = 0
+
+#: Sentinel "source" naming the initial memory value in reads-from maps.
+INIT = ("init",)
+
+
+class OpKind(enum.Enum):
+    """Kind of an operation in a test program."""
+
+    LOAD = "ld"
+    STORE = "st"
+    BARRIER = "barrier"
+
+    def __str__(self):
+        return self.value
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One operation of a test thread.
+
+    Attributes:
+        kind: load, store or barrier.
+        thread: index of the owning thread.
+        index: position within the owning thread's program.
+        addr: logical shared word address (``None`` for barriers).
+        value: unique store ID for stores, ``None`` otherwise.
+        uid: dense global identifier, assigned by :class:`TestProgram`.
+    """
+
+    kind: OpKind
+    thread: int
+    index: int
+    addr: int | None = None
+    value: int | None = None
+    uid: int = field(default=-1, compare=False)
+
+    @property
+    def is_load(self) -> bool:
+        return self.kind is OpKind.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.kind is OpKind.STORE
+
+    @property
+    def is_barrier(self) -> bool:
+        return self.kind is OpKind.BARRIER
+
+    def describe(self) -> str:
+        """Human-readable rendering, e.g. ``st [0x3] #7`` or ``ld [0x2]``."""
+        if self.is_barrier:
+            return "barrier"
+        if self.is_store:
+            return "st [0x%x] #%d" % (self.addr, self.value)
+        return "ld [0x%x]" % self.addr
+
+    def __repr__(self):
+        return "Operation(t%d.%d: %s)" % (self.thread, self.index, self.describe())
+
+
+def load(thread: int, index: int, addr: int) -> Operation:
+    """Create a load operation."""
+    return Operation(OpKind.LOAD, thread, index, addr=addr)
+
+
+def store(thread: int, index: int, addr: int, value: int) -> Operation:
+    """Create a store operation writing the unique ID ``value``."""
+    if value == INIT_VALUE:
+        raise ValueError("store ID %d collides with INIT_VALUE" % value)
+    return Operation(OpKind.STORE, thread, index, addr=addr, value=value)
+
+
+def barrier(thread: int, index: int) -> Operation:
+    """Create a full memory barrier (mfence / dmb)."""
+    return Operation(OpKind.BARRIER, thread, index)

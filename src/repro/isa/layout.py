@@ -1,0 +1,49 @@
+"""Shared-memory data layout: mapping word addresses to cache lines.
+
+The paper studies *false sharing* by placing 1, 4 or 16 shared words in
+each 64-byte cache line (Figure 8).  The layout does not change program
+semantics; it only changes which operations contend for the same coherence
+unit, which the execution substrates use to model contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Cache line size used by both evaluated systems (bytes).
+LINE_BYTES = 64
+#: Size of each shared word (bytes); the paper's tests transfer 4 bytes.
+WORD_BYTES = 4
+
+
+@dataclass(frozen=True)
+class MemoryLayout:
+    """Placement of shared words into cache lines.
+
+    Args:
+        num_words: number of distinct shared word addresses.
+        words_per_line: how many shared words co-reside in one cache line.
+            1 means no false sharing (each word gets a private line);
+            4 and 16 reproduce the paper's false-sharing variants.
+    """
+
+    num_words: int
+    words_per_line: int = 1
+
+    def __post_init__(self):
+        if not 1 <= self.words_per_line <= LINE_BYTES // WORD_BYTES:
+            raise ValueError("words_per_line must be in [1, %d]" % (LINE_BYTES // WORD_BYTES))
+
+    def line_of(self, addr: int) -> int:
+        """Cache line index holding word ``addr``."""
+        return addr // self.words_per_line
+
+    @property
+    def num_lines(self) -> int:
+        """Number of cache lines spanned by the shared region."""
+        return -(-self.num_words // self.words_per_line)
+
+    def words_in_line(self, line: int) -> range:
+        """Word addresses co-located in cache line ``line``."""
+        lo = line * self.words_per_line
+        return range(lo, min(lo + self.words_per_line, self.num_words))

@@ -1,0 +1,169 @@
+"""Multi-threaded test programs.
+
+A :class:`TestProgram` is the unit that flows through the whole framework:
+it is produced by :mod:`repro.testgen`, instrumented by
+:mod:`repro.instrument`, executed by :mod:`repro.sim`, and its operations
+become the vertices of the constraint graphs built by :mod:`repro.graph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ProgramError
+from repro.isa.instructions import INIT_VALUE, Operation, OpKind
+
+
+@dataclass
+class ThreadProgram:
+    """The straight-line operation sequence of one test thread."""
+
+    thread: int
+    ops: list[Operation] = field(default_factory=list)
+
+    def append(self, op: Operation) -> None:
+        if op.thread != self.thread or op.index != len(self.ops):
+            raise ProgramError(
+                "operation %r does not follow thread %d position %d"
+                % (op, self.thread, len(self.ops))
+            )
+        self.ops.append(op)
+
+    @property
+    def loads(self) -> list[Operation]:
+        return [op for op in self.ops if op.is_load]
+
+    @property
+    def stores(self) -> list[Operation]:
+        return [op for op in self.ops if op.is_store]
+
+    def __len__(self):
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.ops)
+
+
+class TestProgram:
+    """A complete multi-threaded test.
+
+    Args:
+        threads: per-thread operation sequences.
+        num_addresses: number of distinct shared word addresses; all
+            operation addresses must fall in ``range(num_addresses)``.
+        name: optional label (e.g. the paper's ``ARM-2-50-32`` naming).
+
+    On construction the program is validated (unique store IDs, dense
+    thread indices) and every operation receives a dense ``uid`` in
+    (thread, index) order, used as the constraint-graph vertex ID.
+    """
+
+    def __init__(self, threads: list[ThreadProgram], num_addresses: int, name: str = ""):
+        self.threads = threads
+        self.num_addresses = num_addresses
+        self.name = name
+        self._validate()
+        self._assign_uids()
+        self._index()
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def from_ops(cls, per_thread_ops: list[list[Operation]], num_addresses: int,
+                 name: str = "") -> "TestProgram":
+        threads = []
+        for tid, ops in enumerate(per_thread_ops):
+            tp = ThreadProgram(tid)
+            for op in ops:
+                tp.append(op)
+            threads.append(tp)
+        return cls(threads, num_addresses, name=name)
+
+    def _validate(self) -> None:
+        seen_values = set()
+        for tid, tp in enumerate(self.threads):
+            if tp.thread != tid:
+                raise ProgramError("thread %d labelled %d" % (tid, tp.thread))
+            for op in tp.ops:
+                if op.is_barrier:
+                    continue
+                if not 0 <= op.addr < self.num_addresses:
+                    raise ProgramError("address 0x%x out of range in %r" % (op.addr, op))
+                if op.is_store:
+                    if op.value in seen_values or op.value == INIT_VALUE:
+                        raise ProgramError("duplicate or reserved store ID in %r" % (op,))
+                    seen_values.add(op.value)
+
+    def _assign_uids(self) -> None:
+        uid = 0
+        for tp in self.threads:
+            reassigned = []
+            for op in tp.ops:
+                reassigned.append(Operation(op.kind, op.thread, op.index,
+                                            addr=op.addr, value=op.value, uid=uid))
+                uid += 1
+            tp.ops = reassigned
+        self._num_ops = uid
+
+    def _index(self) -> None:
+        self._ops_by_uid: list[Operation] = [op for tp in self.threads for op in tp.ops]
+        self._store_by_value: dict[int, Operation] = {
+            op.value: op for op in self._ops_by_uid if op.is_store
+        }
+        self._stores_to: dict[int, list[Operation]] = {}
+        for op in self._ops_by_uid:
+            if op.is_store:
+                self._stores_to.setdefault(op.addr, []).append(op)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.threads)
+
+    @property
+    def num_ops(self) -> int:
+        """Total operation count, including barriers."""
+        return self._num_ops
+
+    @property
+    def all_ops(self) -> list[Operation]:
+        """All operations in uid order."""
+        return self._ops_by_uid
+
+    @property
+    def loads(self) -> list[Operation]:
+        return [op for op in self._ops_by_uid if op.is_load]
+
+    @property
+    def stores(self) -> list[Operation]:
+        return [op for op in self._ops_by_uid if op.is_store]
+
+    def op(self, uid: int) -> Operation:
+        """Look up an operation by its uid."""
+        return self._ops_by_uid[uid]
+
+    def store_with_value(self, value: int) -> Operation:
+        """Map a unique store ID back to its store operation."""
+        try:
+            return self._store_by_value[value]
+        except KeyError:
+            raise ProgramError("no store writes ID %d" % value) from None
+
+    def stores_to(self, addr: int) -> list[Operation]:
+        """All stores to ``addr``, in uid order."""
+        return self._stores_to.get(addr, [])
+
+    def describe(self) -> str:
+        """Multi-line listing of the whole program."""
+        lines = []
+        for tp in self.threads:
+            lines.append("thread %d:" % tp.thread)
+            for op in tp.ops:
+                lines.append("  %s" % op.describe())
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "TestProgram(%s: %d threads, %d ops, %d addrs)" % (
+            self.name or "unnamed", self.num_threads, self.num_ops, self.num_addresses)

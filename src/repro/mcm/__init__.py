@@ -1,0 +1,23 @@
+"""Memory consistency models (SC, x86-TSO, ARM-like weak ordering)."""
+
+from repro.mcm.model import (
+    SC,
+    TSO,
+    WEAK,
+    MemoryModel,
+    SequentialConsistency,
+    TotalStoreOrder,
+    WeakOrdering,
+    get_model,
+)
+
+__all__ = [
+    "SC",
+    "TSO",
+    "WEAK",
+    "MemoryModel",
+    "SequentialConsistency",
+    "TotalStoreOrder",
+    "WeakOrdering",
+    "get_model",
+]

@@ -1,0 +1,289 @@
+"""Detailed out-of-order core + MESI simulator (the gem5 stand-in).
+
+Models the paper's Section 7 configuration: eight x86 (TSO) cores on a
+4x2 mesh with a MESI directory protocol.  Each core has:
+
+* an 8-entry LSQ window: operations dispatch in order, but **loads
+  execute speculatively out of order** (each with a random execute
+  delay);
+* in-order commit; committed stores enter a FIFO store buffer that
+  drains through the coherence protocol (obtaining M state per line);
+* LSQ store-to-load forwarding;
+* the x86 memory-ordering safeguard: an invalidation squashes every
+  speculatively-executed but uncommitted load to the invalidated line,
+  forcing re-execution.  The injected bugs of :mod:`repro.sim.faults`
+  disable exactly this safeguard (entirely, or only during S->M
+  upgrades), reproducing the paper's load->load violations; bug 3
+  instead crashes the protocol on a writeback race.
+
+The executor exposes the same interface as
+:class:`repro.sim.executor.OperationalExecutor`, so
+:class:`repro.harness.Campaign` can drive it unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ExecutionError, ProtocolCrash
+from repro.isa.instructions import INIT, INIT_VALUE
+from repro.isa.layout import MemoryLayout
+from repro.isa.program import TestProgram
+from repro.mcm.model import MemoryModel
+from repro.sim.coherence import CoherentSystem, EventQueue
+from repro.sim.execution import Execution, ExecutionCounters
+from repro.sim.faults import FaultConfig, NO_FAULT
+from repro.sim.platform import GEM5_X86_8CORE, Platform
+
+_WAIT, _ISSUED, _DONE = 0, 1, 2
+
+
+def _stuck_state(cores, system) -> str:
+    """Diagnostic snapshot for livelock/deadlock crash reports."""
+    parts = []
+    for core in cores:
+        if core.finished:
+            continue
+        head = core.lsq[0] if core.lsq else None
+        head_desc = ("%s status=%d line=%s" % (head.op.describe(), head.status,
+                                               head.line)) if head else "-"
+        cache_lines = {line: entry.state
+                       for line, entry in system.caches[core.tid].lines.items()
+                       if entry.state != "I"}
+        parts.append("core%d: lsq=%d sb=%d head[%s] lines=%s"
+                     % (core.tid, len(core.lsq), len(core.sb), head_desc, cache_lines))
+    busy = [(d.index, line, e.state, e.request_kind, e.acks_needed)
+            for d in system.dirs for line, e in d.lines.items() if e.busy]
+    parts.append("busy-dirs=%s" % busy)
+    return "; ".join(parts)
+
+
+class _LsqEntry:
+    __slots__ = ("op", "status", "value", "forwarded", "line")
+
+    def __init__(self, op):
+        self.op = op
+        self.status = _WAIT
+        self.value = None
+        self.forwarded = False
+        self.line = None
+
+
+class _Core:
+    __slots__ = ("tid", "ops", "next_dispatch", "lsq", "sb", "draining", "finished")
+
+    def __init__(self, tid, ops):
+        self.tid = tid
+        self.ops = ops
+        self.next_dispatch = 0
+        self.lsq = []
+        self.sb = []            # (line, addr, value) in program order
+        self.draining = False
+        self.finished = False
+
+
+class DetailedExecutor:
+    """Runs a test on the detailed MESI simulator.
+
+    Args:
+        program: test to run (threads are mapped 1:1 onto cores).
+        faults: bug injection / cache sizing (see :class:`FaultConfig`).
+        lsq_size: LSQ window entries per core.
+        layout: word->line mapping (``words_per_line`` intensifies the
+            line contention the injected bugs need, per paper Table 3).
+
+    Other parameters mirror :class:`OperationalExecutor` for harness
+    compatibility; the memory model is always TSO (x86).
+    """
+
+    def __init__(self, program: TestProgram, model: MemoryModel = None,
+                 platform: Platform = None, *, seed: int = 0,
+                 instrumentation: str = None, codec=None,
+                 layout: MemoryLayout = None, os_model=None,
+                 sync_barriers: bool = False, faults: FaultConfig = NO_FAULT,
+                 lsq_size: int = 8):
+        platform = platform or GEM5_X86_8CORE
+        if program.num_threads > platform.num_cores:
+            raise ExecutionError("%d test threads exceed %d cores"
+                                 % (program.num_threads, platform.num_cores))
+        if model is not None and model.name != "tso":
+            raise ExecutionError("the detailed simulator models x86-TSO only")
+        self.program = program
+        self.platform = platform
+        self.faults = faults
+        self.lsq_size = lsq_size
+        self.codec = codec
+        self.instrumentation = instrumentation
+        self.rng = random.Random(seed)
+        self.layout = layout or MemoryLayout(program.num_addresses, 1)
+        self._value_to_uid = {op.value: op.uid for op in program.stores}
+
+    # -- public API ----------------------------------------------------------------
+
+    def run_one(self) -> Execution:
+        """Execute one iteration; returns a crashed Execution on bug 3."""
+        try:
+            return self._simulate()
+        except ProtocolCrash:
+            return Execution({}, {}, ExecutionCounters(), crashed=True)
+
+    def run(self, iterations: int):
+        for _ in range(iterations):
+            yield self.run_one()
+
+    # -- simulation ------------------------------------------------------------------
+
+    def _simulate(self) -> Execution:
+        events = EventQueue()
+        system = CoherentSystem(self.platform.num_cores, self.rng, events,
+                                self.faults)
+        rng = self.rng
+        program = self.program
+        line_of = self.layout.line_of
+        cores = [_Core(tp.thread, tp.ops) for tp in program.threads]
+        rf: dict[int, object] = {}
+        counters = ExecutionCounters()
+        max_events = 2000 * max(1, program.num_ops) + 10000
+        processed = 0
+
+        # wire invalidation squash from each L1 into its core's LSQ
+        for core in cores:
+            system.caches[core.tid].on_inv = self._squasher(core, events, rng)
+
+        def dispatch(core: _Core) -> None:
+            if core.next_dispatch >= len(core.ops):
+                return
+            if len(core.lsq) >= self.lsq_size:
+                events.schedule(1.0 + rng.random(), dispatch, core)
+                return
+            op = core.ops[core.next_dispatch]
+            core.next_dispatch += 1
+            entry = _LsqEntry(op)
+            core.lsq.append(entry)
+            if op.is_load:
+                entry.line = line_of(op.addr)
+                events.schedule(0.5 + rng.random() * 6.0, issue_load, core, entry)
+            else:
+                entry.status = _DONE   # stores/barriers are ready at dispatch
+                try_commit(core)
+            events.schedule(1.0 + rng.random() * 0.2, dispatch, core)
+
+        def issue_load(core: _Core, entry: _LsqEntry) -> None:
+            if entry.status != _WAIT or entry not in core.lsq:
+                return
+            op = entry.op
+            # LSQ + store-buffer forwarding: youngest older same-address store
+            for other in reversed(core.lsq[:core.lsq.index(entry)]):
+                if other.op.is_store and other.op.addr == op.addr:
+                    entry.value = other.op.value
+                    entry.status = _DONE
+                    entry.forwarded = True
+                    try_commit(core)
+                    return
+            for line, addr, value in reversed(core.sb):
+                if addr == op.addr:
+                    entry.value = value
+                    entry.status = _DONE
+                    entry.forwarded = True
+                    try_commit(core)
+                    return
+            entry.status = _ISSUED
+            counters.test_accesses += 1
+            system.caches[core.tid].load(
+                entry.line, op.addr,
+                lambda value, c=core, e=entry: complete_load(c, e, value))
+
+        def complete_load(core: _Core, entry: _LsqEntry, value: int) -> None:
+            if entry.status != _ISSUED:
+                return
+            entry.value = value
+            entry.status = _DONE
+            try_commit(core)
+
+        def try_commit(core: _Core) -> None:
+            while core.lsq:
+                entry = core.lsq[0]
+                op = entry.op
+                if op.is_barrier:
+                    if core.sb:
+                        return          # mfence: wait for the SB to drain
+                    core.lsq.pop(0)
+                    continue
+                if op.is_store:
+                    core.lsq.pop(0)
+                    core.sb.append((line_of(op.addr), op.addr, op.value))
+                    if not core.draining:
+                        core.draining = True
+                        # stores linger in the buffer: this window is what
+                        # lets TSO loads overtake them (store buffering)
+                        events.schedule(4.0 + rng.random() * 10.0, drain_sb, core)
+                    continue
+                if entry.status != _DONE:
+                    return
+                rf[op.uid] = self._source_of(entry.value)
+                core.lsq.pop(0)
+            if (core.next_dispatch >= len(core.ops) and not core.lsq
+                    and not core.sb):
+                core.finished = True
+
+        def drain_sb(core: _Core) -> None:
+            if not core.sb:
+                core.draining = False
+                try_commit(core)
+                return
+            line, addr, value = core.sb[0]
+            counters.test_accesses += 1
+            system.caches[core.tid].store(
+                line, addr, value, lambda c=core: store_done(c))
+
+        def store_done(core: _Core) -> None:
+            core.sb.pop(0)
+            events.schedule(1.0 + rng.random() * 3.0, drain_sb, core)
+
+        self._issue_load_fn = issue_load   # used by the squasher closure
+        for core in cores:
+            events.schedule(rng.random() * 2.0, dispatch, core)
+
+        while events.run_next():
+            processed += 1
+            if processed > max_events:
+                raise ProtocolCrash("protocol livelock: event budget exhausted; %s"
+                                    % _stuck_state(cores, system))
+        if not all(core.finished for core in cores):
+            raise ProtocolCrash("protocol deadlock: %s"
+                                % _stuck_state(cores, system))
+
+        ws = {addr: [self._value_to_uid[v] for v in chain]
+              for addr, chain in system.store_order.items()}
+        for addr in range(program.num_addresses):
+            ws.setdefault(addr, [])
+        counters.base_cycles = events.now
+        return Execution(rf, ws, counters)
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _squasher(self, core: _Core, events: EventQueue, rng):
+        """The x86 LSQ invalidation rule for one core.
+
+        Re-executes every speculatively-completed, uncommitted load whose
+        line was invalidated (unless its value came from forwarding, which
+        cannot be stale).  The fault configuration decides whether this
+        callback is invoked at all (bugs 1 and 2 suppress it).
+        """
+        def squash(line: int) -> None:
+            for entry in core.lsq:
+                if (entry.op.is_load and entry.status == _DONE
+                        and not entry.forwarded and entry.line == line):
+                    entry.status = _WAIT
+                    entry.value = None
+                    events.schedule(0.5 + rng.random(),
+                                    self._issue_load_fn, core, entry)
+        return squash
+
+    def _source_of(self, value: int):
+        if value == INIT_VALUE:
+            return INIT
+        try:
+            return self._value_to_uid[value]
+        except KeyError:
+            raise ExecutionError("load observed unknown value %d" % value) from None

@@ -1,0 +1,58 @@
+"""Execution results produced by the simulation substrates.
+
+Both the fast operational executor (stand-in for the paper's silicon
+platforms) and the detailed MESI simulator (stand-in for gem5) return
+:class:`Execution` objects; everything downstream — signature encoding,
+graph building, checking — consumes only this interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExecutionCounters:
+    """Cycle and access accounting for one execution.
+
+    Cycle numbers come from the substrate's timing model and are used for
+    the paper's *relative* performance figures (Figure 10); access counts
+    feed the intrusiveness study (Figure 11).
+    """
+
+    #: cycles spent executing the original test's operations (max over threads)
+    base_cycles: float = 0.0
+    #: extra cycles spent in the signature compare/branch chains
+    instrumentation_cycles: float = 0.0
+    #: memory accesses performed by the test itself
+    test_accesses: int = 0
+    #: memory accesses unrelated to the test (flush stores / signature stores)
+    extra_accesses: int = 0
+    #: mispredicted instrumentation branches
+    branch_mispredicts: int = 0
+
+
+@dataclass
+class Execution:
+    """The observable outcome of one run of a test program.
+
+    Attributes:
+        rf: reads-from map — load uid -> source (store uid or INIT).
+        ws: write serialization — address -> store uids in coherence order.
+        counters: timing/access accounting.
+        crashed: True when the substrate aborted (paper bug 3 behaviour);
+            ``rf``/``ws`` are partial in that case.
+    """
+
+    rf: dict[int, object]
+    ws: dict[int, list[int]]
+    counters: ExecutionCounters = field(default_factory=ExecutionCounters)
+    crashed: bool = False
+
+    def rf_key(self) -> tuple:
+        """Hashable identity of the interleaving (unique rf relationships).
+
+        Two executions are the paper's notion of "distinct interleavings"
+        exactly when their rf keys differ (Section 2).
+        """
+        return tuple(sorted(self.rf.items(), key=lambda kv: kv[0]))

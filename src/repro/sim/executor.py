@@ -1,0 +1,457 @@
+"""Fast operational executor — the stand-in for the paper's silicon.
+
+Executes a test program under an operational formulation of the target
+MCM, producing non-deterministic but *model-compliant* interleavings:
+
+* **SC** — one global memory; threads take turns completing operations.
+* **TSO** — per-thread FIFO store buffers with store-to-load forwarding;
+  stores drain to memory asynchronously (the x86-TSO abstract machine).
+* **weak** — a bounded per-thread reorder window; any pending operation
+  may complete as long as per-location coherence order and barriers are
+  respected (RMO-style).
+
+Scheduling is *timing-driven*: every action has a latency drawn from the
+cache-line contention model, and the thread with the earliest clock acts
+next.  Contention (including false sharing) therefore shapes the observed
+interleavings exactly as it does on hardware (paper Sections 2 and 6.1).
+
+The executor also charges the instrumentation's runtime costs:
+
+* ``signature`` mode walks each load's compare/branch chain (cost grows
+  with the observed candidate index; a per-site last-value branch
+  predictor makes repeated patterns nearly free — paper Section 6.2), and
+  stores the signature words at the end of the run;
+* ``flush`` mode (the register-flushing baseline [24]) issues one extra
+  log store after every load, perturbing timing and contending for store
+  bandwidth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ExecutionError
+from repro.isa.instructions import INIT
+from repro.isa.layout import MemoryLayout
+from repro.isa.program import TestProgram
+from repro.mcm.model import MemoryModel
+from repro.sim.contention import ContentionModel, LatencyConfig, UniformModel
+from repro.sim.execution import Execution, ExecutionCounters
+from repro.sim.os_model import OSModel
+from repro.sim.platform import Platform, platform_for_isa
+
+#: cycles per compare+branch pair in the instrumented chain
+_BRANCH_COST = 1.0
+#: penalty for a mispredicted instrumentation branch
+_MISPREDICT_PENALTY = 14.0
+#: cycles to fetch one operation into the weak model's reorder window
+_FETCH_COST = 0.5
+
+
+@dataclass(frozen=True)
+class Tuning:
+    """Micro-architectural behaviour knobs of the operational machines.
+
+    The defaults are calibrated (see EXPERIMENTS.md) so that the unique-
+    interleaving counts across the paper's 21 test configurations follow
+    Figure 8's shape: near-deterministic two-threaded runs, nearly
+    all-unique seven-threaded runs, higher diversity on the weakly-ordered
+    platform than on TSO, and more diversity under false sharing.
+    """
+
+    #: probability the TSO machine drains a store-buffer entry when it
+    #: could also issue the next instruction
+    drain_prob: float = 0.85
+    #: probability the weak machine fetches (vs completing) when both are
+    #: possible
+    fetch_prob: float = 0.6
+    #: geometric bias towards completing the *oldest* eligible window
+    #: entry; 1.0 makes the weak machine fully in-order, lower values
+    #: reorder more aggressively
+    in_order_bias: float = 0.9
+    #: start-of-iteration skew between threads, cycles (barrier release)
+    start_skew: float = 0.5
+
+
+DEFAULT_TUNING = Tuning()
+
+
+class OperationalExecutor:
+    """Runs a test program repeatedly, yielding :class:`Execution` results.
+
+    Args:
+        program: the test to execute.
+        model: memory model to comply with (defaults to the platform's).
+        platform: system under validation (defaults by heuristic to the
+            ARM platform; pass one of :mod:`repro.sim.platform`'s presets).
+        seed: RNG seed; one stream drives the whole run.
+        instrumentation: ``None``, ``"signature"`` or ``"flush"``.
+        codec: :class:`repro.instrument.SignatureCodec`, required for
+            ``"signature"`` mode (provides candidate orders and word counts).
+        layout: word->line mapping; defaults to one word per line.
+        uniform_random: ignore timing and pick uniformly among ready
+            threads (the paper's SC limit-study simulator, Section 4.1).
+        os_model: optional :class:`OSModel` for the Linux perturbation runs.
+        sync_barriers: treat barriers as global rendezvous points in
+            addition to their local ordering effect (used for regularized
+            programs; requires equal barrier counts across threads).
+    """
+
+    def __init__(self, program: TestProgram, model: MemoryModel = None,
+                 platform: Platform = None, *, seed: int = 0,
+                 instrumentation: str = None, codec=None,
+                 layout: MemoryLayout = None, uniform_random: bool = False,
+                 os_model: OSModel = None, sync_barriers: bool = False,
+                 latency: LatencyConfig = None, tuning: Tuning = DEFAULT_TUNING):
+        if platform is None:
+            platform = platform_for_isa("x86" if (model and model.name == "tso") else "arm")
+        self.program = program
+        self.platform = platform
+        self.model = model if model is not None else platform.memory_model
+        if self.model.name not in ("sc", "tso", "weak"):
+            raise ExecutionError("unsupported memory model %r" % self.model.name)
+        if instrumentation not in (None, "signature", "flush"):
+            raise ExecutionError("unknown instrumentation mode %r" % (instrumentation,))
+        if instrumentation == "signature" and codec is None:
+            raise ExecutionError("signature instrumentation requires a codec")
+        self.instrumentation = instrumentation
+        self.codec = codec
+        self.rng = random.Random(seed)
+        self.uniform_random = uniform_random
+        self.os_model = os_model
+        self.sync_barriers = sync_barriers
+        self.tuning = tuning
+        if layout is None:
+            layout = MemoryLayout(program.num_addresses, 1)
+        if uniform_random:
+            self.contention = UniformModel()
+        else:
+            self.contention = ContentionModel(
+                layout, self.rng, latency or platform.latency,
+                core_speed=platform.thread_speeds(program.num_threads))
+        # per-load-site branch predictor state: last observed candidate index
+        self._predictor: dict[int, int] = {}
+        if codec is not None:
+            self._cand_index = {
+                (slot.uid, src): i
+                for table in codec.tables
+                for slot in table.slots
+                for i, src in enumerate(slot.candidates)
+            }
+        else:
+            self._cand_index = {}
+
+    # -- public API -------------------------------------------------------------
+
+    def run_one(self) -> Execution:
+        """Execute one iteration of the test."""
+        if self.model.name == "tso":
+            return self._run_tso()
+        if self.model.name == "weak":
+            return self._run_weak()
+        return self._run_sc()
+
+    def run(self, iterations: int):
+        """Yield :class:`Execution` results for ``iterations`` runs."""
+        for _ in range(iterations):
+            yield self.run_one()
+
+    # -- shared helpers -----------------------------------------------------------
+
+    def _fresh_state(self):
+        self.contention.reset()
+        rng = self.rng
+        n = self.program.num_threads
+        clocks = [rng.random() * self.tuning.start_skew for _ in range(n)]
+        return ({}, {addr: [] for addr in range(self.program.num_addresses)}, clocks)
+
+    def _pick_thread(self, clocks, runnable) -> int:
+        """Earliest-clock scheduling (or uniform in limit-study mode)."""
+        if self.uniform_random:
+            return self.rng.choice(runnable)
+        best = runnable[0]
+        best_clock = clocks[best]
+        for t in runnable[1:]:
+            if clocks[t] < best_clock:
+                best, best_clock = t, clocks[t]
+        return best
+
+    def _instrument_load(self, load_uid: int, source, counters: ExecutionCounters) -> float:
+        """Cost charged for one load's observability code; 0 when uninstrumented."""
+        mode = self.instrumentation
+        if mode is None:
+            return 0.0
+        if mode == "flush":
+            counters.extra_accesses += 1
+            return self.contention.private_store_latency(self.program.op(load_uid).thread)
+        index = self._cand_index[(load_uid, source)]
+        predicted = self._predictor.get(load_uid, 0)
+        cost = (index + 1) * _BRANCH_COST
+        if index != predicted:
+            cost += _MISPREDICT_PENALTY
+            counters.branch_mispredicts += 1
+        self._predictor[load_uid] = index
+        counters.instrumentation_cycles += cost
+        return cost
+
+    def _finish(self, counters: ExecutionCounters, base_clocks, instr_clocks) -> None:
+        """Charge end-of-run signature stores and close the accounting."""
+        if self.instrumentation == "signature":
+            for tid, table in enumerate(self.codec.tables):
+                for _ in range(table.num_words):
+                    cost = self.contention.private_store_latency(tid)
+                    instr_clocks[tid] += cost
+                    counters.instrumentation_cycles += cost
+                    counters.extra_accesses += 1
+        base = max(base_clocks) if base_clocks else 0.0
+        total = max(b + i for b, i in zip(base_clocks, instr_clocks)) if base_clocks else 0.0
+        counters.base_cycles = base
+        counters.instrumentation_cycles = max(0.0, total - base)
+
+    def _perturb(self, latency: float) -> float:
+        if self.os_model is not None:
+            return latency + self.os_model.perturb(latency)
+        return latency
+
+    # -- TSO machine ---------------------------------------------------------------
+
+    def _run_tso(self) -> Execution:
+        program, rng = self.program, self.rng
+        memory, ws, clocks = self._fresh_state()
+        counters = ExecutionCounters()
+        instr_clocks = [0.0] * program.num_threads
+        rf: dict[int, object] = {}
+        threads = [tp.ops for tp in program.threads]
+        pcs = [0] * len(threads)
+        sbs: list[list] = [[] for _ in threads]   # entries: (addr, uid)
+        window = self.platform.window_size
+        arrived = [0] * len(threads)
+        waiting: set[int] = set()
+        lat = self.contention
+
+        while True:
+            runnable = [t for t in range(len(threads))
+                        if t not in waiting and (pcs[t] < len(threads[t]) or sbs[t])]
+            if not runnable:
+                if waiting:  # all remaining threads wait at the final barrier
+                    waiting.clear()
+                    continue
+                break
+            t = self._pick_thread(clocks, runnable)
+            ops, pc, sb = threads[t], pcs[t], sbs[t]
+            op = ops[pc] if pc < len(ops) else None
+
+            if op is not None and op.is_barrier:
+                if sb:
+                    action = "drain"
+                else:
+                    pcs[t] += 1
+                    clocks[t] += 1.0
+                    if self.sync_barriers:
+                        arrived[t] += 1
+                        waiting.add(t)
+                        self._release_sync(arrived, pcs, threads, waiting, clocks)
+                    continue
+            elif op is None:
+                action = "drain"
+            elif not sb:
+                action = "issue"
+            elif len(sb) >= window or rng.random() < self.tuning.drain_prob:
+                action = "drain"
+            else:
+                action = "issue"
+
+            if action == "drain":
+                addr, uid = sb.pop(0)
+                memory[addr] = uid
+                ws[addr].append(uid)
+                clocks[t] += self._perturb(lat.store_latency(t, addr))
+                continue
+
+            pcs[t] += 1
+            counters.test_accesses += 1
+            if op.is_store:
+                sb.append((op.addr, op.uid))
+                latency = 1.0 + rng.random()
+            else:
+                source = None
+                for addr, uid in reversed(sb):
+                    if addr == op.addr:
+                        source = uid
+                        break
+                if source is not None:
+                    latency = 2.0 + rng.random()     # store-to-load forwarding
+                else:
+                    source = memory.get(op.addr, INIT)
+                    latency = lat.load_latency(t, op.addr)
+                rf[op.uid] = source
+                instr_clocks[t] += self._instrument_load(op.uid, source, counters)
+            clocks[t] += self._perturb(latency)
+
+        self._finish(counters, clocks, instr_clocks)
+        return Execution(rf, ws, counters)
+
+    # -- weak-ordering machine --------------------------------------------------------
+
+    def _run_weak(self) -> Execution:
+        program, rng = self.program, self.rng
+        memory, ws, clocks = self._fresh_state()
+        counters = ExecutionCounters()
+        instr_clocks = [0.0] * program.num_threads
+        rf: dict[int, object] = {}
+        threads = [tp.ops for tp in program.threads]
+        pcs = [0] * len(threads)
+        windows: list[list] = [[] for _ in threads]
+        capacity = self.platform.window_size
+        arrived = [0] * len(threads)
+        waiting: set[int] = set()
+        lat = self.contention
+
+        while True:
+            runnable = [t for t in range(len(threads))
+                        if t not in waiting and (pcs[t] < len(threads[t]) or windows[t])]
+            if not runnable:
+                if waiting:
+                    waiting.clear()
+                    continue
+                break
+            t = self._pick_thread(clocks, runnable)
+            ops, pc, win = threads[t], pcs[t], windows[t]
+
+            can_fetch = pc < len(ops) and len(win) < capacity
+            eligible = self._eligible(win)
+            if can_fetch and (not eligible or rng.random() < self.tuning.fetch_prob):
+                win.append(ops[pc])
+                pcs[t] += 1
+                clocks[t] += _FETCH_COST
+                continue
+            if not eligible:
+                # A non-empty window always has an eligible entry (the
+                # oldest op or barrier), and an empty window with pending
+                # pc always allows a fetch; anything else is a logic error.
+                raise ExecutionError("weak machine wedged on thread %d" % t)
+
+            op = win.pop(self._pick_eligible(eligible))
+            if op.is_barrier:
+                clocks[t] += 1.0
+                if self.sync_barriers:
+                    arrived[t] += 1
+                    waiting.add(t)
+                    self._release_sync(arrived, pcs, threads, waiting, clocks)
+                continue
+            counters.test_accesses += 1
+            if op.is_store:
+                memory[op.addr] = op.uid
+                ws[op.addr].append(op.uid)
+                latency = lat.store_latency(t, op.addr)
+            else:
+                source = memory.get(op.addr, INIT)
+                rf[op.uid] = source
+                latency = lat.load_latency(t, op.addr)
+                instr_clocks[t] += self._instrument_load(op.uid, source, counters)
+            clocks[t] += self._perturb(latency)
+
+        self._finish(counters, clocks, instr_clocks)
+        return Execution(rf, ws, counters)
+
+    def _pick_eligible(self, eligible: list[int]) -> int:
+        """Pick a window entry to complete, biased towards the oldest.
+
+        A geometric bias models an out-of-order core that mostly commits
+        in order but occasionally lets a younger ready access slip ahead.
+        """
+        bias = self.tuning.in_order_bias
+        rng = self.rng
+        for idx in eligible[:-1]:
+            if rng.random() < bias:
+                return idx
+        return eligible[-1]
+
+    @staticmethod
+    def _eligible(window: list) -> list[int]:
+        """Window indices whose operations may complete now.
+
+        An operation is blocked by any older pending same-address access
+        (per-location coherence) and by any older pending barrier; a
+        barrier may only complete once it is the oldest pending entry.
+        """
+        eligible = []
+        seen_addrs = set()
+        for i, op in enumerate(window):
+            if op.is_barrier:
+                if i == 0:
+                    eligible.append(0)
+                break
+            if op.addr not in seen_addrs:
+                eligible.append(i)
+                seen_addrs.add(op.addr)
+        return eligible
+
+    # -- SC machine -------------------------------------------------------------------
+
+    def _run_sc(self) -> Execution:
+        program = self.program
+        memory, ws, clocks = self._fresh_state()
+        counters = ExecutionCounters()
+        instr_clocks = [0.0] * program.num_threads
+        rf: dict[int, object] = {}
+        threads = [tp.ops for tp in program.threads]
+        pcs = [0] * len(threads)
+        arrived = [0] * len(threads)
+        waiting: set[int] = set()
+        lat = self.contention
+
+        while True:
+            runnable = [t for t in range(len(threads))
+                        if t not in waiting and pcs[t] < len(threads[t])]
+            if not runnable:
+                if waiting:
+                    waiting.clear()
+                    continue
+                break
+            t = self._pick_thread(clocks, runnable)
+            op = threads[t][pcs[t]]
+            pcs[t] += 1
+            if op.is_barrier:
+                clocks[t] += 1.0
+                if self.sync_barriers:
+                    arrived[t] += 1
+                    waiting.add(t)
+                    self._release_sync(arrived, pcs, threads, waiting, clocks)
+                continue
+            counters.test_accesses += 1
+            if op.is_store:
+                memory[op.addr] = op.uid
+                ws[op.addr].append(op.uid)
+                latency = lat.store_latency(t, op.addr)
+            else:
+                source = memory.get(op.addr, INIT)
+                rf[op.uid] = source
+                latency = lat.load_latency(t, op.addr)
+                instr_clocks[t] += self._instrument_load(op.uid, source, counters)
+            clocks[t] += self._perturb(latency)
+
+        self._finish(counters, clocks, instr_clocks)
+        return Execution(rf, ws, counters)
+
+    # -- rendezvous -------------------------------------------------------------------
+
+    def _release_sync(self, arrived, pcs, threads, waiting, clocks) -> None:
+        """Release barrier waiters once every unfinished thread caught up.
+
+        A thread that already ran past its last barrier (or finished) never
+        holds others back.  Requires aligned barrier counts for meaningful
+        epoch semantics (as produced by :func:`repro.instrument.regularize`).
+        """
+        lagging = min(
+            (arrived[t] for t in range(len(threads))
+             if t not in waiting and pcs[t] < len(threads[t])),
+            default=None)
+        target = min(arrived[t] for t in waiting)
+        if lagging is not None and lagging < target:
+            return
+        release_time = max(clocks[t] for t in waiting)
+        for t in list(waiting):
+            waiting.discard(t)
+            clocks[t] = max(clocks[t], release_time) + self.rng.random() * self.tuning.start_skew

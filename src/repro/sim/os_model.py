@@ -1,0 +1,60 @@
+"""Operating-system perturbation model (paper Section 6.1, Figure 8).
+
+The paper contrasts bare-metal runs with runs under Linux and observes
+two competing effects:
+
+* *fine-grained* (instruction-level) interference — interrupts, TLB and
+  cache pollution — adds timing noise to every access and **increases**
+  interleaving diversity in two-threaded tests;
+* *coarse-grained* (thread-level) interference — scheduler preemption,
+  competing daemons — parks whole threads for long stretches, effectively
+  serializing deeply multi-threaded tests and **decreasing** diversity.
+
+:class:`OSModel` injects both: a per-access jitter, and preemptions whose
+frequency grows with the ratio of runnable threads to cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OSConfig:
+    """Tunable interference parameters."""
+
+    #: extra uniform per-access jitter in cycles (interrupt/cache noise)
+    access_jitter: float = 6.0
+    #: base probability of a preemption per 1000 cycles of thread progress
+    preempt_rate_per_kcycle: float = 0.4
+    #: mean preemption duration in cycles (time-slice magnitude)
+    preempt_mean: float = 4000.0
+
+
+class OSModel:
+    """Scheduler interference applied on top of an executor's timing.
+
+    Args:
+        rng: random source (shared with the executor for reproducibility).
+        num_threads: test thread count.
+        num_cores: cores of the platform.
+        config: interference parameters.
+    """
+
+    def __init__(self, rng, num_threads: int, num_cores: int,
+                 config: OSConfig = OSConfig()):
+        self.rng = rng
+        self.config = config
+        # Oversubscription drives coarse-grained interference: with few
+        # threads on many cores the scheduler rarely intervenes, while a
+        # loaded machine preempts liberally.
+        load = max(1.0, (num_threads + 1) / num_cores)
+        self._preempt_prob_per_cycle = (
+            config.preempt_rate_per_kcycle / 1000.0) * load * max(1, num_threads - 1)
+
+    def perturb(self, latency: float) -> float:
+        """Extra cycles the OS adds to an action that took ``latency``."""
+        extra = self.rng.random() * self.config.access_jitter
+        if self.rng.random() < self._preempt_prob_per_cycle * latency:
+            extra += self.rng.expovariate(1.0 / self.config.preempt_mean)
+        return extra

@@ -1,0 +1,137 @@
+"""Structured tracing for the detailed MESI simulator.
+
+Debugging a coherence protocol (or a detected violation) needs the
+message history; this module wraps a :class:`CoherentSystem`'s mesh and
+record hooks so every network message, state-relevant handler call and
+global store commit lands in a bounded in-memory trace that can be
+filtered and pretty-printed.
+
+Typical use::
+
+    tracer = ProtocolTracer(lines={2})
+    executor = DetailedExecutor(program, seed=1)
+    with tracer.attach_to(executor):
+        execution = executor.run_one()
+    print(tracer.render(limit=40))
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections import deque
+from dataclasses import dataclass
+
+from repro.sim import coherence as _coherence
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced protocol event."""
+
+    time: float
+    kind: str           # "msg" or "store"
+    detail: tuple
+
+    def render(self) -> str:
+        if self.kind == "store":
+            addr, value = self.detail
+            return "%10.2f  STORE   addr=0x%x value=%d" % (self.time, addr, value)
+        src, dst, handler, args = self.detail
+        return "%10.2f  %s->%s  %s%r" % (
+            self.time, "/".join(map(str, src)), "/".join(map(str, dst)),
+            handler, args)
+
+
+class ProtocolTracer:
+    """Captures protocol traffic from detailed-simulator runs.
+
+    Args:
+        lines: optional set of cache-line indices to keep (None = all).
+        capacity: ring-buffer size; the oldest events fall off first, so
+            a crash report naturally shows the most recent history.
+    """
+
+    def __init__(self, lines=None, capacity: int = 10_000):
+        self.lines = set(lines) if lines is not None else None
+        self.events: deque[TraceEvent] = deque(maxlen=capacity)
+
+    # -- capture ----------------------------------------------------------------
+
+    def _wants(self, line) -> bool:
+        return self.lines is None or line in self.lines
+
+    def _on_send(self, mesh, src, dst, fn, args):
+        line = self._line_of(fn.__name__, args)
+        if line is not None and self._wants(line):
+            self.events.append(TraceEvent(
+                mesh.events.now, "msg", (src, dst, fn.__name__, args)))
+
+    @staticmethod
+    def _line_of(handler: str, args: tuple):
+        if not args:
+            return None
+        if handler == "request":        # (kind, line, core)
+            return args[1] if len(args) > 1 else None
+        first = args[0]
+        return first if isinstance(first, int) else None
+
+    def _on_store(self, system, addr, value):
+        self.events.append(TraceEvent(system.events.now, "store", (addr, value)))
+
+    @contextlib.contextmanager
+    def attach_to(self, executor):
+        """Patch tracing into every system the executor creates.
+
+        Wraps :class:`repro.sim.coherence.Mesh` sends and
+        :class:`CoherentSystem` store records for the duration of the
+        context; the patch is global to the module (the detailed
+        executor builds a fresh system per iteration) and fully restored
+        on exit.
+        """
+        tracer = self
+        original_send = _coherence.Mesh.send
+        original_record = _coherence.CoherentSystem.record_store
+
+        def send(mesh_self, src, dst, fn, *args):
+            tracer._on_send(mesh_self, src, dst, fn, args)
+            original_send(mesh_self, src, dst, fn, *args)
+
+        def record_store(system_self, addr, value):
+            # stores are sparse relative to messages; keep them all so the
+            # value history stays complete even under a line filter
+            tracer._on_store(system_self, addr, value)
+            original_record(system_self, addr, value)
+
+        _coherence.Mesh.send = send
+        _coherence.CoherentSystem.record_store = record_store
+        try:
+            yield self
+        finally:
+            _coherence.Mesh.send = original_send
+            _coherence.CoherentSystem.record_store = original_record
+
+    # -- inspection ----------------------------------------------------------------
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def messages(self, handler: str = None) -> list[TraceEvent]:
+        """Traced messages, optionally filtered by handler name."""
+        out = []
+        for event in self.events:
+            if event.kind != "msg":
+                continue
+            if handler is None or event.detail[2] == handler:
+                out.append(event)
+        return out
+
+    def stores(self) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == "store"]
+
+    def render(self, limit: int = 50) -> str:
+        """The last ``limit`` events, one per line."""
+        tail = list(self.events)[-limit:]
+        return "\n".join(event.render() for event in tail)
+
+    def __len__(self):
+        return len(self.events)

@@ -1,0 +1,17 @@
+"""Constrained-random test generation, litmus library, test merging."""
+
+from repro.testgen.config import PAPER_CONFIGS, TestConfig, paper_config
+from repro.testgen.generator import generate, generate_suite
+from repro.testgen.litmus import LitmusTest, all_litmus_tests
+from repro.testgen.merge import merge_tests
+
+__all__ = [
+    "PAPER_CONFIGS",
+    "LitmusTest",
+    "TestConfig",
+    "all_litmus_tests",
+    "generate",
+    "generate_suite",
+    "merge_tests",
+    "paper_config",
+]

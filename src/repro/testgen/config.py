@@ -1,0 +1,114 @@
+"""Test-generation configuration (paper Table 2).
+
+The paper combines three parameters — threads (2, 4, 7), static memory
+operations per thread (50, 100, 200) and distinct shared addresses (32,
+64, 128) — into 21 representative configurations named
+``[ISA]-[threads]-[ops]-[addresses]`` (e.g. ``ARM-2-50-32``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.isa.layout import MemoryLayout
+
+
+@dataclass(frozen=True)
+class TestConfig:
+    """Parameters of one constrained-random test configuration.
+
+    Attributes:
+        isa: "x86" or "arm"; selects register width (64 vs 32 bits) and
+            the memory model of the matching platform (TSO vs weak).
+        threads: number of test threads.
+        ops_per_thread: static memory operations per thread.
+        addresses: number of distinct shared word addresses.
+        words_per_line: shared words per cache line (1 = no false sharing;
+            4 and 16 reproduce the paper's false-sharing study).
+        load_fraction: probability an operation is a load (paper: 0.5).
+        barrier_fraction: probability of inserting a barrier after each
+            operation (paper tests use none inside the test body).
+        seed: RNG seed for reproducible generation.
+    """
+
+    isa: str = "arm"
+    threads: int = 2
+    ops_per_thread: int = 50
+    addresses: int = 32
+    words_per_line: int = 1
+    load_fraction: float = 0.5
+    barrier_fraction: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.isa not in ("x86", "arm"):
+            raise ValueError("isa must be 'x86' or 'arm', got %r" % (self.isa,))
+        if self.threads < 1 or self.ops_per_thread < 1 or self.addresses < 1:
+            raise ValueError("threads, ops_per_thread and addresses must be positive")
+        if not 0.0 <= self.load_fraction <= 1.0:
+            raise ValueError("load_fraction must be a probability")
+
+    @property
+    def name(self) -> str:
+        """Paper-style configuration name, e.g. ``ARM-2-50-32``."""
+        base = "%s-%d-%d-%d" % (self.isa, self.threads,
+                                self.ops_per_thread, self.addresses)
+        return base.upper() if self.isa == "arm" else base
+
+    @property
+    def register_width(self) -> int:
+        """Signature register width in bits (paper Section 3.2)."""
+        return 64 if self.isa == "x86" else 32
+
+    @property
+    def memory_model_name(self) -> str:
+        """MCM of the matching system under validation (paper Table 1)."""
+        return "tso" if self.isa == "x86" else "weak"
+
+    @property
+    def layout(self) -> MemoryLayout:
+        return MemoryLayout(self.addresses, self.words_per_line)
+
+    def with_seed(self, seed: int) -> "TestConfig":
+        return replace(self, seed=seed)
+
+    def with_layout(self, words_per_line: int) -> "TestConfig":
+        return replace(self, words_per_line=words_per_line)
+
+
+def _cfg(isa, threads, ops, addrs):
+    return TestConfig(isa=isa, threads=threads, ops_per_thread=ops, addresses=addrs)
+
+
+#: The 21 configurations on the x-axis of the paper's Figures 8-12.
+PAPER_CONFIGS: tuple[TestConfig, ...] = (
+    _cfg("arm", 2, 50, 32),
+    _cfg("arm", 2, 50, 64),
+    _cfg("arm", 2, 100, 32),
+    _cfg("arm", 2, 100, 64),
+    _cfg("arm", 2, 200, 32),
+    _cfg("arm", 2, 200, 64),
+    _cfg("arm", 4, 50, 64),
+    _cfg("arm", 4, 100, 64),
+    _cfg("arm", 4, 200, 64),
+    _cfg("arm", 7, 50, 64),
+    _cfg("arm", 7, 50, 128),
+    _cfg("arm", 7, 100, 64),
+    _cfg("arm", 7, 100, 128),
+    _cfg("arm", 7, 200, 64),
+    _cfg("arm", 7, 200, 128),
+    _cfg("x86", 2, 50, 32),
+    _cfg("x86", 2, 100, 32),
+    _cfg("x86", 2, 200, 32),
+    _cfg("x86", 4, 50, 64),
+    _cfg("x86", 4, 100, 64),
+    _cfg("x86", 4, 200, 64),
+)
+
+
+def paper_config(name: str) -> TestConfig:
+    """Look up one of the 21 paper configurations by its name."""
+    for cfg in PAPER_CONFIGS:
+        if cfg.name.lower() == name.lower():
+            return cfg
+    raise KeyError("unknown paper configuration %r" % (name,))

@@ -1,0 +1,55 @@
+"""Test merging for scalability (paper Section 8).
+
+"Even larger test-cases can be obtained by merging multiple independent
+code segments, where memory addresses are assigned in a way that leads
+only to false sharing across the segments."
+
+:func:`merge_tests` concatenates several independent tests thread-by-
+thread.  Each segment receives a disjoint window of word addresses, and
+the windows are interleaved within cache lines so segments contend for
+lines (false sharing) without ever aliasing on a word.  Because segments
+never share a word address, the instrumentation's candidate sets — and
+hence the per-thread signature — factor per segment, keeping signature
+growth additive instead of multiplicative.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProgramError
+from repro.isa.instructions import Operation
+from repro.isa.program import TestProgram
+
+
+def merge_tests(tests: list[TestProgram], name: str = "") -> TestProgram:
+    """Merge independent tests into one larger test.
+
+    All input tests must have the same thread count.  Segment *i*'s word
+    address ``a`` is remapped to ``a * len(tests) + i``, so consecutive
+    remapped words from different segments share cache lines under any
+    ``words_per_line > 1`` layout, producing cross-segment false sharing
+    only.  Store IDs are re-based to stay globally unique.
+    """
+    if not tests:
+        raise ProgramError("no tests to merge")
+    num_threads = tests[0].num_threads
+    if any(t.num_threads != num_threads for t in tests):
+        raise ProgramError("all merged tests must have the same thread count")
+
+    stride = len(tests)
+    per_thread: list[list[Operation]] = [[] for _ in range(num_threads)]
+    value_base = 0
+    for seg, test in enumerate(tests):
+        max_value = 0
+        for tid, tp in enumerate(test.threads):
+            out = per_thread[tid]
+            for op in tp.ops:
+                addr = None if op.is_barrier else op.addr * stride + seg
+                value = None
+                if op.is_store:
+                    value = op.value + value_base
+                    max_value = max(max_value, op.value)
+                out.append(Operation(op.kind, tid, len(out), addr=addr, value=value))
+        value_base += max_value
+    num_addresses = max(t.num_addresses for t in tests) * stride
+    merged_name = name or "+".join(t.name or "seg%d" % i for i, t in enumerate(tests))
+    return TestProgram.from_ops(per_thread, num_addresses, name=merged_name)

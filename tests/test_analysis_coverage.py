@@ -1,0 +1,80 @@
+"""Unit tests for interleaving-coverage analysis."""
+
+import pytest
+
+from repro.analysis import coverage_summary, discovery_rate, saturation_curve
+from repro.harness import Campaign
+from repro.testgen import TestConfig
+
+
+class TestSaturationCurve:
+    def test_monotone_nondecreasing(self):
+        curve = saturation_curve(["a", "b", "a", "c", "b"])
+        assert curve == [1, 2, 2, 3, 3]
+
+    def test_empty(self):
+        assert saturation_curve([]) == []
+
+    def test_all_unique(self):
+        assert saturation_curve(range(5)) == [1, 2, 3, 4, 5]
+
+
+class TestDiscoveryRate:
+    def test_zero_when_saturated(self):
+        curve = [1, 2, 3, 3, 3, 3, 3]
+        assert discovery_rate(curve, window=4) == 0.0
+
+    def test_one_when_all_new(self):
+        curve = list(range(1, 11))
+        assert discovery_rate(curve, window=5) == pytest.approx(1.0)
+
+    def test_short_inputs(self):
+        assert discovery_rate([], 10) == 0.0
+        assert discovery_rate([3], 10) == 3.0
+
+
+class TestCoverageSummary:
+    def _result(self, iterations=400):
+        cfg = TestConfig(isa="arm", threads=2, ops_per_thread=20,
+                         addresses=8, seed=9)
+        campaign = Campaign(config=cfg, seed=2)
+        return campaign.run(iterations)
+
+    def test_summary_fields(self):
+        result = self._result()
+        summary = coverage_summary(result)
+        assert summary.iterations == 400
+        assert summary.unique == result.unique_signatures
+        assert 0 < summary.unique_fraction <= 1
+        assert 0 <= summary.space_fraction <= 1
+        assert 0 <= summary.next_new_probability <= 1
+
+    def test_singletons_counted(self):
+        result = self._result()
+        summary = coverage_summary(result)
+        expected = sum(1 for c in result.signature_counts.values() if c == 1)
+        assert summary.singleton_count == expected
+
+    def test_low_diversity_test_saturates(self):
+        """A near-deterministic test's campaign saturates quickly."""
+        cfg = TestConfig(isa="arm", threads=1, ops_per_thread=10,
+                         addresses=4, seed=1)
+        campaign = Campaign(config=cfg, seed=1)
+        summary = coverage_summary(campaign.run(300))
+        assert summary.unique == 1           # single thread: one outcome
+        assert summary.saturated
+
+    def test_diverse_test_not_saturated_early(self):
+        cfg = TestConfig(isa="arm", threads=4, ops_per_thread=50,
+                         addresses=64, seed=9)
+        campaign = Campaign(config=cfg, seed=2)
+        summary = coverage_summary(campaign.run(150))
+        assert not summary.saturated
+
+    def test_saturation_matches_paper_trend(self):
+        """Unique fraction falls as iterations grow (Section 6.1)."""
+        cfg = TestConfig(isa="arm", threads=2, ops_per_thread=50,
+                         addresses=32, seed=9)
+        short = coverage_summary(Campaign(config=cfg, seed=2).run(100))
+        long = coverage_summary(Campaign(config=cfg, seed=2).run(800))
+        assert long.unique_fraction <= short.unique_fraction

@@ -1,0 +1,39 @@
+"""Unit tests for the conventional per-graph checker."""
+
+from repro.checker import COMPLETE, BaselineChecker
+from repro.graph import PO, ConstraintGraph, Edge
+
+
+def chain_graph(n, extra=()):
+    edges = [Edge(i, i + 1, PO) for i in range(n - 1)]
+    edges += [Edge(u, v, PO) for u, v in extra]
+    return ConstraintGraph(n, edges)
+
+
+class TestBaseline:
+    def test_empty_input(self):
+        report = BaselineChecker().check([])
+        assert report.num_graphs == 0
+        assert report.violations == []
+
+    def test_all_valid(self):
+        report = BaselineChecker().check([chain_graph(5) for _ in range(3)])
+        assert report.num_graphs == 3
+        assert not report.violations
+        assert all(v.method == COMPLETE for v in report.verdicts)
+
+    def test_detects_violation_with_cycle(self):
+        graphs = [chain_graph(5), chain_graph(5, extra=[(4, 0)]), chain_graph(5)]
+        report = BaselineChecker().check(graphs)
+        assert [v.violation for v in report.verdicts] == [False, True, False]
+        cycle = report.verdicts[1].cycle
+        assert cycle[0] == cycle[-1]
+
+    def test_computation_proxy_counts_all_vertices(self):
+        report = BaselineChecker().check([chain_graph(7) for _ in range(4)])
+        assert report.sorted_vertices == 7 * 4
+        assert report.num_vertices_per_graph == 7
+
+    def test_elapsed_recorded(self):
+        report = BaselineChecker().check([chain_graph(5)])
+        assert report.elapsed >= 0.0

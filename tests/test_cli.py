@@ -1,0 +1,85 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerate:
+    def test_emits_assembler_text(self, capsys):
+        assert main(["generate", "--threads", "2", "--ops", "5",
+                     "--addresses", "4", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert ".addresses 4" in out
+        assert "thread 0:" in out and "thread 1:" in out
+
+    def test_output_parses_back(self, capsys):
+        from repro.isa import assemble
+
+        main(["generate", "--threads", "3", "--ops", "10", "--addresses", "8"])
+        program = assemble(capsys.readouterr().out)
+        assert program.num_threads == 3
+
+
+class TestInstrument:
+    def test_metrics_table(self, capsys):
+        assert main(["instrument", "--threads", "2", "--ops", "10",
+                     "--addresses", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "signature bytes" in out
+        assert "code size ratio" in out
+
+    def test_listing_flag(self, capsys):
+        main(["instrument", "--threads", "2", "--ops", "6", "--addresses", "4",
+              "--listing"])
+        out = capsys.readouterr().out
+        assert "else assert error" in out
+
+
+class TestRunAndCheck:
+    def test_run_reports_uniques(self, capsys):
+        assert main(["run", "--threads", "2", "--ops", "15", "--addresses", "8",
+                     "--iterations", "100"]) == 0
+        assert "unique signatures" in capsys.readouterr().out
+
+    def test_run_then_check(self, capsys, tmp_path):
+        dump = str(tmp_path / "d.json")
+        assert main(["run", "--threads", "2", "--ops", "15", "--addresses", "8",
+                     "--iterations", "120", "-o", dump]) == 0
+        capsys.readouterr()
+        assert main(["check", dump]) == 0
+        out = capsys.readouterr().out
+        assert "0 violations" in out
+
+    def test_check_observed_mode(self, capsys, tmp_path):
+        dump = str(tmp_path / "d.json")
+        main(["run", "--isa", "x86", "--threads", "2", "--ops", "10",
+              "--addresses", "4", "--iterations", "80", "-o", dump])
+        capsys.readouterr()
+        assert main(["check", dump, "--ws-mode", "observed", "--model", "tso"]) == 0
+
+    def test_run_with_os_flag(self, capsys):
+        assert main(["run", "--threads", "2", "--ops", "10", "--addresses", "4",
+                     "--iterations", "40", "--os"]) == 0
+
+
+class TestLitmus:
+    def test_litmus_clean_under_tso(self, capsys):
+        assert main(["litmus", "--model", "tso", "--iterations", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "SB" in out and "VIOLATION" not in out
+
+    def test_litmus_extended_set(self, capsys):
+        assert main(["litmus", "--model", "sc", "--iterations", "150",
+                     "--extended"]) == 0
+        assert "WRC" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,37 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    CheckerError,
+    ExecutionError,
+    InstrumentationError,
+    ProgramError,
+    ProtocolCrash,
+    ReproError,
+    SignatureError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ProgramError, InstrumentationError, SignatureError,
+        ExecutionError, CheckerError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_protocol_crash_is_execution_error(self):
+        assert issubclass(ProtocolCrash, ExecutionError)
+
+    def test_protocol_crash_carries_optional_cycle(self):
+        crash = ProtocolCrash("invalid transition", cycle=(1, 2, 1))
+        assert crash.cycle == (1, 2, 1)
+        assert "invalid transition" in str(crash)
+
+    def test_protocol_crash_default_cycle(self):
+        assert ProtocolCrash("deadlock").cycle is None
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise SignatureError("boom")

@@ -1,0 +1,175 @@
+"""Unit tests for constraint-graph construction (static vs observed ws)."""
+
+import pytest
+
+from repro.errors import CheckerError
+from repro.graph import FR, PO, RF, WS, GraphBuilder, topological_sort
+from repro.isa import INIT, TestProgram, load, store
+from repro.mcm import SC, TSO, WEAK
+from repro.sim import OperationalExecutor
+from repro.testgen import TestConfig, generate
+
+
+@pytest.fixture
+def two_writer_program():
+    """t0: st x #1 ; t1: st x #2 ; t2: ld x, ld x."""
+    return TestProgram.from_ops(
+        [
+            [store(0, 0, 0, 1)],
+            [store(1, 0, 0, 2)],
+            [load(2, 0, 0), load(2, 1, 0)],
+        ],
+        num_addresses=1,
+    )
+
+
+class TestStaticMode:
+    def test_intra_thread_rf_skipped(self, figure3_program):
+        builder = GraphBuilder(figure3_program, TSO, ws_mode="static")
+        p = figure3_program
+        ld2 = p.threads[0].ops[1].uid     # reads own store (1)
+        st1 = p.threads[0].ops[0].uid
+        graph = builder.build({ld2: st1})
+        assert (st1, ld2) not in graph
+
+    def test_cross_thread_rf_added(self, two_writer_program):
+        p = two_writer_program
+        builder = GraphBuilder(p, TSO, ws_mode="static")
+        st1, ld_a = p.threads[0].ops[0].uid, p.threads[2].ops[0].uid
+        graph = builder.build({ld_a: st1, p.threads[2].ops[1].uid: st1})
+        assert (st1, ld_a) in graph
+        assert graph.edge_kind(st1, ld_a) == RF
+
+    def test_init_reader_precedes_first_stores_of_each_thread(self, two_writer_program):
+        p = two_writer_program
+        builder = GraphBuilder(p, TSO, ws_mode="static")
+        ld_a = p.threads[2].ops[0].uid
+        graph = builder.build({ld_a: INIT, p.threads[2].ops[1].uid: INIT})
+        st1 = p.threads[0].ops[0].uid
+        st2 = p.threads[1].ops[0].uid
+        assert (ld_a, st1) in graph and (ld_a, st2) in graph
+
+    def test_same_thread_store_chains_are_static_ws(self):
+        p = TestProgram.from_ops(
+            [[store(0, 0, 0, 1), store(0, 1, 0, 2)]], num_addresses=1)
+        builder = GraphBuilder(p, WEAK, ws_mode="static")
+        graph = builder.build({})
+        assert (0, 1) in graph
+
+    def test_fr_points_to_po_next_store(self):
+        p = TestProgram.from_ops(
+            [
+                [store(0, 0, 0, 1), store(0, 1, 0, 2)],
+                [load(1, 0, 0)],
+            ],
+            num_addresses=1)
+        builder = GraphBuilder(p, TSO, ws_mode="static")
+        ld = p.threads[1].ops[0].uid
+        graph = builder.build({ld: 0})       # reads store #1
+        assert (ld, 1) in graph              # fr to store #2
+        assert graph.edge_kind(ld, 1) == FR
+
+    def test_graph_is_function_of_rf_only(self, small_program):
+        """Static mode: same rf => identical edge sets (what makes
+        signature-identical executions share one graph)."""
+        from repro.instrument import candidate_sources
+
+        builder = GraphBuilder(small_program, WEAK, ws_mode="static")
+        cands = candidate_sources(small_program)
+        rf = {uid: c[0] for uid, c in cands.items()}
+        assert builder.build(rf).edge_pairs == builder.build(dict(rf)).edge_pairs
+
+
+class TestObservedMode:
+    def test_requires_ws(self, small_program):
+        builder = GraphBuilder(small_program, WEAK, ws_mode="observed")
+        with pytest.raises(CheckerError):
+            builder.build({}, None)
+
+    def test_ws_chain_must_cover_all_stores(self, two_writer_program):
+        builder = GraphBuilder(two_writer_program, TSO, ws_mode="observed")
+        with pytest.raises(CheckerError):
+            builder.build({}, {0: [0]})      # store uid 1 missing
+
+    def test_ws_chain_edges(self, two_writer_program):
+        p = two_writer_program
+        builder = GraphBuilder(p, TSO, ws_mode="observed")
+        graph = builder.build(
+            {p.threads[2].ops[0].uid: 0, p.threads[2].ops[1].uid: 1}, {0: [0, 1]})
+        assert (0, 1) in graph               # ws chain
+
+    def test_fr_from_init_reader_to_first_in_chain(self, two_writer_program):
+        p = two_writer_program
+        ld_a = p.threads[2].ops[0].uid
+        builder = GraphBuilder(p, TSO, ws_mode="observed")
+        graph = builder.build({ld_a: INIT, p.threads[2].ops[1].uid: 1}, {0: [1, 0]})
+        assert (ld_a, 1) in graph
+
+    def test_detects_corr_violation(self, two_writer_program):
+        """ld new-then-old across same address is cyclic."""
+        p = two_writer_program
+        ld_a, ld_b = (op.uid for op in p.threads[2].ops)
+        builder = GraphBuilder(p, TSO, ws_mode="observed")
+        graph = builder.build({ld_a: 1, ld_b: 0}, {0: [0, 1]})
+        assert topological_sort(range(p.num_ops), graph.adjacency) is None
+
+    def test_invalid_ws_mode_rejected(self, small_program):
+        with pytest.raises(CheckerError):
+            GraphBuilder(small_program, TSO, ws_mode="dynamic")
+
+
+class TestAgainstExecutor:
+    @pytest.mark.parametrize("model", [SC, TSO, WEAK], ids=lambda m: m.name)
+    def test_compliant_executions_are_acyclic_observed(self, model):
+        cfg = TestConfig(threads=3, ops_per_thread=30, addresses=8, seed=13)
+        p = generate(cfg)
+        builder = GraphBuilder(p, model, ws_mode="observed")
+        ex = OperationalExecutor(p, model, seed=4)
+        for e in ex.run(150):
+            graph = builder.build(e.rf, e.ws)
+            assert topological_sort(range(p.num_ops), graph.adjacency) is not None
+
+    @pytest.mark.parametrize("model", [SC, TSO, WEAK], ids=lambda m: m.name)
+    def test_compliant_executions_are_acyclic_static(self, model):
+        cfg = TestConfig(threads=3, ops_per_thread=30, addresses=8, seed=13)
+        p = generate(cfg)
+        builder = GraphBuilder(p, model, ws_mode="static")
+        ex = OperationalExecutor(p, model, seed=4)
+        for e in ex.run(150):
+            graph = builder.build(e.rf)
+            assert topological_sort(range(p.num_ops), graph.adjacency) is not None
+
+    def test_static_edges_subset_of_observed(self, small_program):
+        """Static mode is a sound weakening: every static edge is implied
+        by the observed-mode graph's ordering."""
+        ex = OperationalExecutor(small_program, WEAK, seed=9)
+        execution = ex.run_one()
+        static = GraphBuilder(small_program, WEAK, "static").build(execution.rf)
+        observed = GraphBuilder(small_program, WEAK, "observed").build(
+            execution.rf, execution.ws)
+        import networkx as nx
+
+        og = nx.DiGraph()
+        og.add_nodes_from(range(small_program.num_ops))
+        og.add_edges_from(observed.edge_pairs)
+        closure = nx.transitive_closure(og)
+        for u, v in static.edge_pairs:
+            assert closure.has_edge(u, v), (u, v)
+
+
+class TestObservedWsCoverage:
+    """Regression: observed mode must reject missing ws chains (a missing
+    chain would silently weaken checking and hide violations)."""
+
+    def test_missing_chain_rejected(self):
+        from repro.testgen.litmus import corr
+
+        lt = corr()
+        builder = GraphBuilder(lt.program, TSO, ws_mode="observed")
+        with pytest.raises(CheckerError):
+            builder.build(lt.interesting_rf, {})
+
+    def test_partial_ws_rejected(self, two_writer_program):
+        builder = GraphBuilder(two_writer_program, TSO, ws_mode="observed")
+        with pytest.raises(CheckerError):
+            builder.build({}, {1: []})      # address 0 has stores, no chain

@@ -1,0 +1,40 @@
+"""Unit tests for the constraint-graph data structure."""
+
+from repro.graph import FR, PO, RF, WS, ConstraintGraph, Edge
+
+
+class TestEdges:
+    def test_add_and_query(self):
+        g = ConstraintGraph(4, [Edge(0, 1, PO), Edge(1, 2, RF)])
+        assert (0, 1) in g and (1, 2) in g
+        assert (2, 1) not in g
+        assert g.num_edges == 2
+
+    def test_duplicate_pairs_collapse(self):
+        g = ConstraintGraph(3)
+        g.add_edge(Edge(0, 1, PO))
+        g.add_edge(Edge(0, 1, RF))
+        assert g.num_edges == 1
+        assert g.edge_kind(0, 1) == PO     # first kind wins
+
+    def test_self_loops_ignored(self):
+        g = ConstraintGraph(2, [Edge(1, 1, WS)])
+        assert g.num_edges == 0
+
+    def test_successors(self):
+        g = ConstraintGraph(4, [Edge(0, 1, PO), Edge(0, 2, FR)])
+        assert sorted(g.successors(0)) == [1, 2]
+        assert g.successors(3) == []
+
+    def test_edge_pairs_frozen(self):
+        g = ConstraintGraph(3, [Edge(0, 1, PO)])
+        pairs = g.edge_pairs
+        g.add_edge(Edge(1, 2, WS))
+        assert (1, 2) not in pairs       # snapshot semantics
+        assert (1, 2) in g.edge_pairs
+
+    def test_repr(self):
+        assert "V=3" in repr(ConstraintGraph(3))
+
+    def test_edge_repr(self):
+        assert repr(Edge(1, 2, RF)) == "1-rf->2"

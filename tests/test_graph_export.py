@@ -1,0 +1,65 @@
+"""Unit tests for constraint-graph export (networkx / DOT)."""
+
+import networkx as nx
+
+from repro.graph import GraphBuilder, find_cycle, to_dot, to_networkx
+from repro.mcm import TSO
+from repro.testgen.litmus import corr, store_buffering
+
+
+def corr_graph():
+    lt = corr()
+    builder = GraphBuilder(lt.program, TSO, ws_mode="static")
+    return lt.program, builder.build(lt.interesting_rf)
+
+
+class TestToNetworkx:
+    def test_edges_preserved_with_kinds(self):
+        program, graph = corr_graph()
+        g = to_networkx(graph, program)
+        assert g.number_of_edges() == graph.num_edges
+        for u, v, data in g.edges(data=True):
+            assert data["kind"] == graph.edge_kind(u, v)
+
+    def test_node_labels(self):
+        program, graph = corr_graph()
+        g = to_networkx(graph, program)
+        assert g.nodes[0]["label"] == program.op(0).describe()
+        assert g.nodes[0]["thread"] == 0
+
+    def test_cycle_detection_agrees(self):
+        program, graph = corr_graph()
+        g = to_networkx(graph)
+        assert not nx.is_directed_acyclic_graph(g)   # CoRR outcome is cyclic
+
+    def test_acyclic_case(self):
+        lt = store_buffering()
+        builder = GraphBuilder(lt.program, TSO, ws_mode="static")
+        graph = builder.build(lt.interesting_rf)
+        assert nx.is_directed_acyclic_graph(to_networkx(graph))
+
+
+class TestToDot:
+    def test_dot_structure(self):
+        program, graph = corr_graph()
+        dot = to_dot(graph, program)
+        assert dot.startswith("digraph")
+        assert "subgraph cluster_t0" in dot
+        assert '"rf"' in dot and '"po"' in dot
+
+    def test_dot_without_program(self):
+        _, graph = corr_graph()
+        dot = to_dot(graph)
+        assert "subgraph" not in dot
+        assert "n0 ->" in dot or "-> n0" in dot
+
+    def test_cycle_highlighting(self):
+        program, graph = corr_graph()
+        cycle = find_cycle(range(program.num_ops), graph.adjacency)
+        dot = to_dot(graph, program, highlight_cycle=cycle)
+        assert "penwidth=3" in dot
+
+    def test_dot_edge_count(self):
+        program, graph = corr_graph()
+        dot = to_dot(graph, program)
+        assert dot.count(" -> ") == graph.num_edges

@@ -1,0 +1,107 @@
+"""Unit + property tests for topological sorting and cycle extraction."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import find_cycle, topological_sort
+
+
+def is_topological(order, adjacency):
+    pos = {v: i for i, v in enumerate(order)}
+    return all(pos[u] < pos[w]
+               for u in order for w in adjacency.get(u, ()) if w in pos)
+
+
+class TestTopologicalSort:
+    def test_chain(self):
+        adj = {0: [1], 1: [2], 2: [3]}
+        assert topological_sort(range(4), adj) == [0, 1, 2, 3]
+
+    def test_cycle_returns_none(self):
+        assert topological_sort(range(3), {0: [1], 1: [2], 2: [0]}) is None
+
+    def test_self_edges_outside_vertex_set_ignored(self):
+        adj = {0: [1], 1: [99]}            # 99 not in the sorted set
+        assert topological_sort(range(2), adj) == [0, 1]
+
+    def test_subset_sorting_ignores_external_cycle(self):
+        # cycle 2->3->2 exists, but we only sort {0, 1}
+        adj = {0: [1], 2: [3], 3: [2]}
+        assert topological_sort([0, 1], adj) == [0, 1]
+
+    def test_empty(self):
+        assert topological_sort([], {}) == []
+
+    def test_key_controls_tie_breaking(self):
+        adj = {}
+        order = topological_sort([3, 1, 2], adj, key=lambda v: -v)
+        assert order == [3, 2, 1]
+
+    def test_key_respects_edges(self):
+        adj = {2: [1]}
+        order = topological_sort([1, 2, 3], adj, key=lambda v: v)
+        assert order.index(2) < order.index(1)
+        assert is_topological(order, adj)
+
+    def test_deterministic_without_key(self):
+        adj = {0: [2]}
+        a = topological_sort([2, 0, 1], adj)
+        b = topological_sort([2, 0, 1], adj)
+        assert a == b
+
+
+class TestFindCycle:
+    def test_finds_simple_cycle(self):
+        adj = {0: [1], 1: [2], 2: [0]}
+        cycle = find_cycle(range(3), adj)
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) == {0, 1, 2}
+
+    def test_cycle_edges_exist(self):
+        adj = {0: [1], 1: [2, 3], 3: [1], 2: []}
+        cycle = find_cycle(range(4), adj)
+        for u, v in zip(cycle, cycle[1:]):
+            assert v in adj.get(u, ())
+
+    def test_acyclic_returns_none(self):
+        assert find_cycle(range(3), {0: [1], 1: [2]}) is None
+
+    def test_restricted_vertex_set(self):
+        adj = {0: [1], 1: [0], 2: [3]}
+        assert find_cycle([2, 3], adj) is None
+        assert find_cycle([0, 1], adj) is not None
+
+
+@st.composite
+def random_digraph(draw):
+    n = draw(st.integers(1, 25))
+    edges = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        max_size=80))
+    adj = {}
+    for u, v in edges:
+        if u != v:
+            adj.setdefault(u, []).append(v)
+    return n, adj
+
+
+class TestAgainstNetworkx:
+    @given(random_digraph())
+    @settings(max_examples=120, deadline=None)
+    def test_matches_networkx_acyclicity(self, case):
+        n, adj = case
+        g = nx.DiGraph()
+        g.add_nodes_from(range(n))
+        g.add_edges_from((u, v) for u, vs in adj.items() for v in vs)
+        ours = topological_sort(range(n), adj)
+        theirs_acyclic = nx.is_directed_acyclic_graph(g)
+        assert (ours is not None) == theirs_acyclic
+        if ours is not None:
+            assert is_topological(ours, adj)
+            assert sorted(ours) == list(range(n))
+        else:
+            cycle = find_cycle(range(n), adj)
+            assert cycle is not None
+            for u, v in zip(cycle, cycle[1:]):
+                assert v in adj.get(u, ())

@@ -1,0 +1,40 @@
+"""Unit tests for multi-test suite orchestration."""
+
+from repro.harness import SuiteRunner
+from repro.testgen import TestConfig
+
+
+class TestSuiteRunner:
+    def test_aggregates_across_tests(self):
+        cfg = TestConfig(isa="arm", threads=2, ops_per_thread=15, addresses=8, seed=5)
+        stats = SuiteRunner(cfg, tests=3, iterations=80).run(seed=2)
+        assert stats.tests == 3
+        assert len(stats.unique_signatures) == 3
+        assert stats.mean_unique > 0
+        assert stats.crashes == 0
+        assert stats.violating_signatures == 0
+        assert stats.tests_with_violations == 0
+
+    def test_checking_reduction_positive(self):
+        cfg = TestConfig(isa="arm", threads=2, ops_per_thread=30, addresses=8, seed=5)
+        stats = SuiteRunner(cfg, tests=2, iterations=250).run(seed=2)
+        assert 0.0 < stats.checking_reduction < 1.0
+        assert stats.collective_sorted_vertices < stats.baseline_sorted_vertices
+
+    def test_method_counts_cover_all_graphs(self):
+        cfg = TestConfig(isa="arm", threads=2, ops_per_thread=20, addresses=8, seed=5)
+        stats = SuiteRunner(cfg, tests=2, iterations=150).run(seed=2)
+        assert sum(stats.method_counts.values()) == sum(stats.unique_signatures)
+
+    def test_run_without_checking(self):
+        cfg = TestConfig(isa="arm", threads=2, ops_per_thread=15, addresses=8, seed=5)
+        stats = SuiteRunner(cfg, tests=2, iterations=60).run(seed=2, check=False)
+        assert stats.baseline_sorted_vertices == 0
+        assert stats.checking_reduction == 0.0
+        assert len(stats.unique_signatures) == 2
+
+    def test_campaign_kwargs_forwarded(self):
+        cfg = TestConfig(isa="arm", threads=2, ops_per_thread=15, addresses=8, seed=5)
+        stats = SuiteRunner(cfg, tests=1, iterations=50,
+                            instrumentation="flush").run(seed=2)
+        assert stats.tests == 1

@@ -1,0 +1,83 @@
+"""Unit tests for instrumented-code generation and the size model."""
+
+import pytest
+
+from repro.instrument import SignatureCodec, code_size, emit_listing
+from repro.testgen import TestConfig, generate
+
+
+def make(isa="arm", **kw):
+    cfg = TestConfig(isa=isa, threads=kw.pop("threads", 2),
+                     ops_per_thread=kw.pop("ops", 50),
+                     addresses=kw.pop("addresses", 32), seed=kw.pop("seed", 1))
+    p = generate(cfg)
+    return p, SignatureCodec(p, cfg.register_width), cfg
+
+
+class TestCodeSize:
+    def test_instrumented_larger_than_original(self):
+        p, codec, cfg = make()
+        cs = code_size(p, codec, cfg.isa)
+        assert cs.instrumented_bytes > cs.original_bytes
+        assert cs.instrumented_insns > cs.original_insns
+
+    def test_ratio_shape(self):
+        """Paper Figure 12: ratios 1.95x-8.16x.  Our byte model emits the
+        literal Figure-4 if/else chains (no conditional-execution or
+        jump-table tightening), so high-contention ratios run ~2x the
+        paper's; the shape — small floor, growth with contention — holds."""
+        ratios = []
+        for isa, threads, ops, addrs in [("arm", 2, 50, 64), ("arm", 7, 200, 64),
+                                         ("x86", 2, 50, 32), ("x86", 4, 200, 64)]:
+            cfg = TestConfig(isa=isa, threads=threads, ops_per_thread=ops,
+                             addresses=addrs, seed=5)
+            p = generate(cfg)
+            ratios.append(code_size(p, SignatureCodec(p, cfg.register_width), isa).ratio)
+        assert all(1.5 <= r <= 20 for r in ratios)
+        # contention increases the ratio: big test > small test
+        assert ratios[1] > ratios[0]
+
+    def test_fits_in_l1_per_core(self):
+        """Even ARM-7-200-64 fits each core's 32 kB I-cache (paper: 27 kB/core)."""
+        cfg = TestConfig(isa="arm", threads=7, ops_per_thread=200, addresses=64, seed=2)
+        p = generate(cfg)
+        cs = code_size(p, SignatureCodec(p, 32), "arm")
+        assert cs.fits_in_l1(32 * 1024, threads=7)
+
+    def test_unknown_isa_rejected(self):
+        p, codec, _ = make()
+        with pytest.raises(ValueError):
+            code_size(p, codec, "riscv")
+
+    def test_arm_instructions_are_four_bytes(self):
+        p, codec, _ = make()
+        cs = code_size(p, codec, "arm")
+        assert cs.original_bytes == cs.original_insns * 4
+        assert cs.instrumented_bytes == cs.instrumented_insns * 4
+
+
+class TestListing:
+    def test_listing_structure(self, figure3_program):
+        codec = SignatureCodec(figure3_program, 64)
+        text = emit_listing(figure3_program, codec)
+        assert "thread 0:" in text and "thread 2:" in text
+        assert "init: sig0 = 0" in text
+        assert "finish: store sig0 to memory" in text
+        assert "else assert error" in text
+
+    def test_listing_shows_figure4_weights(self, figure3_program):
+        """Thread 0's second load gets weights 0, 3, 6, 9 (Figure 4)."""
+        codec = SignatureCodec(figure3_program, 64)
+        text = emit_listing(figure3_program, codec)
+        assert "sig0 += 3" in text
+        assert "sig0 += 6" in text
+        assert "sig0 += 9" in text
+
+    def test_listing_compare_values_are_store_ids(self, figure3_program):
+        codec = SignatureCodec(figure3_program, 64)
+        text = emit_listing(figure3_program, codec)
+        assert "if (value==9) sig0 += 2" in text
+
+    def test_every_load_gets_a_chain(self, small_program, small_codec):
+        text = emit_listing(small_program, small_codec)
+        assert text.count("else assert error") == len(small_program.loads)

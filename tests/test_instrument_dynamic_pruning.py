@@ -1,0 +1,119 @@
+"""Tests for the TSO frontier codec (dynamic pruning, paper Section 8)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SignatureError
+from repro.instrument import FrontierCodec, SignatureCodec
+from repro.isa import INIT, TestProgram, load, store
+from repro.mcm import SC, TSO
+from repro.sim import OperationalExecutor
+from repro.testgen import TestConfig, generate
+
+
+class TestFrontierRules:
+    def test_init_pruned_after_local_store(self):
+        """Once a thread stored to an address, later loads can't see INIT."""
+        p = TestProgram.from_ops(
+            [[store(0, 0, 0, 1), load(0, 1, 0)]], num_addresses=1)
+        codec = FrontierCodec(p)
+        ld = p.threads[0].ops[1].uid
+        with pytest.raises(SignatureError):
+            codec.encode({ld: INIT})
+
+    def test_stale_store_pruned_after_observation(self):
+        """Observing thread u's store #2 kills u's older store #1 for
+        later same-address loads (and INIT with it)."""
+        p = TestProgram.from_ops(
+            [
+                [load(0, 0, 0), load(0, 1, 0)],
+                [store(1, 0, 0, 1), store(1, 1, 0, 2)],
+            ],
+            num_addresses=1)
+        codec = FrontierCodec(p)
+        ld_a, ld_b = (op.uid for op in p.threads[0].ops)
+        st1, st2 = (op.uid for op in p.threads[1].ops)
+        # reading #2 then #1 must be rejected (also a CoRR violation)
+        with pytest.raises(SignatureError):
+            codec.encode({ld_a: st2, ld_b: st1})
+        with pytest.raises(SignatureError):
+            codec.encode({ld_a: st2, ld_b: INIT})
+        # reading #1 then #2 is fine
+        sig = codec.encode({ld_a: st1, ld_b: st2})
+        assert codec.decode(sig) == {ld_a: st1, ld_b: st2}
+
+    def test_cross_address_frontier(self):
+        """Observing u's store to y prunes u's older store to x."""
+        p = TestProgram.from_ops(
+            [
+                [load(0, 0, 1), load(0, 1, 0)],      # ld y ; ld x
+                [store(1, 0, 0, 1), store(1, 1, 0, 2), store(1, 2, 1, 3)],
+            ],
+            num_addresses=2)
+        codec = FrontierCodec(p)
+        ld_y, ld_x = (op.uid for op in p.threads[0].ops)
+        st_x1, st_x2, st_y = (op.uid for op in p.threads[1].ops)
+        # seeing y=#3 means x's older store #1 (behind #2) is dead
+        with pytest.raises(SignatureError):
+            codec.encode({ld_y: st_y, ld_x: st_x1})
+        sig = codec.encode({ld_y: st_y, ld_x: st_x2})
+        assert codec.decode(sig) == {ld_y: st_y, ld_x: st_x2}
+
+    def test_wrong_thread_count_rejected(self, small_program):
+        from repro.instrument.dynamic_pruning import FrontierSignature
+
+        codec = FrontierCodec(small_program)
+        with pytest.raises(SignatureError):
+            codec.decode(FrontierSignature((0,)))
+
+
+class TestAgainstExecutor:
+    @pytest.mark.parametrize("model", [TSO, SC], ids=lambda m: m.name)
+    def test_roundtrip_on_compliant_executions(self, model):
+        """Every TSO/SC execution encodes (frontier never violated) and
+        decodes back exactly."""
+        cfg = TestConfig(isa="x86", threads=4, ops_per_thread=30,
+                         addresses=8, seed=14)
+        p = generate(cfg)
+        codec = FrontierCodec(p)
+        ex = OperationalExecutor(p, model, seed=6)
+        for e in ex.run(120):
+            sig = codec.encode(e.rf)
+            assert codec.decode(sig) == e.rf
+
+    def test_signatures_never_longer_than_static(self):
+        cfg = TestConfig(isa="x86", threads=4, ops_per_thread=40,
+                         addresses=16, seed=15)
+        p = generate(cfg)
+        frontier = FrontierCodec(p)
+        static_bits = SignatureCodec(p, 64).byte_size * 8
+        ex = OperationalExecutor(p, TSO, seed=7)
+        sizes = [frontier.size_of(e.rf) for e in ex.run(60)]
+        assert all(s <= static_bits for s in sizes)
+
+    def test_meaningful_compression(self):
+        """The frontier saves a substantial fraction of signature bits on
+        contended TSO tests (the Section 8 motivation)."""
+        cfg = TestConfig(isa="x86", threads=4, ops_per_thread=50,
+                         addresses=16, seed=8)
+        p = generate(cfg)
+        frontier = FrontierCodec(p)
+        static_bits = SignatureCodec(p, 64).byte_size * 8
+        ex = OperationalExecutor(p, TSO, seed=4)
+        mean = sum(frontier.size_of(e.rf) for e in ex.run(80)) / 80
+        assert mean < 0.85 * static_bits
+
+
+@given(st.integers(0, 5000))
+@settings(max_examples=25, deadline=None)
+def test_property_frontier_roundtrip(seed):
+    cfg = TestConfig(isa="x86",
+                     threads=2 + seed % 3,
+                     ops_per_thread=10 + seed % 25,
+                     addresses=2 + seed % 8,
+                     seed=seed)
+    p = generate(cfg)
+    codec = FrontierCodec(p)
+    ex = OperationalExecutor(p, TSO, seed=seed)
+    for e in ex.run(5):
+        assert codec.decode(codec.encode(e.rf)) == e.rf

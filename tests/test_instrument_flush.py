@@ -1,0 +1,45 @@
+"""Unit tests for the register-flushing baseline and intrusiveness."""
+
+from repro.instrument import SignatureCodec, flush_log_size, intrusiveness
+from repro.testgen import TestConfig, generate
+
+
+def make(isa="arm", threads=2, ops=50, addrs=32, seed=1):
+    cfg = TestConfig(isa=isa, threads=threads, ops_per_thread=ops,
+                     addresses=addrs, seed=seed)
+    p = generate(cfg)
+    return p, SignatureCodec(p, cfg.register_width)
+
+
+class TestIntrusiveness:
+    def test_flush_logs_one_word_per_load(self):
+        p, _ = make()
+        assert flush_log_size(p) == len(p.loads)
+
+    def test_signature_accesses_much_smaller(self):
+        """Figure 11: signatures need only ~4-12% of flushing accesses."""
+        p, codec = make()
+        report = intrusiveness(p, codec)
+        assert report.signature_accesses < report.flush_accesses
+        assert report.normalized < 0.25
+
+    def test_normalized_grows_with_contention(self):
+        """More threads/ops and fewer addresses -> bigger signatures ->
+        more unrelated accesses (paper: 3.9% to 11.5%)."""
+        _, codec_low = make(threads=2, ops=50, addrs=64)
+        _, codec_high = make(threads=7, ops=200, addrs=64)
+        p_low = codec_low.program
+        p_high = codec_high.program
+        low = intrusiveness(p_low, codec_low).normalized
+        high = intrusiveness(p_high, codec_high).normalized
+        assert high > low
+
+    def test_report_fields_consistent(self):
+        p, codec = make()
+        report = intrusiveness(p, codec)
+        assert report.test_accesses == len(p.loads) + len(p.stores)
+        assert report.flush_accesses == len(p.loads)
+        assert report.signature_accesses == codec.total_words
+        assert report.signature_bytes == codec.byte_size
+        assert report.signature_overhead == (
+            report.signature_accesses / report.test_accesses)

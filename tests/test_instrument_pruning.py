@@ -1,0 +1,79 @@
+"""Unit tests for regularization and static candidate pruning (Section 8)."""
+
+import pytest
+
+from repro.errors import InstrumentationError
+from repro.instrument import (
+    SignatureCodec,
+    candidate_sources,
+    pruned_candidate_sources,
+    regularize,
+)
+from repro.instrument.weights import build_weight_tables
+from repro.isa import INIT
+from repro.sim import OperationalExecutor
+from repro.mcm import WEAK
+from repro.testgen import TestConfig, generate
+
+
+@pytest.fixture
+def regular_program():
+    p = generate(TestConfig(threads=3, ops_per_thread=24, addresses=6, seed=11))
+    return regularize(p, epoch=8)
+
+
+class TestRegularize:
+    def test_barriers_inserted_every_epoch(self, regular_program):
+        for tp in regular_program.threads:
+            barriers = [i for i, op in enumerate(tp.ops) if op.is_barrier]
+            assert len(barriers) == 3          # 24 ops / 8 per epoch
+
+    def test_memory_ops_preserved(self):
+        p = generate(TestConfig(threads=2, ops_per_thread=20, addresses=4, seed=2))
+        r = regularize(p, 5)
+        assert [op.describe() for op in p.all_ops] == \
+               [op.describe() for op in r.all_ops if not op.is_barrier]
+
+    def test_bad_epoch_rejected(self):
+        p = generate(TestConfig(seed=1))
+        with pytest.raises(InstrumentationError):
+            regularize(p, 0)
+
+    def test_name_tagged(self):
+        p = generate(TestConfig(seed=1))
+        assert "+reg10" in regularize(p, 10).name
+
+
+class TestPrunedCandidates:
+    def test_pruned_sets_are_subsets(self, regular_program):
+        full = candidate_sources(regular_program)
+        pruned = pruned_candidate_sources(regular_program)
+        for uid in full:
+            assert set(map(str, pruned[uid])) <= set(map(str, full[uid]))
+
+    def test_pruning_shrinks_signatures(self, regular_program):
+        full_words = SignatureCodec(regular_program, 32).total_words
+        pruned = pruned_candidate_sources(regular_program)
+        tables = build_weight_tables(regular_program, 32, pruned)
+        pruned_words = sum(t.num_words for t in tables)
+        assert pruned_words <= full_words
+        full_card = 1
+        for c in candidate_sources(regular_program).values():
+            full_card *= len(c)
+        pruned_card = 1
+        for c in pruned.values():
+            pruned_card *= len(c)
+        assert pruned_card < full_card
+
+    def test_without_barriers_pruning_is_noop(self):
+        p = generate(TestConfig(threads=2, ops_per_thread=20, addresses=4, seed=5))
+        assert pruned_candidate_sources(p) == candidate_sources(p)
+
+    def test_pruned_sets_sound_for_synchronized_executions(self, regular_program):
+        """Every rf observed under rendezvous barriers must fall inside
+        the pruned candidate set (soundness of static pruning)."""
+        pruned = pruned_candidate_sources(regular_program)
+        ex = OperationalExecutor(regular_program, WEAK, seed=3, sync_barriers=True)
+        for execution in ex.run(150):
+            for load_uid, source in execution.rf.items():
+                assert source in pruned[load_uid], (load_uid, source)

@@ -1,0 +1,87 @@
+"""Unit tests for the per-load candidate analysis (Figure 3, step 1)."""
+
+from repro.instrument import candidate_sources, observable_values
+from repro.isa import INIT, INIT_VALUE
+
+
+class TestFigure3Candidates:
+    """The paper's Figure 3 example, including its printed candidate sets."""
+
+    def test_load2_candidates(self, figure3_program):
+        """Load (2) can read its thread's store (1), or (6), or (9)."""
+        p = figure3_program
+        cands = candidate_sources(p)
+        ld2 = p.threads[0].ops[1].uid
+        sources = [p.op(u).value for u in cands[ld2]]
+        assert sources == [1, 6, 9]
+
+    def test_load3_candidates_include_init(self, figure3_program):
+        """Load (3) can read the initial value, (5), (8) or (10)."""
+        p = figure3_program
+        cands = candidate_sources(p)
+        ld3 = p.threads[0].ops[2].uid
+        assert cands[ld3][0] is INIT or cands[ld3][0] == INIT
+        rest = [p.op(u).value for u in cands[ld3][1:]]
+        assert rest == [5, 8, 10]
+
+    def test_load7_candidates(self, figure3_program):
+        """Load (7) reads its own (6), or (1), (4), (9)."""
+        p = figure3_program
+        cands = candidate_sources(p)
+        ld7 = p.threads[1].ops[2].uid
+        sources = [p.op(u).value for u in cands[ld7]]
+        assert sources[0] == 6             # local store first
+        assert set(sources[1:]) == {1, 4, 9}
+
+    def test_observable_values(self, figure3_program):
+        p = figure3_program
+        ld3 = p.threads[0].ops[2].uid
+        assert observable_values(p, ld3) == [INIT_VALUE, 5, 8, 10]
+
+
+class TestCandidateRules:
+    def test_local_store_shadows_init(self, small_program):
+        cands = candidate_sources(small_program)
+        for load_uid, sources in cands.items():
+            load_op = small_program.op(load_uid)
+            first = sources[0]
+            if first is INIT or first == INIT:
+                # no preceding local store to this address
+                assert not any(
+                    op.is_store and op.addr == load_op.addr and op.uid < load_uid
+                    for op in small_program.threads[load_op.thread].ops)
+            else:
+                local = small_program.op(first)
+                assert local.thread == load_op.thread
+                assert local.addr == load_op.addr
+                assert local.uid < load_uid
+
+    def test_only_latest_local_store_is_candidate(self, small_program):
+        cands = candidate_sources(small_program)
+        for load_uid, sources in cands.items():
+            load_op = small_program.op(load_uid)
+            locals_ = [s for s in sources if isinstance(s, int)
+                       and small_program.op(s).thread == load_op.thread]
+            assert len(locals_) <= 1
+
+    def test_all_other_thread_stores_present(self, small_program):
+        cands = candidate_sources(small_program)
+        for load_uid, sources in cands.items():
+            load_op = small_program.op(load_uid)
+            expected = {st.uid for st in small_program.stores_to(load_op.addr)
+                        if st.thread != load_op.thread}
+            others = {s for s in sources if isinstance(s, int)
+                      and small_program.op(s).thread != load_op.thread}
+            assert others == expected
+
+    def test_every_load_covered(self, small_program):
+        cands = candidate_sources(small_program)
+        assert set(cands) == {op.uid for op in small_program.loads}
+
+    def test_own_future_stores_excluded(self, small_program):
+        cands = candidate_sources(small_program)
+        for load_uid, sources in cands.items():
+            load_op = small_program.op(load_uid)
+            for s in sources:
+                if isinstance(s, int) and small_program.op(s).thread == load_op.thread:
+                    assert s < load_uid

@@ -1,0 +1,155 @@
+"""Unit + property tests for weight assignment and per-thread signatures."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SignatureError
+from repro.instrument import SignatureCodec, build_weight_tables, candidate_sources
+from repro.isa import INIT
+from repro.testgen import TestConfig, generate
+
+
+class TestFigure3Weights:
+    """Weight multipliers from the paper's Figure 3, step 2."""
+
+    def test_first_load_uses_unit_weights(self, figure3_program):
+        tables = build_weight_tables(figure3_program, 64)
+        slot = tables[0].slots[0]       # load (2): {1, 6, 9}
+        assert slot.multiplier == 1
+        assert len(slot.candidates) == 3
+
+    def test_second_load_uses_multiples_of_three(self, figure3_program):
+        tables = build_weight_tables(figure3_program, 64)
+        slot = tables[0].slots[1]       # load (3): weights 0,3,6,9
+        assert slot.multiplier == 3
+        assert len(slot.candidates) == 4
+
+    def test_paper_example_signature_value(self, figure3_program):
+        """Observing (9) for load (2) and (8) for load (3) gives sig 8."""
+        p = figure3_program
+        tables = build_weight_tables(p, 64)
+        st9 = p.store_with_value(9).uid
+        st8 = p.store_with_value(8).uid
+        ld2, ld3 = (s.uid for s in tables[0].slots)
+        words = tables[0].encode({ld2: st9, ld3: st8})
+        assert words == (2 + 6,)
+
+    def test_thread2_has_no_loads(self, figure3_program):
+        tables = build_weight_tables(figure3_program, 64)
+        assert tables[2].slots == []
+        assert tables[2].num_words == 1
+        assert tables[2].encode({}) == (0,)
+
+
+class TestOverflow:
+    def test_multi_word_split(self):
+        p = generate(TestConfig(threads=4, ops_per_thread=60, addresses=8, seed=3))
+        tables = build_weight_tables(p, 8)     # tiny 8-bit registers
+        assert any(t.num_words > 1 for t in tables)
+        for t in tables:
+            limit = 1 << 8
+            # every word's value range stays within the register
+            products = {}
+            for slot in t.slots:
+                products[slot.word] = products.get(slot.word, 1) * len(slot.candidates)
+            for product in products.values():
+                assert product <= limit
+
+    def test_multiplier_resets_on_new_word(self):
+        p = generate(TestConfig(threads=2, ops_per_thread=60, addresses=8, seed=3))
+        tables = build_weight_tables(p, 8)
+        for t in tables:
+            seen_words = set()
+            for slot in t.slots:
+                if slot.word not in seen_words:
+                    assert slot.multiplier == 1
+                    seen_words.add(slot.word)
+
+    def test_wider_register_means_fewer_words(self):
+        p = generate(TestConfig(threads=2, ops_per_thread=100, addresses=8, seed=3))
+        narrow = sum(t.num_words for t in build_weight_tables(p, 16))
+        wide = sum(t.num_words for t in build_weight_tables(p, 64))
+        assert wide < narrow
+
+    def test_invalid_register_width(self, figure3_program):
+        with pytest.raises(ValueError):
+            build_weight_tables(figure3_program, 0)
+
+
+class TestEncodeDecode:
+    def test_decode_rejects_wrong_word_count(self, small_codec):
+        table = small_codec.tables[0]
+        with pytest.raises(SignatureError):
+            table.decode((0,) * (table.num_words + 1))
+
+    def test_decode_rejects_out_of_range_word(self, small_codec):
+        table = small_codec.tables[0]
+        huge = tuple(table.cardinality + 5 for _ in range(table.num_words))
+        with pytest.raises(SignatureError):
+            table.decode(huge)
+
+    def test_encode_rejects_foreign_source(self, small_program, small_codec):
+        table = small_codec.tables[0]
+        if not table.slots:
+            pytest.skip("thread has no loads")
+        rf = {slot.uid: slot.candidates[0] for slot in table.slots}
+        rf[table.slots[0].uid] = 10 ** 9   # not a candidate
+        with pytest.raises(SignatureError):
+            table.encode(rf)
+
+    def test_byte_size(self, small_codec):
+        for table in small_codec.tables:
+            assert table.byte_size == table.num_words * 4   # 32-bit
+
+
+@st.composite
+def rf_choices(draw):
+    """A generated program plus a random valid rf assignment."""
+    seed = draw(st.integers(0, 10_000))
+    threads = draw(st.integers(1, 4))
+    ops = draw(st.integers(1, 40))
+    addrs = draw(st.integers(1, 16))
+    width = draw(st.sampled_from([8, 16, 32, 64]))
+    program = generate(TestConfig(threads=threads, ops_per_thread=ops,
+                                  addresses=addrs, seed=seed))
+    cands = candidate_sources(program)
+    rf = {uid: draw(st.sampled_from(sources)) for uid, sources in cands.items()}
+    return program, rf, width
+
+
+class TestRoundTripProperty:
+    @given(rf_choices())
+    @settings(max_examples=60, deadline=None)
+    def test_encode_decode_roundtrip(self, case):
+        """decode(encode(rf)) == rf for every valid rf (1:1 mapping)."""
+        program, rf, width = case
+        codec = SignatureCodec(program, width)
+        assert codec.decode(codec.encode(rf)) == rf
+
+    @given(rf_choices())
+    @settings(max_examples=30, deadline=None)
+    def test_distinct_rf_distinct_signatures(self, case):
+        """Different interleavings never collide (uniqueness guarantee)."""
+        program, rf, width = case
+        codec = SignatureCodec(program, width)
+        loads = list(rf)
+        if not loads:
+            return
+        # perturb one load to a different candidate, if it has one
+        cands = codec.candidates[loads[0]]
+        if len(cands) < 2:
+            return
+        other = dict(rf)
+        current = rf[loads[0]]
+        other[loads[0]] = next(c for c in cands if c != current)
+        assert codec.encode(other) != codec.encode(rf)
+
+
+class TestRadixOverflowGuard:
+    def test_single_load_radix_exceeding_register_rejected(self):
+        """Regression: a candidate set larger than the register range
+        cannot be represented at all; it must raise instead of silently
+        emitting an over-range signature word."""
+        p = generate(TestConfig(threads=4, ops_per_thread=60, addresses=2, seed=1))
+        with pytest.raises(SignatureError):
+            build_weight_tables(p, 4)       # 4-bit registers, ~40 candidates

@@ -1,0 +1,90 @@
+"""Unit tests for JSON persistence (device -> host signature transfer)."""
+
+import json
+
+import pytest
+
+from repro import io as repro_io
+from repro.harness import Campaign
+from repro.testgen import TestConfig
+
+
+@pytest.fixture
+def finished_campaign():
+    cfg = TestConfig(isa="arm", threads=2, ops_per_thread=20, addresses=8, seed=3)
+    campaign = Campaign(config=cfg, seed=4)
+    return campaign, campaign.run(150)
+
+
+class TestProgramRoundTrip:
+    def test_program_dump_load(self, small_program):
+        doc = repro_io.dump_program(small_program)
+        again = repro_io.load_program(doc)
+        assert [op.describe() for op in again.all_ops] == \
+               [op.describe() for op in small_program.all_ops]
+
+    def test_missing_listing_rejected(self):
+        with pytest.raises(repro_io.FormatError):
+            repro_io.load_program({"name": "x"})
+
+
+class TestCampaignRoundTrip:
+    def test_signature_counts_preserved(self, finished_campaign):
+        campaign, result = finished_campaign
+        loaded = repro_io.load_campaign(repro_io.dump_campaign(result))
+        assert loaded.signature_counts == result.signature_counts
+        assert loaded.iterations == result.iterations
+
+    def test_decoded_rf_matches_original(self, finished_campaign):
+        campaign, result = finished_campaign
+        loaded = repro_io.load_campaign(repro_io.dump_campaign(result))
+        for signature, execution in loaded.representatives.items():
+            assert execution.rf == result.representatives[signature].rf
+
+    def test_ws_preserved_when_included(self, finished_campaign):
+        campaign, result = finished_campaign
+        loaded = repro_io.load_campaign(repro_io.dump_campaign(result, include_ws=True))
+        for signature, execution in loaded.representatives.items():
+            assert execution.ws == result.representatives[signature].ws
+
+    def test_ws_omitted_when_excluded(self, finished_campaign):
+        campaign, result = finished_campaign
+        dump = repro_io.dump_campaign(result, include_ws=False)
+        assert '"ws"' not in dump
+        loaded = repro_io.load_campaign(dump)
+        assert all(e.ws == {} for e in loaded.representatives.values())
+
+    def test_host_side_checking_from_dump(self, finished_campaign):
+        """The full host flow: load dump, decode, build, check."""
+        from repro.checker import CollectiveChecker
+        from repro.graph import GraphBuilder
+        from repro.mcm import WEAK
+
+        campaign, result = finished_campaign
+        loaded = repro_io.load_campaign(repro_io.dump_campaign(result))
+        builder = GraphBuilder(loaded.program, WEAK, ws_mode="observed")
+        graphs = [builder.build(loaded.codec.decode(sig),
+                                loaded.representatives[sig].ws)
+                  for sig in loaded.sorted_signatures()]
+        report = CollectiveChecker().check(graphs)
+        assert not report.violations
+
+    def test_file_round_trip(self, finished_campaign, tmp_path):
+        campaign, result = finished_campaign
+        path = tmp_path / "dump.json"
+        repro_io.save_campaign(result, path)
+        loaded = repro_io.read_campaign(path)
+        assert loaded.signature_counts == result.signature_counts
+
+
+class TestFormatValidation:
+    def test_garbage_rejected(self):
+        with pytest.raises(repro_io.FormatError):
+            repro_io.load_campaign("{not json")
+
+    def test_wrong_version_rejected(self, finished_campaign):
+        _, result = finished_campaign
+        doc = json.loads(repro_io.dump_campaign(result))
+        doc["format"] = 999
+        with pytest.raises(repro_io.FormatError):
+            repro_io.load_campaign(json.dumps(doc))

@@ -1,0 +1,68 @@
+"""Unit tests for the textual assembler."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa import assemble, disassemble
+from repro.testgen import TestConfig, generate
+
+SAMPLE = """
+.addresses 4
+thread 0:
+  st [0x1] #1
+  ld [0x2]
+  barrier
+thread 1:
+  st [2] #2
+"""
+
+
+class TestAssemble:
+    def test_basic_parse(self):
+        p = assemble(SAMPLE)
+        assert p.num_threads == 2
+        assert p.num_addresses == 4
+        assert p.threads[0].ops[0].describe() == "st [0x1] #1"
+        assert p.threads[0].ops[2].is_barrier
+
+    def test_decimal_and_hex_addresses(self):
+        p = assemble(SAMPLE)
+        assert p.threads[1].ops[0].addr == 2
+
+    def test_comment_lines_ignored(self):
+        p = assemble("# a comment\n.addresses 2\nthread 0:\n  ld [0]\n")
+        assert p.num_ops == 1
+
+    def test_missing_addresses_directive(self):
+        with pytest.raises(ProgramError):
+            assemble("thread 0:\n  ld [0]\n")
+
+    def test_ops_outside_thread_rejected(self):
+        with pytest.raises(ProgramError):
+            assemble(".addresses 2\nld [0]\n")
+
+    def test_threads_must_be_in_order(self):
+        with pytest.raises(ProgramError):
+            assemble(".addresses 2\nthread 1:\n  ld [0]\n")
+
+    def test_unparsable_line(self):
+        with pytest.raises(ProgramError):
+            assemble(".addresses 2\nthread 0:\n  frobnicate\n")
+
+    def test_empty_input(self):
+        with pytest.raises(ProgramError):
+            assemble("")
+
+
+class TestRoundTrip:
+    def test_sample_roundtrip(self):
+        p = assemble(SAMPLE, name="s")
+        again = assemble(disassemble(p), name="s")
+        assert disassemble(again) == disassemble(p)
+
+    def test_generated_program_roundtrip(self):
+        p = generate(TestConfig(threads=3, ops_per_thread=15, addresses=8, seed=3))
+        again = assemble(disassemble(p))
+        assert [op.describe() for op in again.all_ops] == \
+               [op.describe() for op in p.all_ops]
+        assert again.num_addresses == p.num_addresses

@@ -1,0 +1,59 @@
+"""Unit tests for the mini-ISA operation types."""
+
+import pytest
+
+from repro.isa import INIT_VALUE, OpKind, barrier, load, store
+
+
+class TestOperationConstructors:
+    def test_load_fields(self):
+        op = load(1, 3, 0x20)
+        assert op.kind is OpKind.LOAD
+        assert (op.thread, op.index, op.addr) == (1, 3, 0x20)
+        assert op.value is None
+        assert op.is_load and not op.is_store and not op.is_barrier
+
+    def test_store_fields(self):
+        op = store(0, 0, 5, 42)
+        assert op.kind is OpKind.STORE
+        assert op.value == 42
+        assert op.is_store and not op.is_load
+
+    def test_barrier_fields(self):
+        op = barrier(2, 7)
+        assert op.is_barrier
+        assert op.addr is None and op.value is None
+
+    def test_store_id_cannot_collide_with_init(self):
+        with pytest.raises(ValueError):
+            store(0, 0, 0, INIT_VALUE)
+
+
+class TestDescribe:
+    def test_store_describe(self):
+        assert store(0, 0, 3, 7).describe() == "st [0x3] #7"
+
+    def test_load_describe(self):
+        assert load(0, 0, 0x1f).describe() == "ld [0x1f]"
+
+    def test_barrier_describe(self):
+        assert barrier(0, 0).describe() == "barrier"
+
+    def test_repr_contains_position(self):
+        assert "t1.2" in repr(load(1, 2, 0))
+
+
+class TestEquality:
+    def test_uid_not_part_of_equality(self):
+        from repro.isa.instructions import Operation
+
+        a = Operation(OpKind.LOAD, 0, 0, addr=1, uid=5)
+        b = Operation(OpKind.LOAD, 0, 0, addr=1, uid=9)
+        assert a == b
+
+    def test_kind_matters(self):
+        assert load(0, 0, 1) != barrier(0, 0)
+
+    def test_opkind_str(self):
+        assert str(OpKind.LOAD) == "ld"
+        assert str(OpKind.STORE) == "st"

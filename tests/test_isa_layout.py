@@ -1,0 +1,38 @@
+"""Unit tests for memory layouts (false sharing)."""
+
+import pytest
+
+from repro.isa import MemoryLayout
+
+
+class TestLayout:
+    def test_no_false_sharing_gives_one_word_per_line(self):
+        layout = MemoryLayout(8, 1)
+        assert [layout.line_of(a) for a in range(8)] == list(range(8))
+        assert layout.num_lines == 8
+
+    def test_four_words_per_line(self):
+        layout = MemoryLayout(8, 4)
+        assert layout.line_of(0) == layout.line_of(3) == 0
+        assert layout.line_of(4) == layout.line_of(7) == 1
+        assert layout.num_lines == 2
+
+    def test_partial_last_line(self):
+        layout = MemoryLayout(10, 4)
+        assert layout.num_lines == 3
+        assert list(layout.words_in_line(2)) == [8, 9]
+
+    def test_words_in_line_roundtrip(self):
+        layout = MemoryLayout(32, 16)
+        for line in range(layout.num_lines):
+            for addr in layout.words_in_line(line):
+                assert layout.line_of(addr) == line
+
+    def test_words_per_line_bounds(self):
+        with pytest.raises(ValueError):
+            MemoryLayout(8, 0)
+        with pytest.raises(ValueError):
+            MemoryLayout(8, 17)   # more than LINE_BYTES/WORD_BYTES
+
+    def test_max_words_per_line_allowed(self):
+        assert MemoryLayout(32, 16).num_lines == 2

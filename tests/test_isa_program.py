@@ -1,0 +1,96 @@
+"""Unit tests for TestProgram / ThreadProgram."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa import TestProgram, ThreadProgram, barrier, load, store
+
+
+def make_program():
+    return TestProgram.from_ops(
+        [
+            [store(0, 0, 0, 1), load(0, 1, 1)],
+            [store(1, 0, 1, 2), barrier(1, 1), load(1, 2, 0)],
+        ],
+        num_addresses=2, name="t",
+    )
+
+
+class TestConstruction:
+    def test_uids_are_dense_in_thread_order(self):
+        p = make_program()
+        assert [op.uid for op in p.all_ops] == list(range(5))
+
+    def test_num_ops_includes_barriers(self):
+        assert make_program().num_ops == 5
+
+    def test_num_threads(self):
+        assert make_program().num_threads == 2
+
+    def test_duplicate_store_ids_rejected(self):
+        with pytest.raises(ProgramError):
+            TestProgram.from_ops(
+                [[store(0, 0, 0, 1), store(0, 1, 1, 1)]], num_addresses=2)
+
+    def test_out_of_range_address_rejected(self):
+        with pytest.raises(ProgramError):
+            TestProgram.from_ops([[load(0, 0, 9)]], num_addresses=2)
+
+    def test_reserved_store_id_rejected(self):
+        from repro.isa.instructions import Operation, OpKind
+
+        bad = Operation(OpKind.STORE, 0, 0, addr=0, value=0)
+        with pytest.raises(ProgramError):
+            TestProgram.from_ops([[bad]], num_addresses=1)
+
+    def test_thread_append_validates_position(self):
+        tp = ThreadProgram(0)
+        tp.append(load(0, 0, 0))
+        with pytest.raises(ProgramError):
+            tp.append(load(0, 5, 0))
+        with pytest.raises(ProgramError):
+            tp.append(load(1, 1, 0))
+
+
+class TestQueries:
+    def test_op_lookup_by_uid(self):
+        p = make_program()
+        for op in p.all_ops:
+            assert p.op(op.uid) is op
+
+    def test_store_with_value(self):
+        p = make_program()
+        assert p.store_with_value(2).thread == 1
+
+    def test_store_with_unknown_value_raises(self):
+        with pytest.raises(ProgramError):
+            make_program().store_with_value(99)
+
+    def test_stores_to(self):
+        p = make_program()
+        assert [s.value for s in p.stores_to(0)] == [1]
+        assert [s.value for s in p.stores_to(1)] == [2]
+        assert p.stores_to(7) == []
+
+    def test_loads_and_stores_lists(self):
+        p = make_program()
+        assert len(p.loads) == 2
+        assert len(p.stores) == 2
+
+    def test_thread_loads_stores(self):
+        p = make_program()
+        assert len(p.threads[1].loads) == 1
+        assert len(p.threads[1].stores) == 1
+
+    def test_describe_lists_all_threads(self):
+        text = make_program().describe()
+        assert "thread 0:" in text and "thread 1:" in text
+        assert "st [0x0] #1" in text
+
+    def test_repr(self):
+        assert "2 threads" in repr(make_program())
+
+    def test_iteration_over_thread(self):
+        p = make_program()
+        assert list(p.threads[0]) == p.threads[0].ops
+        assert len(p.threads[0]) == 2

@@ -1,0 +1,84 @@
+"""Property-based tests over the whole pipeline.
+
+These are the repository's core invariants:
+
+1. every execution of a compliant machine encodes to a signature that
+   decodes back to the same reads-from map (signature exactness),
+2. such executions never produce cyclic constraint graphs (no false
+   positives), in both ws modes,
+3. the collective checker agrees with the baseline on every verdict.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.checker import BaselineChecker, CollectiveChecker
+from repro.graph import GraphBuilder, topological_sort
+from repro.instrument import SignatureCodec
+from repro.mcm import SC, TSO, WEAK
+from repro.sim import OperationalExecutor
+from repro.testgen import TestConfig, generate
+
+_MODELS = {"sc": SC, "tso": TSO, "weak": WEAK}
+
+
+@st.composite
+def pipeline_case(draw):
+    cfg = TestConfig(
+        threads=draw(st.integers(1, 4)),
+        ops_per_thread=draw(st.integers(2, 25)),
+        addresses=draw(st.integers(1, 8)),
+        words_per_line=draw(st.sampled_from([1, 4])),
+        barrier_fraction=draw(st.sampled_from([0.0, 0.1])),
+        seed=draw(st.integers(0, 100_000)),
+    )
+    model = _MODELS[draw(st.sampled_from(sorted(_MODELS)))]
+    width = draw(st.sampled_from([16, 32, 64]))
+    seed = draw(st.integers(0, 1000))
+    return cfg, model, width, seed
+
+
+@given(pipeline_case())
+@settings(max_examples=40, deadline=None)
+def test_signature_roundtrip_on_real_executions(case):
+    cfg, model, width, seed = case
+    program = generate(cfg)
+    codec = SignatureCodec(program, width)
+    ex = OperationalExecutor(program, model, seed=seed, layout=cfg.layout)
+    for execution in ex.run(8):
+        signature = codec.encode(execution.rf)
+        assert codec.decode(signature) == execution.rf
+
+
+@given(pipeline_case())
+@settings(max_examples=30, deadline=None)
+def test_no_false_positives_either_ws_mode(case):
+    cfg, model, width, seed = case
+    program = generate(cfg)
+    static = GraphBuilder(program, model, ws_mode="static")
+    observed = GraphBuilder(program, model, ws_mode="observed")
+    ex = OperationalExecutor(program, model, seed=seed, layout=cfg.layout)
+    vertices = range(program.num_ops)
+    for execution in ex.run(6):
+        assert topological_sort(
+            vertices, static.build(execution.rf).adjacency) is not None
+        assert topological_sort(
+            vertices, observed.build(execution.rf, execution.ws).adjacency) is not None
+
+
+@given(pipeline_case())
+@settings(max_examples=25, deadline=None)
+def test_collective_equals_baseline_on_campaigns(case):
+    cfg, model, width, seed = case
+    program = generate(cfg)
+    codec = SignatureCodec(program, width)
+    builder = GraphBuilder(program, model, ws_mode="static")
+    ex = OperationalExecutor(program, model, seed=seed, layout=cfg.layout)
+    reps = {}
+    for execution in ex.run(30):
+        reps.setdefault(codec.encode(execution.rf), execution)
+    graphs = [builder.build(codec.decode(sig)) for sig in sorted(reps)]
+    collective = CollectiveChecker().check(graphs)
+    baseline = BaselineChecker().check(graphs)
+    assert [v.violation for v in collective.verdicts] == \
+           [v.violation for v in baseline.verdicts]
+    assert not collective.violations

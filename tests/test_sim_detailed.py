@@ -1,0 +1,137 @@
+"""Tests for the detailed MESI executor (the gem5 stand-in)."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.graph import GraphBuilder, topological_sort
+from repro.mcm import TSO, WEAK
+from repro.sim.detailed import DetailedExecutor
+from repro.sim.faults import Bug, FaultConfig
+from repro.testgen import TestConfig, generate
+from repro.testgen.litmus import all_litmus_tests, store_buffering
+
+
+class TestTsoCompliance:
+    def test_forbidden_litmus_outcomes_never_appear(self):
+        for lt in all_litmus_tests():
+            if lt.allowed["tso"]:
+                continue
+            ex = DetailedExecutor(lt.program, seed=7)
+            for e in ex.run(250):
+                assert not e.crashed
+                hit = all(e.rf.get(k) == v for k, v in lt.interesting_rf.items())
+                if hit and lt.interesting_ws is not None:
+                    hit = all(e.ws.get(a) == c for a, c in lt.interesting_ws.items())
+                assert not hit, lt.name
+
+    def test_store_buffering_outcome_appears(self):
+        lt = store_buffering()
+        ex = DetailedExecutor(lt.program, seed=7)
+        seen = any(
+            all(e.rf.get(k) == v for k, v in lt.interesting_rf.items())
+            for e in ex.run(400))
+        assert seen
+
+    def test_random_test_graphs_acyclic_bug_free(self):
+        cfg = TestConfig(isa="x86", threads=4, ops_per_thread=30, addresses=8,
+                         words_per_line=4, seed=31)
+        p = generate(cfg)
+        builder = GraphBuilder(p, TSO, ws_mode="observed")
+        ex = DetailedExecutor(p, seed=2, layout=cfg.layout,
+                              faults=FaultConfig(l1_lines=4))
+        for e in ex.run(60):
+            assert not e.crashed
+            g = builder.build(e.rf, e.ws)
+            assert topological_sort(range(p.num_ops), g.adjacency) is not None
+
+
+class TestInterface:
+    def test_rf_and_ws_cover_program(self, small_program):
+        ex = DetailedExecutor(small_program, seed=1)
+        e = ex.run_one()
+        assert set(e.rf) == {op.uid for op in small_program.loads}
+        for addr in range(small_program.num_addresses):
+            assert sorted(e.ws[addr]) == sorted(
+                s.uid for s in small_program.stores_to(addr))
+
+    def test_too_many_threads_rejected(self):
+        p = generate(TestConfig(threads=7, ops_per_thread=5, addresses=8, seed=1))
+        from repro.sim.platform import X86_DESKTOP
+
+        with pytest.raises(ExecutionError):
+            DetailedExecutor(p, platform=X86_DESKTOP)   # 4 cores < 7 threads
+
+    def test_non_tso_model_rejected(self, small_program):
+        with pytest.raises(ExecutionError):
+            DetailedExecutor(small_program, WEAK)
+
+    def test_cycle_accounting(self, small_program):
+        e = DetailedExecutor(small_program, seed=1).run_one()
+        assert e.counters.base_cycles > 0
+        assert e.counters.test_accesses > 0
+
+    def test_same_thread_ws_in_program_order(self, small_program):
+        ex = DetailedExecutor(small_program, seed=4)
+        for e in ex.run(20):
+            for chain in e.ws.values():
+                per_thread = {}
+                for uid in chain:
+                    t = small_program.op(uid).thread
+                    assert per_thread.get(t, -1) < uid
+                    per_thread[t] = uid
+
+
+class TestBugInjection:
+    def test_bug3_crashes_under_eviction_pressure(self):
+        cfg = TestConfig(isa="x86", threads=7, ops_per_thread=100, addresses=64,
+                         words_per_line=4, seed=29)
+        p = generate(cfg)
+        ex = DetailedExecutor(p, seed=3, layout=cfg.layout,
+                              faults=FaultConfig(bug=Bug.WRITEBACK_RACE, l1_lines=4))
+        crashes = sum(1 for e in ex.run(12) if e.crashed)
+        assert crashes == 12    # paper: all bug-3 runs crash
+
+    def test_bug2_produces_loadload_violations(self):
+        """Across a small suite, bug 2 must yield at least one violating
+        unique execution (paper Table 3: rare but detectable)."""
+        cfg = TestConfig(isa="x86", threads=7, ops_per_thread=200, addresses=32,
+                         words_per_line=16, seed=23)
+        found = 0
+        for i, p in enumerate([generate(cfg.with_seed(23 * 7919 + k))
+                               for k in range(3)]):
+            builder = GraphBuilder(p, TSO, ws_mode="observed")
+            ex = DetailedExecutor(p, seed=100 + i, layout=cfg.layout,
+                                  faults=FaultConfig(bug=Bug.LOAD_LOAD_LSQ,
+                                                     l1_lines=4))
+            seen = set()
+            for e in ex.run(128):
+                if e.crashed or e.rf_key() in seen:
+                    continue
+                seen.add(e.rf_key())
+                g = builder.build(e.rf, e.ws)
+                if topological_sort(range(p.num_ops), g.adjacency) is None:
+                    found += 1
+        assert found >= 1
+
+    def test_bug_free_variant_of_bug2_config_is_clean(self):
+        cfg = TestConfig(isa="x86", threads=7, ops_per_thread=100, addresses=32,
+                         words_per_line=16, seed=23)
+        p = generate(cfg)
+        builder = GraphBuilder(p, TSO, ws_mode="observed")
+        ex = DetailedExecutor(p, seed=100, layout=cfg.layout,
+                              faults=FaultConfig(l1_lines=4))
+        for e in ex.run(40):
+            assert not e.crashed
+            g = builder.build(e.rf, e.ws)
+            assert topological_sort(range(p.num_ops), g.adjacency) is not None
+
+    def test_crashed_execution_shape(self):
+        cfg = TestConfig(isa="x86", threads=4, ops_per_thread=100, addresses=64,
+                         words_per_line=4, seed=29)
+        p = generate(cfg)
+        ex = DetailedExecutor(p, seed=3, layout=cfg.layout,
+                              faults=FaultConfig(bug=Bug.WRITEBACK_RACE, l1_lines=2))
+        e = next(iter(ex.run(6)))
+        # crashed executions report the crash and carry no usable rf
+        if e.crashed:
+            assert e.rf == {} and e.ws == {}

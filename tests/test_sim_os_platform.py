@@ -1,0 +1,80 @@
+"""Unit tests for OS perturbation and platform presets."""
+
+import random
+
+from repro.sim import (
+    ARM_BIG_LITTLE,
+    GEM5_X86_8CORE,
+    OSConfig,
+    OSModel,
+    OperationalExecutor,
+    X86_DESKTOP,
+    platform_for_isa,
+)
+from repro.mcm import WEAK
+from repro.testgen import TestConfig, generate
+
+
+class TestPlatformPresets:
+    def test_table1_x86(self):
+        assert X86_DESKTOP.num_cores == 4
+        assert X86_DESKTOP.memory_model_name == "tso"
+        assert X86_DESKTOP.register_width == 64
+
+    def test_table1_arm(self):
+        assert ARM_BIG_LITTLE.num_cores == 8
+        assert ARM_BIG_LITTLE.memory_model_name == "weak"
+        assert ARM_BIG_LITTLE.register_width == 32
+        # little cores are slower
+        speeds = ARM_BIG_LITTLE.thread_speeds(8)
+        assert speeds[0] == 1.0 and speeds[7] > 1.0
+
+    def test_gem5_platform(self):
+        assert GEM5_X86_8CORE.num_cores == 8
+        assert GEM5_X86_8CORE.memory_model_name == "tso"
+
+    def test_lookup_by_isa(self):
+        assert platform_for_isa("x86") is X86_DESKTOP
+        assert platform_for_isa("arm") is ARM_BIG_LITTLE
+
+    def test_unknown_isa(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            platform_for_isa("sparc")
+
+    def test_thread_allocation_wraps_cores(self):
+        speeds = X86_DESKTOP.thread_speeds(7)
+        assert len(speeds) == 7
+
+    def test_memory_model_resolution(self):
+        assert X86_DESKTOP.memory_model.name == "tso"
+
+
+class TestOSModel:
+    def test_perturbation_nonnegative(self):
+        os = OSModel(random.Random(1), 2, 8)
+        assert all(os.perturb(10.0) >= 0 for _ in range(100))
+
+    def test_more_threads_preempt_more(self):
+        cfg = OSConfig(access_jitter=0.0)
+        few = OSModel(random.Random(1), 2, 8, cfg)
+        many = OSModel(random.Random(1), 7, 8, cfg)
+        few_total = sum(few.perturb(10.0) for _ in range(4000))
+        many_total = sum(many.perturb(10.0) for _ in range(4000))
+        assert many_total > few_total
+
+    def test_jitter_without_preemption(self):
+        cfg = OSConfig(access_jitter=5.0, preempt_rate_per_kcycle=0.0)
+        os = OSModel(random.Random(2), 2, 8, cfg)
+        extras = [os.perturb(10.0) for _ in range(200)]
+        assert all(0 <= e <= 5.0 for e in extras)
+        assert any(e > 0 for e in extras)
+
+    def test_integrates_with_executor(self):
+        cfg = TestConfig(threads=2, ops_per_thread=20, addresses=8, seed=3)
+        p = generate(cfg)
+        os = OSModel(random.Random(4), 2, 8)
+        ex = OperationalExecutor(p, WEAK, seed=1, os_model=os)
+        e = ex.run_one()
+        assert set(e.rf) == {op.uid for op in p.loads}

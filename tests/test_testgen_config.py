@@ -1,0 +1,78 @@
+"""Unit tests for test configurations (paper Table 2)."""
+
+import pytest
+
+from repro.testgen import PAPER_CONFIGS, TestConfig, paper_config
+
+
+class TestConfigBasics:
+    def test_paper_naming_convention(self):
+        cfg = TestConfig(isa="arm", threads=2, ops_per_thread=50, addresses=32)
+        assert cfg.name == "ARM-2-50-32"
+
+    def test_x86_name_is_lowercase(self):
+        cfg = TestConfig(isa="x86", threads=4, ops_per_thread=100, addresses=64)
+        assert cfg.name == "x86-4-100-64"
+
+    def test_register_width_by_isa(self):
+        assert TestConfig(isa="x86").register_width == 64
+        assert TestConfig(isa="arm").register_width == 32
+
+    def test_memory_model_by_isa(self):
+        assert TestConfig(isa="x86").memory_model_name == "tso"
+        assert TestConfig(isa="arm").memory_model_name == "weak"
+
+    def test_layout_reflects_words_per_line(self):
+        cfg = TestConfig(addresses=32, words_per_line=4)
+        assert cfg.layout.num_lines == 8
+
+    def test_with_seed_and_layout(self):
+        cfg = TestConfig(seed=1)
+        assert cfg.with_seed(9).seed == 9
+        assert cfg.with_layout(16).words_per_line == 16
+        # original is untouched (frozen dataclass)
+        assert cfg.seed == 1 and cfg.words_per_line == 1
+
+
+class TestValidation:
+    def test_bad_isa(self):
+        with pytest.raises(ValueError):
+            TestConfig(isa="mips")
+
+    def test_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            TestConfig(threads=0)
+        with pytest.raises(ValueError):
+            TestConfig(ops_per_thread=0)
+        with pytest.raises(ValueError):
+            TestConfig(addresses=0)
+
+    def test_load_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            TestConfig(load_fraction=1.5)
+
+
+class TestPaperConfigs:
+    def test_twenty_one_configurations(self):
+        assert len(PAPER_CONFIGS) == 21
+
+    def test_fifteen_arm_six_x86(self):
+        assert sum(1 for c in PAPER_CONFIGS if c.isa == "arm") == 15
+        assert sum(1 for c in PAPER_CONFIGS if c.isa == "x86") == 6
+
+    def test_lookup_by_name(self):
+        assert paper_config("ARM-7-200-128").threads == 7
+        assert paper_config("x86-4-200-64").ops_per_thread == 200
+
+    def test_lookup_is_case_insensitive(self):
+        assert paper_config("arm-2-50-32") == PAPER_CONFIGS[0]
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            paper_config("ARM-3-50-32")
+
+    def test_paper_parameter_domain(self):
+        for cfg in PAPER_CONFIGS:
+            assert cfg.threads in (2, 4, 7)
+            assert cfg.ops_per_thread in (50, 100, 200)
+            assert cfg.addresses in (32, 64, 128)

@@ -1,0 +1,77 @@
+"""Unit tests for the constrained-random generator."""
+
+from collections import Counter
+
+from repro.testgen import TestConfig, generate, generate_suite
+
+
+class TestGenerate:
+    def test_shape_matches_config(self):
+        cfg = TestConfig(threads=3, ops_per_thread=25, addresses=16, seed=1)
+        p = generate(cfg)
+        assert p.num_threads == 3
+        assert all(len(tp) == 25 for tp in p.threads)
+        assert p.num_addresses == 16
+        assert p.name == cfg.name
+
+    def test_reproducible_for_same_seed(self):
+        cfg = TestConfig(seed=42)
+        a, b = generate(cfg), generate(cfg)
+        assert [op.describe() for op in a.all_ops] == \
+               [op.describe() for op in b.all_ops]
+
+    def test_different_seeds_differ(self):
+        cfg = TestConfig(threads=2, ops_per_thread=40, addresses=8)
+        a = generate(cfg.with_seed(1))
+        b = generate(cfg.with_seed(2))
+        assert [op.describe() for op in a.all_ops] != \
+               [op.describe() for op in b.all_ops]
+
+    def test_store_ids_unique_and_dense(self):
+        p = generate(TestConfig(threads=4, ops_per_thread=50, seed=3))
+        values = [op.value for op in p.stores]
+        assert len(values) == len(set(values))
+        assert min(values) == 1
+        assert max(values) == len(values)
+
+    def test_load_fraction_roughly_half(self):
+        p = generate(TestConfig(threads=4, ops_per_thread=200, seed=5))
+        loads = len(p.loads)
+        total = loads + len(p.stores)
+        assert 0.4 < loads / total < 0.6
+
+    def test_load_fraction_extremes(self):
+        all_loads = generate(TestConfig(load_fraction=1.0, seed=1))
+        assert not all_loads.stores
+        all_stores = generate(TestConfig(load_fraction=0.0, seed=1))
+        assert not all_stores.loads
+
+    def test_addresses_cover_pool(self):
+        p = generate(TestConfig(threads=4, ops_per_thread=200, addresses=8, seed=9))
+        used = {op.addr for op in p.all_ops}
+        assert used == set(range(8))
+
+    def test_barrier_fraction_inserts_barriers(self):
+        p = generate(TestConfig(ops_per_thread=100, barrier_fraction=0.3, seed=4))
+        barriers = sum(1 for op in p.all_ops if op.is_barrier)
+        assert barriers > 0
+        # memory ops count unchanged
+        assert sum(1 for op in p.all_ops if not op.is_barrier) == 200
+
+
+class TestGenerateSuite:
+    def test_suite_size(self):
+        suite = generate_suite(TestConfig(seed=1), 10)
+        assert len(suite) == 10
+
+    def test_suite_tests_are_distinct(self):
+        suite = generate_suite(TestConfig(seed=1), 5)
+        listings = {tuple(op.describe() for op in p.all_ops) for p in suite}
+        assert len(listings) == 5
+
+    def test_suite_reproducible(self):
+        a = generate_suite(TestConfig(seed=2), 3)
+        b = generate_suite(TestConfig(seed=2), 3)
+        for pa, pb in zip(a, b):
+            assert [o.describe() for o in pa.all_ops] == \
+                   [o.describe() for o in pb.all_ops]

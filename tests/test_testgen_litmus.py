@@ -1,0 +1,76 @@
+"""Unit tests for the litmus library (verdicts checked via graphs)."""
+
+import pytest
+
+from repro.graph import GraphBuilder, topological_sort
+from repro.mcm import get_model
+from repro.testgen import all_litmus_tests
+from repro.testgen.litmus import corr, iriw, message_passing, store_buffering
+
+
+class TestLibraryShape:
+    def test_eight_tests(self):
+        assert len(all_litmus_tests()) == 8
+
+    def test_every_test_has_verdicts_for_all_models(self):
+        for lt in all_litmus_tests():
+            assert set(lt.allowed) == {"sc", "tso", "weak"}
+
+    def test_interesting_rf_covers_real_loads(self):
+        for lt in all_litmus_tests():
+            load_uids = {op.uid for op in lt.program.loads}
+            assert set(lt.interesting_rf) <= load_uids
+
+    def test_names_unique(self):
+        names = [lt.name for lt in all_litmus_tests()]
+        assert len(names) == len(set(names))
+
+
+def graph_violates(lt, model_name):
+    """Check the interesting outcome against a model via its graph.
+
+    Builds the graph with static ws (plus the test's declared ws as
+    observed chains when present).
+    """
+    model = get_model(model_name)
+    if lt.interesting_ws is not None:
+        ws = dict(lt.interesting_ws)
+        for addr in range(lt.program.num_addresses):
+            ws.setdefault(addr, [s.uid for s in lt.program.stores_to(addr)])
+        builder = GraphBuilder(lt.program, model, ws_mode="observed")
+        graph = builder.build(lt.interesting_rf, ws)
+    else:
+        builder = GraphBuilder(lt.program, model, ws_mode="static")
+        graph = builder.build(lt.interesting_rf)
+    order = topological_sort(range(lt.program.num_ops), graph.adjacency)
+    return order is None
+
+
+class TestVerdictsMatchGraphs:
+    """Forbidden outcomes must yield cyclic graphs; allowed ones acyclic."""
+
+    @pytest.mark.parametrize("model_name", ["sc", "tso", "weak"])
+    def test_all_litmus_verdicts(self, model_name):
+        for lt in all_litmus_tests():
+            violates = graph_violates(lt, model_name)
+            allowed = lt.allowed[model_name]
+            assert violates == (not allowed), (lt.name, model_name)
+
+
+class TestSpecificShapes:
+    def test_sb_probes_init_reads(self):
+        lt = store_buffering()
+        from repro.isa import INIT
+
+        assert all(v == INIT for v in lt.interesting_rf.values())
+
+    def test_mp_flag_then_stale_data(self):
+        lt = message_passing()
+        assert lt.program.num_threads == 2
+        assert len(lt.interesting_rf) == 2
+
+    def test_iriw_has_four_threads(self):
+        assert iriw().program.num_threads == 4
+
+    def test_corr_single_address(self):
+        assert corr().program.num_addresses == 1

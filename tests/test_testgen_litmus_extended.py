@@ -1,0 +1,108 @@
+"""Tests for the extended litmus library (WRC, RWC, S, R, Co* tests)."""
+
+import pytest
+
+from repro.graph import GraphBuilder, topological_sort
+from repro.mcm import SC, TSO, WEAK, get_model
+from repro.sim import OperationalExecutor
+from repro.sim.executor import Tuning
+from repro.testgen.litmus import extended_litmus_tests
+
+_STRESS = Tuning(in_order_bias=0.55, fetch_prob=0.75, start_skew=2.0)
+
+
+def graph_violates(lt, model_name):
+    model = get_model(model_name)
+    if lt.interesting_ws is not None:
+        ws = dict(lt.interesting_ws)
+        for addr in range(lt.program.num_addresses):
+            ws.setdefault(addr, [s.uid for s in lt.program.stores_to(addr)])
+        graph = GraphBuilder(lt.program, model, ws_mode="observed").build(
+            lt.interesting_rf, ws)
+    else:
+        graph = GraphBuilder(lt.program, model, ws_mode="static").build(
+            lt.interesting_rf)
+    return topological_sort(range(lt.program.num_ops), graph.adjacency) is None
+
+
+class TestLibraryShape:
+    def test_seven_extended_tests(self):
+        assert len(extended_litmus_tests()) == 7
+
+    def test_no_name_collisions_with_base_library(self):
+        from repro.testgen import all_litmus_tests
+
+        base = {lt.name for lt in all_litmus_tests()}
+        extended = {lt.name for lt in extended_litmus_tests()}
+        assert not base & extended
+
+    def test_canonical_tso_verdicts(self):
+        by = {lt.name: lt for lt in extended_litmus_tests()}
+        # the catalogue's well-known TSO classifications
+        assert by["R"].allowed["tso"] is True
+        assert by["RWC"].allowed["tso"] is True
+        assert by["SB+fence1"].allowed["tso"] is True
+        assert by["WRC"].allowed["tso"] is False
+        assert by["S"].allowed["tso"] is False
+
+
+class TestVerdictsMatchGraphs:
+    @pytest.mark.parametrize("model_name", ["sc", "tso", "weak"])
+    def test_extended_litmus_verdicts(self, model_name):
+        for lt in extended_litmus_tests():
+            expected = (not lt.allowed[model_name]
+                        and model_name not in lt.undetectable_under)
+            assert graph_violates(lt, model_name) == expected, (lt.name, model_name)
+
+    def test_cowr_documents_footnote4_blind_spot(self):
+        """CoWR is forbidden everywhere, yet without the intra-thread
+        store->load edge the relaxed-model graphs stay acyclic — the
+        checker's known false-negative (paper footnote 4)."""
+        cowr = next(lt for lt in extended_litmus_tests() if lt.name == "CoWR")
+        assert not cowr.allowed["tso"]
+        assert not graph_violates(cowr, "tso")
+        assert graph_violates(cowr, "sc")       # SC keeps the edge
+
+
+class TestExecutorCompliance:
+    @pytest.mark.parametrize("model", [SC, TSO, WEAK], ids=lambda m: m.name)
+    def test_forbidden_outcomes_never_appear(self, model):
+        for lt in extended_litmus_tests():
+            if lt.allowed[model.name]:
+                continue
+            ex = OperationalExecutor(lt.program, model, seed=5, tuning=_STRESS)
+            for e in ex.run(600):
+                hit = all(e.rf.get(k) == v for k, v in lt.interesting_rf.items())
+                if hit and lt.interesting_ws is not None:
+                    hit = all(e.ws.get(a) == c for a, c in lt.interesting_ws.items())
+                assert not hit, (lt.name, model.name)
+
+    def test_tso_allowed_outcomes_appear(self):
+        for lt in extended_litmus_tests():
+            if not lt.allowed["tso"] or lt.allowed["sc"]:
+                continue
+            ex = OperationalExecutor(lt.program, TSO, seed=5, tuning=_STRESS)
+            seen = False
+            for e in ex.run(6000):
+                hit = all(e.rf.get(k) == v for k, v in lt.interesting_rf.items())
+                if hit and lt.interesting_ws is not None:
+                    hit = all(e.ws.get(a) == c for a, c in lt.interesting_ws.items())
+                if hit:
+                    seen = True
+                    break
+            assert seen, lt.name
+
+    def test_weak_only_outcomes_appear(self):
+        for lt in extended_litmus_tests():
+            if not lt.allowed["weak"] or lt.allowed["tso"]:
+                continue
+            ex = OperationalExecutor(lt.program, WEAK, seed=5, tuning=_STRESS)
+            seen = False
+            for e in ex.run(8000):
+                hit = all(e.rf.get(k) == v for k, v in lt.interesting_rf.items())
+                if hit and lt.interesting_ws is not None:
+                    hit = all(e.ws.get(a) == c for a, c in lt.interesting_ws.items())
+                if hit:
+                    seen = True
+                    break
+            assert seen, lt.name

@@ -1,0 +1,76 @@
+"""Unit tests for test merging (paper Section 8 scalability)."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.instrument import SignatureCodec, candidate_sources
+from repro.isa import MemoryLayout
+from repro.testgen import TestConfig, generate, merge_tests
+
+
+def make_segments(n=2, threads=2, ops=10):
+    cfg = TestConfig(threads=threads, ops_per_thread=ops, addresses=4)
+    return [generate(cfg.with_seed(100 + i)) for i in range(n)]
+
+
+class TestMerge:
+    def test_merged_shape(self):
+        merged = merge_tests(make_segments(3))
+        assert merged.num_threads == 2
+        assert all(len(tp) == 30 for tp in merged.threads)
+        assert merged.num_addresses == 12
+
+    def test_store_ids_stay_unique(self):
+        merged = merge_tests(make_segments(3))
+        values = [op.value for op in merged.stores]
+        assert len(values) == len(set(values))
+
+    def test_segments_use_disjoint_addresses(self):
+        segments = make_segments(2, ops=10)
+        merged = merge_tests(segments)
+        for tp in merged.threads:
+            seg0_addrs = {op.addr for op in tp.ops[:10] if op.addr is not None}
+            seg1_addrs = {op.addr for op in tp.ops[10:] if op.addr is not None}
+            assert all(a % 2 == 0 for a in seg0_addrs)
+            assert all(a % 2 == 1 for a in seg1_addrs)
+
+    def test_false_sharing_across_segments(self):
+        """With >1 word per line, remapped words of different segments
+        share cache lines (the point of the merge layout)."""
+        merged = merge_tests(make_segments(2))
+        layout = MemoryLayout(merged.num_addresses, 4)
+        # word 0 (segment 0) and word 1 (segment 1) share line 0
+        assert layout.line_of(0) == layout.line_of(1)
+
+    def test_no_cross_segment_candidates(self):
+        """Merged signatures stay additive: loads only see same-segment
+        stores, so candidate sets never mix segments."""
+        segments = make_segments(2)
+        merged = merge_tests(segments)
+        cands = candidate_sources(merged)
+        for load_uid, sources in cands.items():
+            parity = merged.op(load_uid).addr % 2
+            for src in sources:
+                if isinstance(src, int):
+                    assert merged.op(src).addr % 2 == parity
+
+    def test_signature_growth_is_additive(self):
+        segments = make_segments(2)
+        merged = merge_tests(segments)
+        seg_words = [SignatureCodec(s, 32).total_words for s in segments]
+        merged_words = SignatureCodec(merged, 32).total_words
+        assert merged_words <= sum(seg_words) + merged.num_threads
+
+    def test_name_defaults_to_joined_segments(self):
+        merged = merge_tests(make_segments(2))
+        assert "+" in merged.name
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(ProgramError):
+            merge_tests([])
+
+    def test_thread_count_mismatch_rejected(self):
+        a = generate(TestConfig(threads=2, ops_per_thread=5, addresses=4, seed=1))
+        b = generate(TestConfig(threads=3, ops_per_thread=5, addresses=4, seed=2))
+        with pytest.raises(ProgramError):
+            merge_tests([a, b])
