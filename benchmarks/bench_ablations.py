@@ -13,7 +13,7 @@
   precision.
 """
 
-from conftest import campaign_graphs, record_table, run_campaign
+from conftest import campaign_graphs, obs_off, record_table, run_campaign
 from repro.checker import CollectiveChecker
 from repro.graph import GraphBuilder
 from repro.harness import format_table
@@ -57,7 +57,7 @@ def test_ablation_sort_layout(benchmark):
 
     cfg = paper_config("ARM-2-100-32")
     campaign, result, graphs = campaign_graphs(cfg, iterations=_ITERS, seed=31)
-    benchmark(_sorted_vertices, graphs)
+    benchmark(obs_off(_sorted_vertices), graphs)
 
 
 def test_ablation_static_pruning(benchmark):
@@ -115,7 +115,7 @@ def test_ablation_ws_mode(benchmark):
     cfg = paper_config("ARM-2-100-32")
     _, _, graphs = campaign_graphs(cfg, iterations=_ITERS, seed=31,
                                    ws_mode="observed")
-    benchmark(_sorted_vertices, graphs)
+    benchmark(obs_off(_sorted_vertices), graphs)
 
 
 def test_ablation_frontier_pruning(benchmark):

@@ -11,7 +11,7 @@ Counts unique signatures over ``BENCH_ITERS`` iterations, averaged over
 batch (execute + encode) of a representative configuration.
 """
 
-from conftest import BENCH_ITERS, BENCH_TESTS, record_table, run_campaign
+from conftest import BENCH_ITERS, BENCH_TESTS, obs_off, record_table, run_campaign
 from repro.harness import format_table
 from repro.testgen import PAPER_CONFIGS
 
@@ -52,5 +52,6 @@ def test_fig08_unique_interleavings(benchmark):
 
     campaign, _ = run_campaign(PAPER_CONFIGS[6], seed=11)    # ARM-4-50-64
     benchmark.pedantic(
-        lambda: [campaign.codec.encode(e.rf) for e in campaign.executor.run(16)],
+        obs_off(lambda: [campaign.codec.encode(e.rf)
+                         for e in campaign.executor.run(16)]),
         rounds=3, iterations=1)

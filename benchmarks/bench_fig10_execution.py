@@ -8,7 +8,7 @@ claims are relative (signature computation averages 22% of the original
 time, sorting 38%, both growing with non-determinism).
 """
 
-from conftest import BENCH_ITERS, record_table, run_campaign
+from conftest import BENCH_ITERS, obs_off, record_table, run_campaign
 from repro.harness import format_table
 from repro.testgen import PAPER_CONFIGS
 
@@ -45,4 +45,4 @@ def test_fig10_execution_breakdown(benchmark):
     assert all(o[0] < 150 for o in overheads.values())
 
     campaign, _ = run_campaign(_ARM_CONFIGS[6], seed=41)
-    benchmark.pedantic(lambda: campaign.executor.run_one(), rounds=20, iterations=1)
+    benchmark.pedantic(obs_off(campaign.executor.run_one), rounds=20, iterations=1)

@@ -10,7 +10,7 @@ Paper: signatures need only ~7% of the flushing accesses on average
 (3.9%-11.5%), with sizes from 8.4 B (ARM-2-50-32) to 324 B (ARM-7-200-64).
 """
 
-from conftest import record_table
+from conftest import obs_off, record_table
 from repro.harness import format_table
 from repro.instrument import SignatureCodec, intrusiveness
 from repro.testgen import PAPER_CONFIGS, generate_suite
@@ -52,4 +52,4 @@ def test_fig11_intrusiveness(benchmark):
 
     cfg = PAPER_CONFIGS[13]    # ARM-7-200-64
     program = generate_suite(cfg, 1)[0]
-    benchmark(lambda: intrusiveness(program, SignatureCodec(program, 32)))
+    benchmark(obs_off(lambda: intrusiveness(program, SignatureCodec(program, 32))))

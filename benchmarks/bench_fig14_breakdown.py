@@ -9,8 +9,9 @@ Paper: ARM tests mostly skip re-sorting; x86 tests re-sort more, with
 21%-78% of vertices affected.
 """
 
-from conftest import campaign_graphs, record_table
-from repro.checker import COMPLETE, INCREMENTAL, NO_RESORT, CollectiveChecker
+from conftest import campaign_graphs, obs_off, record_table
+from repro import obs
+from repro.checker import CollectiveChecker
 from repro.harness import format_table
 from repro.testgen import paper_config
 
@@ -27,14 +28,22 @@ def test_fig14_checking_breakdown(benchmark):
     for name in _CONFIGS:
         cfg = paper_config(name)
         _, _, graphs = campaign_graphs(cfg, iterations=_ITERS, seed=31)
-        report = CollectiveChecker().check(graphs)
-        n = max(1, report.num_graphs)
+        # per-config metrics come straight from the checker's registry
+        # counters rather than being recomputed from the verdict list
+        with obs.enabled_obs() as handle:
+            report = CollectiveChecker().check(graphs)
+        metrics = handle.metrics
+        graphs_checked = metrics.counter("checker.collective.graphs").value
+        n = max(1, graphs_checked)
+        window = metrics.histogram("checker.collective.resort_window_size")
+        affected = (window.mean / report.num_vertices_per_graph
+                    if window.count and report.num_vertices_per_graph else 0.0)
         rows.append([
-            name, report.num_graphs,
-            100.0 * report.count(COMPLETE) / n,
-            100.0 * report.count(NO_RESORT) / n,
-            100.0 * report.count(INCREMENTAL) / n,
-            100.0 * report.affected_vertex_fraction,
+            name, graphs_checked,
+            100.0 * metrics.counter("checker.collective.verdicts.complete").value / n,
+            100.0 * metrics.counter("checker.collective.verdicts.no_resort").value / n,
+            100.0 * metrics.counter("checker.collective.verdicts.incremental").value / n,
+            100.0 * affected,
         ])
         if name == "x86-2-100-32":
             sample = graphs
@@ -49,4 +58,4 @@ def test_fig14_checking_breakdown(benchmark):
     assert max(r[3] for r in rows) > 12.0
     assert all(r[5] < 60.0 for r in rows)
 
-    benchmark(CollectiveChecker().check, sample)
+    benchmark(obs_off(CollectiveChecker().check), sample)

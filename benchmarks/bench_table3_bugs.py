@@ -15,7 +15,7 @@ Also prints one detected violation cycle in the style of Figure 13.
 
 import os
 
-from conftest import record_table
+from conftest import obs_off, record_table
 from repro.checker import BaselineChecker, describe_cycle
 from repro.graph import GraphBuilder
 from repro.mcm import TSO
@@ -105,7 +105,7 @@ def test_table3_bug_detection(benchmark):
     program = generate_suite(cfg, 1)[0]
     ex = DetailedExecutor(program, seed=1, layout=cfg.layout,
                           faults=FaultConfig(l1_lines=4))
-    benchmark.pedantic(ex.run_one, rounds=10, iterations=1)
+    benchmark.pedantic(obs_off(ex.run_one), rounds=10, iterations=1)
 
 
 def test_table3_no_false_positives_bug_free(benchmark):
@@ -124,4 +124,4 @@ def test_table3_no_false_positives_bug_free(benchmark):
     cfg = _CASES[0][2]
     program = generate_suite(cfg, 1)[0]
     ex = DetailedExecutor(program, seed=2, layout=cfg.layout)
-    benchmark.pedantic(ex.run_one, rounds=10, iterations=1)
+    benchmark.pedantic(obs_off(ex.run_one), rounds=10, iterations=1)

@@ -10,15 +10,29 @@ Scaling: the paper runs 65,536 iterations per test on native silicon and
 10 tests per configuration.  Pure-Python simulation scales both down; the
 defaults below reproduce the *shapes* in minutes.  Set ``REPRO_BENCH_ITERS``
 and ``REPRO_BENCH_TESTS`` to larger values for tighter statistics.
+
+Observability: every benchmark test runs with a fresh enabled metrics
+registry; its snapshot is collected at teardown and the whole map (test
+name -> metrics) is written to ``benchmarks/results/BENCH_obs.json`` so
+the perf trajectory is diffable across PRs.  Wall-clock metrics
+(``*.elapsed_s`` histograms, span times) are excluded from the file —
+everything left is a deterministic function of the seeds.  Campaigns are
+cached across tests, so executor metrics land in the snapshot of
+whichever test ran a configuration first.  The ``benchmark`` fixture is
+wrapped to disable observability inside timed loops: timings measure the
+same disabled-mode code paths the seed measured, and adaptive benchmark
+rounds cannot inflate the recorded counters.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
 import pytest
 
+from repro import obs
 from repro.graph import GraphBuilder
 from repro.harness import Campaign
 from repro.sim import platform_for_isa
@@ -39,10 +53,57 @@ def record_table(name: str, text: str) -> None:
     (_RESULTS_DIR / (name + ".txt")).write_text(text + "\n")
 
 
+_OBS_SNAPSHOTS: dict[str, dict] = {}
+
+
+def pytest_runtest_setup(item):
+    obs.enable()
+
+
+def pytest_runtest_teardown(item):
+    handle = obs.get_obs()
+    if handle.enabled and len(handle.metrics):
+        _OBS_SNAPSHOTS[item.name] = _diffable(handle.metrics.snapshot())
+    obs.disable()
+
+
+def _diffable(snapshot: dict) -> dict:
+    """Drop wall-clock series so the file only changes when behaviour does."""
+    return {name: entry for name, entry in snapshot.items()
+            if not name.endswith(".elapsed_s")}
+
+
+_DISABLED_OBS = obs.Observability(enabled=False)
+
+
+def obs_off(fn):
+    """Wrap ``fn`` so it runs with observability disabled.
+
+    Used around every ``benchmark(...)`` target: timed loops measure the
+    same disabled-mode code paths the seed measured, and pytest-benchmark's
+    adaptive round counts cannot inflate the recorded per-test counters.
+    """
+    def wrapper(*args, **kwargs):
+        previous = obs.set_obs(_DISABLED_OBS)
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            obs.set_obs(previous)
+    return wrapper
+
+
 def pytest_terminal_summary(terminalreporter):
     for name, text in _TABLES:
         terminalreporter.write_sep("=", name)
         terminalreporter.write_line(text)
+    if _OBS_SNAPSHOTS:
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        payload = {"schema": "repro.bench-obs", "version": 1,
+                   "suites": _OBS_SNAPSHOTS}
+        path = _RESULTS_DIR / "BENCH_obs.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        terminalreporter.write_line("observability snapshots written to %s"
+                                    % path)
 
 
 _CAMPAIGN_CACHE: dict = {}

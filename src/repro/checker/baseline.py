@@ -8,11 +8,10 @@ collective checker against exactly this.
 
 from __future__ import annotations
 
-import time
-
 from repro.graph.constraint_graph import ConstraintGraph
 from repro.graph.toposort import find_cycle, topological_sort
 from repro.checker.results import COMPLETE, CheckReport, Verdict
+from repro.obs import get_obs
 
 
 class BaselineChecker:
@@ -33,16 +32,19 @@ class BaselineChecker:
         vertices = range(num_vertices)
         report.num_vertices_per_graph = num_vertices
 
-        start = time.perf_counter()
-        for index, graph in enumerate(graphs):
-            order = topological_sort(vertices, graph.adjacency)
-            report.sorted_vertices += num_vertices
-            if order is None:
-                cycle = tuple(find_cycle(vertices, graph.adjacency))
-                report.verdicts.append(Verdict(index, True, cycle, COMPLETE,
-                                               num_vertices))
-            else:
-                report.verdicts.append(Verdict(index, False, None, COMPLETE,
-                                               num_vertices))
-        report.elapsed = time.perf_counter() - start
+        obs = get_obs()
+        with obs.span("checker.baseline") as span:
+            for index, graph in enumerate(graphs):
+                order = topological_sort(vertices, graph.adjacency)
+                report.sorted_vertices += num_vertices
+                if order is None:
+                    cycle = tuple(find_cycle(vertices, graph.adjacency))
+                    report.verdicts.append(Verdict(index, True, cycle, COMPLETE,
+                                                   num_vertices))
+                else:
+                    report.verdicts.append(Verdict(index, False, None, COMPLETE,
+                                                   num_vertices))
+        report.elapsed = span.elapsed
+        if obs.enabled:
+            report.record_metrics(obs, "checker.baseline")
         return report

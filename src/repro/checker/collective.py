@@ -26,8 +26,6 @@ graph, exactly when one exists.
 
 from __future__ import annotations
 
-import time
-
 from repro.graph.constraint_graph import ConstraintGraph
 from repro.graph.toposort import find_cycle, topological_sort
 from repro.checker.results import (
@@ -37,6 +35,7 @@ from repro.checker.results import (
     CheckReport,
     Verdict,
 )
+from repro.obs import get_obs
 
 
 class CollectiveChecker:
@@ -63,15 +62,24 @@ class CollectiveChecker:
         report = CheckReport()
         if not graphs:
             return report
+        report.num_vertices_per_graph = graphs[0].num_vertices
+
+        obs = get_obs()
+        with obs.span("checker.collective") as span:
+            self._check_all(graphs, report)
+        report.elapsed = span.elapsed
+        if obs.enabled:
+            report.record_metrics(obs, "checker.collective")
+        return report
+
+    def _check_all(self, graphs: list[ConstraintGraph], report: CheckReport) -> None:
         num_vertices = graphs[0].num_vertices
         vertices = range(num_vertices)
-        report.num_vertices_per_graph = num_vertices
 
         order: list[int] | None = None       # topological order of the base graph
         position: list[int] = [0] * num_vertices
         base_edges: frozenset | None = None
 
-        start = time.perf_counter()
         for index, graph in enumerate(graphs):
             if order is None:
                 # First graph (or: no valid base yet) — complete check.
@@ -123,5 +131,3 @@ class CollectiveChecker:
             base_edges = graph.edge_pairs
             report.verdicts.append(
                 Verdict(index, False, None, INCREMENTAL, len(window)))
-        report.elapsed = time.perf_counter() - start
-        return report

@@ -54,6 +54,30 @@ class CheckReport:
         """Number of graphs handled via ``method`` (Figure 14 bars)."""
         return sum(1 for v in self.verdicts if v.method == method)
 
+    def record_metrics(self, obs, prefix: str) -> None:
+        """Fold this report into an observability registry.
+
+        Emits, under ``prefix`` (e.g. ``checker.collective``): one verdict
+        counter per checking method, graph/violation/sorted-vertex
+        counters, the re-sort window-size histogram (Figure 14's window
+        statistic) and the no-re-sort fraction gauge (Figure 9/14 shape).
+        """
+        metrics = obs.metrics
+        metrics.counter(prefix + ".graphs").inc(self.num_graphs)
+        metrics.counter(prefix + ".violations").inc(len(self.violations))
+        metrics.counter(prefix + ".sorted_vertices").inc(self.sorted_vertices)
+        for method in (COMPLETE, NO_RESORT, INCREMENTAL):
+            metrics.counter("%s.verdicts.%s"
+                            % (prefix, method.replace("-", "_"))).inc(self.count(method))
+        window_hist = metrics.histogram(prefix + ".resort_window_size")
+        for verdict in self.verdicts:
+            if verdict.method == INCREMENTAL:
+                window_hist.observe(verdict.resorted_vertices)
+        if self.num_graphs:
+            metrics.gauge(prefix + ".no_resort_fraction").set(
+                self.count(NO_RESORT) / self.num_graphs)
+        metrics.histogram(prefix + ".elapsed_s").observe(self.elapsed)
+
     @property
     def affected_vertex_fraction(self) -> float:
         """Mean re-sorting window size over incrementally checked graphs,

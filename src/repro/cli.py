@@ -9,15 +9,23 @@ Commands mirror the paper's flow so each stage can run standalone:
   dump the collected signatures to JSON (the device side),
 * ``check`` — load a signature dump, decode, build graphs, and run the
   collective checker (the host side),
-* ``litmus`` — run the litmus library against a memory model.
+* ``litmus`` — run the litmus library against a memory model,
+* ``stats`` — render (and validate) a saved observability run report.
+
+``run``, ``check`` and ``litmus`` accept ``--metrics-out PATH`` to write
+a schema-versioned run report (metrics registry snapshot + phase span
+tree); ``run`` and ``check`` additionally accept ``--json`` to print the
+same report structure to stdout instead of the text summary.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro import io as repro_io
+from repro import obs as repro_obs
 from repro.errors import ReproError
 from repro.checker import CollectiveChecker, describe_cycle
 from repro.graph import GraphBuilder
@@ -43,6 +51,25 @@ def _config_from(args) -> TestConfig:
     return TestConfig(isa=args.isa, threads=args.threads, ops_per_thread=args.ops,
                       addresses=args.addresses, words_per_line=args.words_per_line,
                       seed=args.seed)
+
+
+def _metrics_wanted(args) -> bool:
+    return bool(getattr(args, "metrics_out", None) or getattr(args, "json", False))
+
+
+def _emit_report(args, handle, meta: dict, summary: dict):
+    """Build the run report; write/print it as requested.  None if disabled."""
+    if handle is None:
+        return None
+    report = repro_obs.build_run_report(handle, meta=meta, summary=summary)
+    if getattr(args, "metrics_out", None):
+        repro_obs.write_report(report, args.metrics_out)
+        if not getattr(args, "json", False):
+            print("run report written to %s" % args.metrics_out)
+    if getattr(args, "json", False):
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    return report
 
 
 def _cmd_generate(args) -> int:
@@ -76,6 +103,9 @@ def _cmd_instrument(args) -> int:
 
 def _cmd_run(args) -> int:
     config = _config_from(args)
+    # enable before the Campaign is built so the generate/instrument
+    # phases land in the span tree
+    handle = repro_obs.enable() if _metrics_wanted(args) else None
     extra = {}
     if args.detailed or args.bug:
         if config.isa != "x86":
@@ -93,64 +123,111 @@ def _cmd_run(args) -> int:
     campaign = Campaign(config=config, seed=args.run_seed,
                         os_model=args.os or None, **extra)
     result = campaign.run(args.iterations)
-    print("%s: %d iterations, %d unique signatures, %d crashes"
-          % (config.name, result.iterations, result.unique_signatures,
-             result.crashes))
+    summary = {"config": config.name, "iterations": result.iterations,
+               "unique_signatures": result.unique_signatures,
+               "crashes": result.crashes}
+    if handle is not None:
+        # complete the pipeline so the report's span tree covers all four
+        # phases and carries the checker counters for this very run
+        outcome = campaign.check(result)
+        summary["violations"] = len(outcome.collective.violations)
+    if not args.json:
+        print("%s: %d iterations, %d unique signatures, %d crashes"
+              % (config.name, result.iterations, result.unique_signatures,
+                 result.crashes))
     if args.output:
         repro_io.save_campaign(result, args.output)
-        print("signatures written to %s" % args.output)
+        if not args.json:
+            print("signatures written to %s" % args.output)
+    _emit_report(args, handle,
+                 meta={"command": "run", "config": config.name,
+                       "isa": config.isa, "seed": args.seed,
+                       "run_seed": args.run_seed},
+                 summary=summary)
     return 0
 
 
 def _cmd_check(args) -> int:
+    handle = repro_obs.enable() if _metrics_wanted(args) else None
     result = repro_io.read_campaign(args.dump)
     config_model = get_model(args.model) if args.model else \
         platform_for_isa("x86" if result.codec.register_width == 64 else "arm").memory_model
-    builder = GraphBuilder(result.program, config_model, ws_mode=args.ws_mode)
-    graphs = []
-    for signature in result.sorted_signatures():
-        rf = result.codec.decode(signature)
-        if args.ws_mode == "observed":
-            graphs.append(builder.build(rf, result.representatives[signature].ws))
-        else:
-            graphs.append(builder.build(rf))
-    report = CollectiveChecker().check(graphs)
-    print("checked %d unique executions under %s (%s ws): %d violations"
-          % (report.num_graphs, config_model.name, args.ws_mode,
-             len(report.violations)))
-    for verdict in report.violations:
-        print()
-        print(describe_cycle(result.program, graphs[verdict.index], verdict.cycle))
+    obs = repro_obs.get_obs()
+    with obs.span("check"):
+        builder = GraphBuilder(result.program, config_model, ws_mode=args.ws_mode)
+        graphs = []
+        with obs.span("check.build_graphs"):
+            for signature in result.sorted_signatures():
+                rf = result.codec.decode(signature)
+                if args.ws_mode == "observed":
+                    graphs.append(
+                        builder.build(rf, result.representatives[signature].ws))
+                else:
+                    graphs.append(builder.build(rf))
+        report = CollectiveChecker().check(graphs)
+    if not args.json:
+        print("checked %d unique executions under %s (%s ws): %d violations"
+              % (report.num_graphs, config_model.name, args.ws_mode,
+                 len(report.violations)))
+        for verdict in report.violations:
+            print()
+            print(describe_cycle(result.program, graphs[verdict.index],
+                                 verdict.cycle))
+    _emit_report(args, handle,
+                 meta={"command": "check", "dump": args.dump,
+                       "model": config_model.name, "ws_mode": args.ws_mode},
+                 summary={"unique_executions": report.num_graphs,
+                          "violations": len(report.violations)})
     return 1 if report.violations else 0
 
 
 def _cmd_litmus(args) -> int:
+    handle = repro_obs.enable() if _metrics_wanted(args) else None
     model = get_model(args.model)
     tests = all_litmus_tests() + (extended_litmus_tests() if args.extended else [])
     rows = []
     failures = 0
-    for lt in tests:
-        executor = OperationalExecutor(lt.program, model, seed=args.run_seed)
-        seen = False
-        for execution in executor.run(args.iterations):
-            hit = all(execution.rf.get(k) == v
-                      for k, v in lt.interesting_rf.items())
-            if hit and lt.interesting_ws is not None:
-                hit = all(execution.ws.get(a) == c
-                          for a, c in lt.interesting_ws.items())
-            if hit:
-                seen = True
-                break
-        allowed = lt.allowed[model.name]
-        ok = allowed or not seen
-        if not ok:
-            failures += 1
-        rows.append([lt.name, "allowed" if allowed else "forbidden",
-                     "seen" if seen else "never", "ok" if ok else "VIOLATION"])
+    obs = repro_obs.get_obs()
+    with obs.span("litmus"):
+        for lt in tests:
+            executor = OperationalExecutor(lt.program, model, seed=args.run_seed)
+            seen = False
+            for execution in executor.run(args.iterations):
+                hit = all(execution.rf.get(k) == v
+                          for k, v in lt.interesting_rf.items())
+                if hit and lt.interesting_ws is not None:
+                    hit = all(execution.ws.get(a) == c
+                              for a, c in lt.interesting_ws.items())
+                if hit:
+                    seen = True
+                    break
+            allowed = lt.allowed[model.name]
+            ok = allowed or not seen
+            if not ok:
+                failures += 1
+            rows.append([lt.name, "allowed" if allowed else "forbidden",
+                         "seen" if seen else "never", "ok" if ok else "VIOLATION"])
+    if handle is not None:
+        handle.metrics.counter("litmus.tests").inc(len(tests))
+        handle.metrics.counter("litmus.failures").inc(failures)
     print(format_table(["test", "model verdict", "observed", "status"], rows,
                        title="litmus run under %s (%d iterations)"
                              % (model.name, args.iterations)))
+    _emit_report(args, handle,
+                 meta={"command": "litmus", "model": model.name,
+                       "iterations": args.iterations},
+                 summary={"tests": len(tests), "failures": failures})
     return 1 if failures else 0
+
+
+def _cmd_stats(args) -> int:
+    report = repro_obs.read_report(args.report)
+    if args.validate:
+        print("%s: valid %s report (version %d)"
+              % (args.report, report["schema"], report["version"]))
+        return 0
+    print(repro_obs.render_stats(report))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -181,6 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--l1-lines", type=int, default=4,
                    help="detailed simulator L1 capacity in lines")
     p.add_argument("--output", "-o", help="write a JSON signature dump")
+    _add_report_arguments(p, json_flag=True)
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("check", help="check a signature dump (host side)")
@@ -188,6 +266,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", choices=("sc", "tso", "weak"),
                    help="memory model (default: inferred from the dump)")
     p.add_argument("--ws-mode", choices=("static", "observed"), default="static")
+    _add_report_arguments(p, json_flag=True)
     p.set_defaults(fn=_cmd_check)
 
     p = sub.add_parser("litmus", help="run the litmus library")
@@ -196,8 +275,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--run-seed", type=int, default=1)
     p.add_argument("--extended", action="store_true",
                    help="include the extended litmus set")
+    _add_report_arguments(p, json_flag=False)
     p.set_defaults(fn=_cmd_litmus)
+
+    p = sub.add_parser("stats", help="render a saved observability run report")
+    p.add_argument("report", help="JSON report from '--metrics-out'")
+    p.add_argument("--validate", action="store_true",
+                   help="only check the report against the schema")
+    p.set_defaults(fn=_cmd_stats)
     return parser
+
+
+def _add_report_arguments(parser: argparse.ArgumentParser, json_flag: bool) -> None:
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="write a schema-versioned observability run report")
+    if json_flag:
+        parser.add_argument("--json", action="store_true",
+                            help="print the run report as JSON instead of text")
 
 
 def main(argv=None) -> int:

@@ -26,6 +26,7 @@ from repro.graph.builder import GraphBuilder
 from repro.instrument.signature import Signature, SignatureCodec
 from repro.isa.program import TestProgram
 from repro.mcm.model import MemoryModel
+from repro.obs import get_obs
 from repro.sim.execution import Execution
 from repro.sim.executor import OperationalExecutor
 from repro.sim.os_model import OSModel
@@ -97,17 +98,20 @@ class Campaign:
                  platform: Platform = None, model: MemoryModel = None, *,
                  instrumentation: str = "signature", os_model=None, seed: int = 0,
                  executor_cls=OperationalExecutor, sync_barriers: bool = False):
+        obs = get_obs()
         if program is None:
             if config is None:
                 raise ValueError("need a program or a config")
-            program = generate(config)
+            with obs.span("generate"):
+                program = generate(config)
         self.program = program
         self.config = config
         if platform is None:
             platform = platform_for_isa(config.isa if config else "arm")
         self.platform = platform
         self.model = model if model is not None else platform.memory_model
-        self.codec = SignatureCodec(program, platform.register_width)
+        with obs.span("instrument"):
+            self.codec = SignatureCodec(program, platform.register_width)
         layout = config.layout if config else None
         if os_model is True:
             os_model = OSModel(__import__("random").Random(seed ^ 0x05),
@@ -125,23 +129,40 @@ class Campaign:
         encode = self.codec.encode
         counts = result.signature_counts
         reps = result.representatives
-        for execution in self.executor.run(iterations):
-            if execution.crashed:
-                result.crashes += 1
-                continue
-            signature = encode(execution.rf)
-            counts[signature] += 1
-            if signature not in reps:
-                reps[signature] = execution
-            c = execution.counters
-            result.base_cycles += c.base_cycles
-            result.instrumentation_cycles += c.instrumentation_cycles
-            result.test_accesses += c.test_accesses
-            result.extra_accesses += c.extra_accesses
-            if self.instrumentation == "signature":
-                result.signature_sort_cycles += self._sort_model.insert_cost(
-                    len(counts), self.codec.total_words)
+        obs = get_obs()
+        with obs.span("execute"):
+            for execution in self.executor.run(iterations):
+                if execution.crashed:
+                    result.crashes += 1
+                    continue
+                signature = encode(execution.rf)
+                counts[signature] += 1
+                if signature not in reps:
+                    reps[signature] = execution
+                c = execution.counters
+                result.base_cycles += c.base_cycles
+                result.instrumentation_cycles += c.instrumentation_cycles
+                result.test_accesses += c.test_accesses
+                result.extra_accesses += c.extra_accesses
+                if self.instrumentation == "signature":
+                    result.signature_sort_cycles += self._sort_model.insert_cost(
+                        len(counts), self.codec.total_words)
+        if obs.enabled:
+            self._record_run_metrics(obs, result)
         return result
+
+    def _record_run_metrics(self, obs, result: CampaignResult) -> None:
+        metrics = obs.metrics
+        metrics.counter("harness.iterations").inc(result.iterations)
+        metrics.counter("harness.crashes").inc(result.crashes)
+        metrics.counter("harness.test_accesses").inc(result.test_accesses)
+        metrics.counter("harness.extra_accesses").inc(result.extra_accesses)
+        metrics.gauge("harness.unique_signatures").set(result.unique_signatures)
+        metrics.histogram("harness.base_cycles").observe(result.base_cycles)
+        metrics.histogram("harness.instrumentation_cycles").observe(
+            result.instrumentation_cycles)
+        metrics.histogram("harness.signature_sort_cycles").observe(
+            result.signature_sort_cycles)
 
     def check(self, result: CampaignResult, ws_mode: str = "static") -> CheckOutcome:
         """Decode, build and check all unique executions of a campaign.
@@ -153,20 +174,25 @@ class Campaign:
                 ``"observed"`` (use each representative execution's
                 coherence order for strictly stronger checking).
         """
-        builder = GraphBuilder(self.program, self.model, ws_mode=ws_mode)
-        signatures = result.sorted_signatures()
-        graphs = []
-        for signature in signatures:
-            rf = self.codec.decode(signature)
-            if ws_mode == "observed":
-                graphs.append(builder.build(rf, result.representatives[signature].ws))
-            else:
-                graphs.append(builder.build(rf))
-        return CheckOutcome(
-            collective=CollectiveChecker().check(graphs),
-            baseline=BaselineChecker().check(graphs),
-            signatures=signatures,
-        )
+        obs = get_obs()
+        with obs.span("check"):
+            builder = GraphBuilder(self.program, self.model, ws_mode=ws_mode)
+            signatures = result.sorted_signatures()
+            graphs = []
+            with obs.span("check.build_graphs"):
+                for signature in signatures:
+                    rf = self.codec.decode(signature)
+                    if ws_mode == "observed":
+                        graphs.append(
+                            builder.build(rf, result.representatives[signature].ws))
+                    else:
+                        graphs.append(builder.build(rf))
+            outcome = CheckOutcome(
+                collective=CollectiveChecker().check(graphs),
+                baseline=BaselineChecker().check(graphs),
+                signatures=signatures,
+            )
+        return outcome
 
 
 def run_and_check(config: TestConfig, iterations: int, **kwargs):

@@ -16,6 +16,7 @@ from repro.errors import SignatureError
 from repro.isa.program import TestProgram
 from repro.instrument.static_analysis import candidate_sources
 from repro.instrument.weights import ThreadWeightTable, build_weight_tables
+from repro.obs import get_obs
 
 
 @dataclass(frozen=True, order=True)
@@ -73,6 +74,14 @@ class SignatureCodec:
         self.candidates = candidate_sources(program)
         self.tables: list[ThreadWeightTable] = build_weight_tables(
             program, register_width, self.candidates)
+        obs = get_obs()
+        if obs.enabled:
+            metrics = obs.metrics
+            metrics.counter("instrument.codec.builds").inc()
+            metrics.gauge("instrument.codec.signature_bytes").set(self.byte_size)
+            metrics.gauge("instrument.codec.signature_words").set(self.total_words)
+            metrics.gauge("instrument.codec.cardinality_bits").set(
+                self.cardinality.bit_length())
 
     # -- encode/decode ---------------------------------------------------------
 

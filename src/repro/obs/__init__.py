@@ -1,0 +1,166 @@
+"""Pipeline-wide observability: metrics registry, phase spans, run reports.
+
+The paper's whole evaluation is an observability exercise — per-phase
+timing breakdowns (Fig. 10), checking-method counts and re-sort window
+statistics (Figs. 9/14), intrusiveness counters (Fig. 11).  This package
+gives the pipeline one first-class place to record all of it:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges and
+  streaming histograms addressed by dotted names;
+* :class:`~repro.obs.span.SpanTracer` — nested ``with obs.span(...)``
+  phase timing producing the ``generate/instrument/execute/check`` tree;
+* :mod:`~repro.obs.report` — schema-versioned JSON run reports and the
+  ``repro stats`` ASCII rendering.
+
+Observability is **off by default**.  The module-level instance returned
+by :func:`get_obs` starts disabled: its registry is a shared no-op and
+its spans still measure wall time (callers rely on the elapsed value)
+but record nothing, so the instrumented hot paths cost nothing
+measurable.  Enable it for one run with::
+
+    from repro import obs
+
+    handle = obs.enable()                     # fresh metrics + spans
+    ...run the pipeline...
+    report = obs.build_run_report(handle)
+
+or temporarily with ``with obs.enabled_obs() as handle: ...``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.report import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    ReportSchemaError,
+    build_run_report,
+    read_report,
+    render_stats,
+    span_names,
+    validate_report,
+    write_report,
+)
+from repro.obs.span import SpanTracer, TimedSpan
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Observability",
+    "ReportSchemaError",
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "SpanTracer",
+    "TimedSpan",
+    "build_run_report",
+    "disable",
+    "enable",
+    "enabled_obs",
+    "get_obs",
+    "read_report",
+    "render_stats",
+    "set_obs",
+    "span_names",
+    "validate_report",
+    "write_report",
+]
+
+_NULL_REGISTRY = NullRegistry()
+
+
+class Observability:
+    """One registry + one tracer behind a single enable switch.
+
+    Instrumented code fetches the current instance once per operation
+    (``obs = get_obs()``) and then updates metrics unconditionally — a
+    disabled instance hands out no-op metrics, so the per-update cost is
+    a bound-method call.  Loops that would pay even that should guard
+    with ``if obs.enabled``.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.metrics = MetricsRegistry() if enabled else _NULL_REGISTRY
+        self.tracer = SpanTracer()
+
+    # -- recording --------------------------------------------------------------------
+
+    def span(self, name: str):
+        """A timed context manager; records into the tree when enabled."""
+        if self.enabled:
+            return self.tracer.span(name)
+        return TimedSpan()
+
+    def counter(self, name: str):
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str):
+        return self.metrics.gauge(name)
+
+    def histogram(self, name: str, growth: float = 1.05):
+        return self.metrics.histogram(name, growth)
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop all recorded metrics and spans (keeps the enable state)."""
+        if self.enabled:
+            self.metrics = MetricsRegistry()
+        self.tracer.reset()
+
+    def report(self, meta: dict = None, summary: dict = None) -> dict:
+        return build_run_report(self, meta=meta, summary=summary)
+
+
+_global = Observability(enabled=False)
+_global_lock = threading.Lock()
+
+
+def get_obs() -> Observability:
+    """The current process-wide observability instance."""
+    return _global
+
+
+def set_obs(obs: Observability) -> Observability:
+    """Install ``obs`` as the process-wide instance; returns the previous one."""
+    global _global
+    with _global_lock:
+        previous, _global = _global, obs
+    return previous
+
+
+def enable() -> Observability:
+    """Install and return a fresh *enabled* instance."""
+    obs = Observability(enabled=True)
+    set_obs(obs)
+    return obs
+
+
+def disable() -> Observability:
+    """Install and return a fresh *disabled* instance."""
+    obs = Observability(enabled=False)
+    set_obs(obs)
+    return obs
+
+
+@contextlib.contextmanager
+def enabled_obs():
+    """Temporarily swap in a fresh enabled instance (tests, benchmarks)."""
+    obs = Observability(enabled=True)
+    previous = set_obs(obs)
+    try:
+        yield obs
+    finally:
+        set_obs(previous)

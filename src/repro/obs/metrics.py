@@ -1,0 +1,258 @@
+"""Metric primitives and the dotted-name registry.
+
+Three metric kinds cover everything the paper's evaluation reports:
+
+* :class:`Counter` — monotonically increasing totals (iterations run,
+  verdicts per checking method, coherence messages);
+* :class:`Gauge` — last-written values (signature size of the current
+  codec, no-re-sort fraction of the last checking pass);
+* :class:`Histogram` — streaming distributions with quantile estimates
+  (re-sort window sizes, per-iteration base cycles).  Samples are folded
+  into geometrically-spaced buckets, so memory stays O(buckets) no matter
+  how many observations arrive and quantiles carry a small bounded
+  relative error (default growth 1.05 → ~2.5%).
+
+Metrics are addressed by dotted names (``checker.collective.verdicts.
+no_resort``) through a :class:`MetricsRegistry`.  The parallel ``Null*``
+classes implement the same interface as no-ops; the disabled global
+observability instance hands them out so instrumented code needs no
+``if enabled`` guards around individual updates.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+COUNTER, GAUGE, HISTOGRAM = "counter", "gauge", "histogram"
+
+
+class Counter:
+    """A monotonically increasing integer total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; got %r" % (amount,))
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": COUNTER, "value": self.value}
+
+
+class Gauge:
+    """A last-write-wins value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> dict:
+        return {"type": GAUGE, "value": self.value}
+
+
+class Histogram:
+    """A streaming distribution without raw-sample retention.
+
+    Positive samples land in geometric buckets ``(growth**i, growth**(i+1)]``;
+    zero and negative samples are counted in a dedicated underflow bucket
+    (window sizes, cycle counts and durations are all non-negative, so in
+    practice that bucket only ever holds exact zeros).  Quantiles are
+    estimated as the geometric midpoint of the bucket containing the
+    requested rank.
+
+    Args:
+        growth: per-bucket growth factor; relative quantile error is
+            about ``(growth - 1) / 2``.
+    """
+
+    __slots__ = ("growth", "_log_growth", "count", "total", "min", "max",
+                 "_buckets", "_underflow")
+
+    def __init__(self, growth: float = 1.05):
+        if growth <= 1.0:
+            raise ValueError("growth factor must exceed 1.0")
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._buckets: dict[int, int] = {}
+        self._underflow = 0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= 0:
+            self._underflow += 1
+            return
+        index = math.ceil(math.log(value) / self._log_growth - 1e-12)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) of the stream."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]; got %r" % (q,))
+        if not self.count:
+            return 0.0
+        rank = q * (self.count - 1) + 1          # 1-based target sample
+        seen = self._underflow
+        if rank <= seen:
+            return min(self.min, 0.0) if self.min < 0 else 0.0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if rank <= seen:
+                hi = self.growth ** index
+                lo = hi / self.growth
+                estimate = math.sqrt(lo * hi)    # geometric bucket midpoint
+                return min(max(estimate, self.min), self.max)
+        return self.max
+
+    def snapshot(self) -> dict:
+        return {
+            "type": HISTOGRAM,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create metric store keyed by dotted names.
+
+    Asking for an existing name with a different metric kind is a
+    programming error and raises ``TypeError`` — two call sites silently
+    sharing a name across kinds would corrupt both series.
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.setdefault(name, factory())
+        if not isinstance(metric, cls):
+            raise TypeError("metric %r is a %s, not a %s"
+                            % (name, type(metric).__name__, cls.__name__))
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, Gauge)
+
+    def histogram(self, name: str, growth: float = 1.05) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(growth))
+
+    def get(self, name: str):
+        """The metric registered under ``name``, or None."""
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def __len__(self):
+        return len(self._metrics)
+
+    def snapshot(self) -> dict:
+        """All metrics as plain JSON-ready dicts, keyed by dotted name."""
+        return {name: self._metrics[name].snapshot()
+                for name in sorted(self._metrics)}
+
+
+# -- disabled-mode no-ops ------------------------------------------------------------
+
+
+class NullCounter:
+    __slots__ = ()
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"type": COUNTER, "value": 0}
+
+
+class NullGauge:
+    __slots__ = ()
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"type": GAUGE, "value": 0.0}
+
+
+class NullHistogram:
+    __slots__ = ()
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def snapshot(self) -> dict:
+        return {"type": HISTOGRAM, "count": 0, "sum": 0.0, "min": 0.0,
+                "max": 0.0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+_NULL_COUNTER = NullCounter()
+_NULL_GAUGE = NullGauge()
+_NULL_HISTOGRAM = NullHistogram()
+
+
+class NullRegistry:
+    """Hands out shared no-op metrics; never stores anything."""
+
+    def counter(self, name: str) -> NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, growth: float = 1.05) -> NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def get(self, name: str):
+        return None
+
+    def names(self) -> list[str]:
+        return []
+
+    def __len__(self):
+        return 0
+
+    def snapshot(self) -> dict:
+        return {}

@@ -1,0 +1,176 @@
+"""Structured run reports: build, validate, serialize and render.
+
+A *run report* is the JSON artifact behind ``--metrics-out``, ``--json``
+and ``repro stats``: a schema-versioned dict bundling the metrics
+registry snapshot and the span phase tree with free-form metadata about
+the run (command, configuration, summary numbers).  The schema is
+validated without any third-party dependency so CI can smoke-check
+reports with the standard library alone.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ReproError
+from repro.obs.span import flatten
+
+#: report schema identifier; bump the version on breaking layout changes
+SCHEMA = "repro.run-report"
+SCHEMA_VERSION = 1
+
+_METRIC_FIELDS = {
+    "counter": {"type", "value"},
+    "gauge": {"type", "value"},
+    "histogram": {"type", "count", "sum", "min", "max", "mean",
+                  "p50", "p95", "p99"},
+}
+
+
+class ReportSchemaError(ReproError):
+    """A run report does not conform to the schema."""
+
+
+def build_run_report(obs, meta: dict = None, summary: dict = None) -> dict:
+    """Assemble a run report from an observability instance.
+
+    Args:
+        obs: the :class:`repro.obs.Observability` whose registry/tracer
+            to snapshot.
+        meta: free-form run description (command, config name, seeds...).
+        summary: headline numbers worth reading without digging into the
+            metric snapshot (iterations, unique signatures, violations).
+    """
+    return {
+        "schema": SCHEMA,
+        "version": SCHEMA_VERSION,
+        "meta": dict(meta or {}),
+        "summary": dict(summary or {}),
+        "metrics": obs.metrics.snapshot(),
+        "spans": obs.tracer.tree(),
+    }
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def read_report(path: str) -> dict:
+    with open(path) as fh:
+        report = json.load(fh)
+    validate_report(report)
+    return report
+
+
+def validate_report(report: dict) -> None:
+    """Raise :class:`ReportSchemaError` unless ``report`` matches the schema."""
+    if not isinstance(report, dict):
+        raise ReportSchemaError("report must be a JSON object")
+    if report.get("schema") != SCHEMA:
+        raise ReportSchemaError("unknown schema %r (want %r)"
+                                % (report.get("schema"), SCHEMA))
+    if report.get("version") != SCHEMA_VERSION:
+        raise ReportSchemaError("unsupported schema version %r (want %d)"
+                                % (report.get("version"), SCHEMA_VERSION))
+    for key in ("meta", "summary", "metrics"):
+        if not isinstance(report.get(key), dict):
+            raise ReportSchemaError("%r must be an object" % key)
+    for name, entry in report["metrics"].items():
+        if not isinstance(entry, dict):
+            raise ReportSchemaError("metric %r must be an object" % name)
+        kind = entry.get("type")
+        fields = _METRIC_FIELDS.get(kind)
+        if fields is None:
+            raise ReportSchemaError("metric %r has unknown type %r" % (name, kind))
+        missing = fields - set(entry)
+        if missing:
+            raise ReportSchemaError("metric %r is missing fields %s"
+                                    % (name, sorted(missing)))
+    if not isinstance(report.get("spans"), list):
+        raise ReportSchemaError("'spans' must be a list")
+    _validate_spans(report["spans"], path="spans")
+
+
+def _validate_spans(nodes, path: str) -> None:
+    for i, node in enumerate(nodes):
+        where = "%s[%d]" % (path, i)
+        if not isinstance(node, dict):
+            raise ReportSchemaError("%s must be an object" % where)
+        if not isinstance(node.get("name"), str) or not node["name"]:
+            raise ReportSchemaError("%s needs a non-empty 'name'" % where)
+        for field, kinds in (("count", int), ("total_s", (int, float))):
+            value = node.get(field)
+            if not isinstance(value, kinds) or isinstance(value, bool):
+                raise ReportSchemaError("%s.%s must be a number" % (where, field))
+        children = node.get("children", [])
+        if not isinstance(children, list):
+            raise ReportSchemaError("%s.children must be a list" % where)
+        _validate_spans(children, where + ".children")
+
+
+def span_names(report: dict) -> set[str]:
+    """All span names anywhere in the report's phase tree."""
+    return {node["name"] for _, node in flatten(report.get("spans", []))}
+
+
+# -- human rendering -----------------------------------------------------------------
+
+
+def render_stats(report: dict) -> str:
+    """The ``repro stats`` view: phase tree + metrics as ASCII tables."""
+    # imported here: repro.harness imports repro.obs for its spans, so a
+    # module-level import would be circular
+    from repro.harness.reporting import format_table
+
+    sections = []
+    meta = report.get("meta") or {}
+    summary = report.get("summary") or {}
+    if meta or summary:
+        rows = [[k, _compact(v)] for k, v in sorted(meta.items())]
+        rows += [[k, _compact(v)] for k, v in sorted(summary.items())]
+        sections.append(format_table(["field", "value"], rows, title="run"))
+
+    span_rows = []
+    for depth, node in flatten(report.get("spans", [])):
+        label = "  " * depth + node["name"]
+        count = node["count"]
+        total = node["total_s"]
+        span_rows.append([label, count, "%.4f" % total,
+                          "%.4f" % (total / count if count else 0.0)])
+    if span_rows:
+        sections.append(format_table(
+            ["phase", "calls", "total s", "mean s"], span_rows,
+            title="phase spans"))
+
+    counter_rows, gauge_rows, histo_rows = [], [], []
+    for name, entry in sorted((report.get("metrics") or {}).items()):
+        kind = entry.get("type")
+        if kind == "counter":
+            counter_rows.append([name, entry["value"]])
+        elif kind == "gauge":
+            gauge_rows.append([name, entry["value"]])
+        elif kind == "histogram":
+            histo_rows.append([name, entry["count"], entry["mean"],
+                               entry["p50"], entry["p95"], entry["p99"],
+                               entry["max"]])
+    if counter_rows:
+        sections.append(format_table(["counter", "value"], counter_rows,
+                                     title="counters"))
+    if gauge_rows:
+        sections.append(format_table(["gauge", "value"], gauge_rows,
+                                     title="gauges"))
+    if histo_rows:
+        sections.append(format_table(
+            ["histogram", "count", "mean", "p50", "p95", "p99", "max"],
+            histo_rows, title="histograms"))
+    if not sections:
+        return "(empty report)"
+    return "\n\n".join(sections)
+
+
+def _compact(value) -> str:
+    if isinstance(value, (dict, list)):
+        return json.dumps(value, sort_keys=True)
+    return str(value)

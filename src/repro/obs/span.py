@@ -1,0 +1,167 @@
+"""Span-based phase tracing with thread-local nesting.
+
+A *span* measures one timed region (``with obs.span("check"): ...``).
+Spans nest: a span opened while another is active on the same thread
+becomes its child, so a full campaign produces the pipeline phase tree
+``generate / instrument / execute / check`` with wall time and call
+counts per node.  Repeated spans with the same name under the same
+parent aggregate into one node instead of growing the tree.
+
+Nesting state lives in thread-local stacks — concurrent threads each
+build their own branch of the shared tree without seeing each other's
+open spans.  Every span records on exit even when the body raises, so
+exception paths stay visible in the timing data (and are counted in the
+node's ``errors`` field).
+
+When observability is disabled the global instance hands out bare
+:class:`TimedSpan` objects: they still measure elapsed wall time (callers
+like the checkers feed it into their reports) but touch no shared state —
+the cost is two ``perf_counter`` calls per phase.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class TimedSpan:
+    """A context manager that measures its own wall time — nothing else."""
+
+    __slots__ = ("start", "elapsed")
+
+    def __init__(self):
+        self.start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self):
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.elapsed = time.perf_counter() - self.start
+        return False
+
+
+class SpanNode:
+    """One aggregated node of the phase tree."""
+
+    __slots__ = ("name", "count", "total_s", "errors", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.errors = 0
+        self.children: dict[str, SpanNode] = {}
+
+    def child(self, name: str) -> "SpanNode":
+        node = self.children.get(name)
+        if node is None:
+            node = self.children.setdefault(name, SpanNode(name))
+        return node
+
+    def to_dict(self) -> dict:
+        entry = {"name": self.name, "count": self.count,
+                 "total_s": self.total_s}
+        if self.errors:
+            entry["errors"] = self.errors
+        if self.children:
+            entry["children"] = [c.to_dict() for c in self.children.values()]
+        return entry
+
+
+class Span(TimedSpan):
+    """A tracer-bound span: times itself and records into the tree."""
+
+    __slots__ = ("_tracer", "_node")
+
+    def __init__(self, tracer: "SpanTracer", name: str):
+        super().__init__()
+        self._tracer = tracer
+        self._node = tracer._open(name)
+
+    def __enter__(self):
+        self._tracer._push(self._node)
+        return super().__enter__()
+
+    def __exit__(self, exc_type, exc, tb):
+        super().__exit__(exc_type, exc, tb)
+        node = self._node
+        node.count += 1
+        node.total_s += self.elapsed
+        if exc_type is not None:
+            node.errors += 1
+        self._tracer._pop(node)
+        return False
+
+
+class SpanTracer:
+    """Builds the aggregated span tree from per-thread span stacks."""
+
+    def __init__(self):
+        self._root = SpanNode("")
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    # -- span protocol (called by Span) ---------------------------------------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _open(self, name: str) -> SpanNode:
+        stack = self._stack()
+        parent = stack[-1] if stack else self._root
+        with self._lock:
+            return parent.child(name)
+
+    def _push(self, node: SpanNode) -> None:
+        self._stack().append(node)
+
+    def _pop(self, node: SpanNode) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is node:
+            stack.pop()
+        elif node in stack:          # out-of-order exit: drop through to it
+            del stack[stack.index(node):]
+
+    # -- public API -------------------------------------------------------------------
+
+    def span(self, name: str) -> Span:
+        return Span(self, name)
+
+    def depth(self) -> int:
+        """Open-span depth on the calling thread."""
+        return len(self._stack())
+
+    def tree(self) -> list[dict]:
+        """The aggregated phase tree as JSON-ready dicts."""
+        return [node.to_dict() for node in self._root.children.values()]
+
+    def node(self, *path: str) -> SpanNode | None:
+        """Look up a node by name path, e.g. ``node("check", "checker.collective")``."""
+        current = self._root
+        for name in path:
+            current = current.children.get(name)
+            if current is None:
+                return None
+        return current
+
+    def reset(self) -> None:
+        self._root = SpanNode("")
+
+
+def flatten(tree: list[dict]) -> list[tuple[int, dict]]:
+    """Depth-first (depth, node) pairs for rendering an indented tree."""
+    out: list[tuple[int, dict]] = []
+
+    def walk(nodes, depth):
+        for node in nodes:
+            out.append((depth, node))
+            walk(node.get("children", ()), depth + 1)
+
+    walk(tree, 0)
+    return out

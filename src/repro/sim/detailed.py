@@ -30,8 +30,13 @@ from repro.isa.instructions import INIT, INIT_VALUE
 from repro.isa.layout import MemoryLayout
 from repro.isa.program import TestProgram
 from repro.mcm.model import MemoryModel
+from repro.obs import get_obs
 from repro.sim.coherence import CoherentSystem, EventQueue
-from repro.sim.execution import Execution, ExecutionCounters
+from repro.sim.execution import (
+    Execution,
+    ExecutionCounters,
+    record_execution_metrics,
+)
 from repro.sim.faults import FaultConfig, NO_FAULT
 from repro.sim.platform import GEM5_X86_8CORE, Platform
 
@@ -117,15 +122,28 @@ class DetailedExecutor:
         self.rng = random.Random(seed)
         self.layout = layout or MemoryLayout(program.num_addresses, 1)
         self._value_to_uid = {op.value: op.uid for op in program.stores}
+        self._squashed_loads = 0
+        self._events_processed = 0
 
     # -- public API ----------------------------------------------------------------
 
     def run_one(self) -> Execution:
         """Execute one iteration; returns a crashed Execution on bug 3."""
+        self._squashed_loads = 0
+        self._events_processed = 0
         try:
-            return self._simulate()
+            execution = self._simulate()
         except ProtocolCrash:
-            return Execution({}, {}, ExecutionCounters(), crashed=True)
+            execution = Execution({}, {}, ExecutionCounters(), crashed=True)
+        obs = get_obs()
+        if obs.enabled:
+            record_execution_metrics(obs, "sim.detailed", execution)
+            metrics = obs.metrics
+            metrics.counter("sim.detailed.events_processed").inc(
+                self._events_processed)
+            metrics.counter("sim.detailed.load_squashes").inc(
+                self._squashed_loads)
+        return execution
 
     def run(self, iterations: int):
         for _ in range(iterations):
@@ -244,11 +262,14 @@ class DetailedExecutor:
         for core in cores:
             events.schedule(rng.random() * 2.0, dispatch, core)
 
-        while events.run_next():
-            processed += 1
-            if processed > max_events:
-                raise ProtocolCrash("protocol livelock: event budget exhausted; %s"
-                                    % _stuck_state(cores, system))
+        try:
+            while events.run_next():
+                processed += 1
+                if processed > max_events:
+                    raise ProtocolCrash("protocol livelock: event budget exhausted; %s"
+                                        % _stuck_state(cores, system))
+        finally:
+            self._events_processed = processed
         if not all(core.finished for core in cores):
             raise ProtocolCrash("protocol deadlock: %s"
                                 % _stuck_state(cores, system))
@@ -276,6 +297,7 @@ class DetailedExecutor:
                         and not entry.forwarded and entry.line == line):
                     entry.status = _WAIT
                     entry.value = None
+                    self._squashed_loads += 1
                     events.schedule(0.5 + rng.random(),
                                     self._issue_load_fn, core, entry)
         return squash

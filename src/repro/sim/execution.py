@@ -56,3 +56,24 @@ class Execution:
         exactly when their rf keys differ (Section 2).
         """
         return tuple(sorted(self.rf.items(), key=lambda kv: kv[0]))
+
+
+def record_execution_metrics(obs, prefix: str, execution: Execution) -> None:
+    """Fold one execution's counters into an (enabled) obs registry.
+
+    Both substrates call this once per iteration — per-instruction costs
+    stay in the local :class:`ExecutionCounters` and only the aggregate
+    touches the registry, so the hot loops are unaffected.
+    """
+    metrics = obs.metrics
+    metrics.counter(prefix + ".iterations").inc()
+    if execution.crashed:
+        metrics.counter(prefix + ".crashes").inc()
+        return
+    c = execution.counters
+    metrics.counter(prefix + ".test_accesses").inc(c.test_accesses)
+    metrics.counter(prefix + ".extra_accesses").inc(c.extra_accesses)
+    metrics.counter(prefix + ".branch_mispredicts").inc(c.branch_mispredicts)
+    metrics.histogram(prefix + ".base_cycles").observe(c.base_cycles)
+    metrics.histogram(prefix + ".instrumentation_cycles").observe(
+        c.instrumentation_cycles)

@@ -36,8 +36,13 @@ from repro.isa.instructions import INIT
 from repro.isa.layout import MemoryLayout
 from repro.isa.program import TestProgram
 from repro.mcm.model import MemoryModel
+from repro.obs import get_obs
 from repro.sim.contention import ContentionModel, LatencyConfig, UniformModel
-from repro.sim.execution import Execution, ExecutionCounters
+from repro.sim.execution import (
+    Execution,
+    ExecutionCounters,
+    record_execution_metrics as _record_execution_metrics,
+)
 from repro.sim.os_model import OSModel
 from repro.sim.platform import Platform, platform_for_isa
 
@@ -147,10 +152,15 @@ class OperationalExecutor:
     def run_one(self) -> Execution:
         """Execute one iteration of the test."""
         if self.model.name == "tso":
-            return self._run_tso()
-        if self.model.name == "weak":
-            return self._run_weak()
-        return self._run_sc()
+            execution = self._run_tso()
+        elif self.model.name == "weak":
+            execution = self._run_weak()
+        else:
+            execution = self._run_sc()
+        obs = get_obs()
+        if obs.enabled:
+            _record_execution_metrics(obs, "sim.executor", execution)
+        return execution
 
     def run(self, iterations: int):
         """Yield :class:`Execution` results for ``iterations`` runs."""

@@ -18,10 +18,90 @@ Typical use::
 from __future__ import annotations
 
 import contextlib
+import threading
 from collections import deque
 from dataclasses import dataclass
 
+from repro.obs import get_obs
 from repro.sim import coherence as _coherence
+
+
+class _CoherenceTap:
+    """Sole owner of the coherence-module patch; fans events out.
+
+    Earlier versions patched :class:`~repro.sim.coherence.Mesh` inside
+    every ``attach_to`` context, so nested or overlapping contexts saved
+    each other's wrappers as "originals" and restored the wrong
+    functions on exit.  Now the patch is installed exactly once — when
+    the first subscriber arrives — and removed when the last one leaves;
+    tracers merely subscribe.  Every protocol event is also counted in
+    the observability registry (when enabled), making the MESI tracer
+    one consumer among many rather than the owner of the hook.
+    """
+
+    def __init__(self):
+        self._subscribers: list = []
+        self._originals = None
+        self._lock = threading.Lock()
+
+    def subscribe(self, subscriber) -> None:
+        with self._lock:
+            if subscriber in self._subscribers:
+                raise ValueError("tracer is already attached; a tracer may "
+                                 "only be attached once at a time")
+            if not self._subscribers:
+                self._install()
+            self._subscribers.append(subscriber)
+
+    def unsubscribe(self, subscriber) -> None:
+        with self._lock:
+            self._subscribers.remove(subscriber)
+            if not self._subscribers:
+                self._uninstall()
+
+    @property
+    def active(self) -> bool:
+        return self._originals is not None
+
+    def _install(self) -> None:
+        self._originals = (_coherence.Mesh.send,
+                           _coherence.CoherentSystem.record_store)
+        original_send, original_record = self._originals
+        tap = self
+
+        def send(self, src, dst, fn, *args):
+            tap._on_send(self, src, dst, fn, args)
+            original_send(self, src, dst, fn, *args)
+
+        def record_store(self, addr, value):
+            tap._on_store(self, addr, value)
+            original_record(self, addr, value)
+
+        _coherence.Mesh.send = send
+        _coherence.CoherentSystem.record_store = record_store
+
+    def _uninstall(self) -> None:
+        (_coherence.Mesh.send,
+         _coherence.CoherentSystem.record_store) = self._originals
+        self._originals = None
+
+    def _on_send(self, mesh, src, dst, fn, args) -> None:
+        obs = get_obs()
+        if obs.enabled:
+            obs.metrics.counter("sim.coherence.messages").inc()
+        for subscriber in tuple(self._subscribers):
+            subscriber._on_send(mesh, src, dst, fn, args)
+
+    def _on_store(self, system, addr, value) -> None:
+        obs = get_obs()
+        if obs.enabled:
+            obs.metrics.counter("sim.coherence.store_commits").inc()
+        for subscriber in tuple(self._subscribers):
+            subscriber._on_store(system, addr, value)
+
+
+#: the process-wide tap every tracer attaches through
+COHERENCE_TAP = _CoherenceTap()
 
 
 @dataclass(frozen=True)
@@ -79,36 +159,26 @@ class ProtocolTracer:
         self.events.append(TraceEvent(system.events.now, "store", (addr, value)))
 
     @contextlib.contextmanager
-    def attach_to(self, executor):
-        """Patch tracing into every system the executor creates.
+    def attach_to(self, executor=None):
+        """Subscribe this tracer to protocol events for the context.
 
-        Wraps :class:`repro.sim.coherence.Mesh` sends and
-        :class:`CoherentSystem` store records for the duration of the
-        context; the patch is global to the module (the detailed
-        executor builds a fresh system per iteration) and fully restored
-        on exit.
+        The coherence hooks are owned by the module-level
+        :data:`COHERENCE_TAP` (installed when the first tracer attaches,
+        fully removed when the last detaches), so contexts nest and
+        overlap safely — each tracer sees every event while attached.
+        Attaching the *same* tracer twice concurrently raises
+        ``ValueError``.  The hook is global to the coherence module (the
+        detailed executor builds a fresh system per iteration), so the
+        ``executor`` argument is accepted only for call-site clarity.
+
+        Note: stores are sparse relative to messages and are kept even
+        under a line filter, so the value history stays complete.
         """
-        tracer = self
-        original_send = _coherence.Mesh.send
-        original_record = _coherence.CoherentSystem.record_store
-
-        def send(mesh_self, src, dst, fn, *args):
-            tracer._on_send(mesh_self, src, dst, fn, args)
-            original_send(mesh_self, src, dst, fn, *args)
-
-        def record_store(system_self, addr, value):
-            # stores are sparse relative to messages; keep them all so the
-            # value history stays complete even under a line filter
-            tracer._on_store(system_self, addr, value)
-            original_record(system_self, addr, value)
-
-        _coherence.Mesh.send = send
-        _coherence.CoherentSystem.record_store = record_store
+        COHERENCE_TAP.subscribe(self)
         try:
             yield self
         finally:
-            _coherence.Mesh.send = original_send
-            _coherence.CoherentSystem.record_store = original_record
+            COHERENCE_TAP.unsubscribe(self)
 
     # -- inspection ----------------------------------------------------------------
 

@@ -1,8 +1,18 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro import obs
 from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    """CLI commands install a global obs instance; isolate each test."""
+    yield
+    obs.disable()
 
 
 class TestGenerate:
@@ -73,6 +83,67 @@ class TestLitmus:
         assert main(["litmus", "--model", "sc", "--iterations", "150",
                      "--extended"]) == 0
         assert "WRC" in capsys.readouterr().out
+
+
+class TestObservabilityCLI:
+    RUN_ARGS = ["run", "--threads", "2", "--ops", "12", "--addresses", "8",
+                "--iterations", "100"]
+
+    def test_run_metrics_out_writes_four_phase_report(self, capsys, tmp_path):
+        path = str(tmp_path / "report.json")
+        assert main(self.RUN_ARGS + ["--metrics-out", path]) == 0
+        report = obs.read_report(path)
+        assert report["schema"] == "repro.run-report"
+        assert {"generate", "instrument", "execute",
+                "check"} <= obs.span_names(report)
+        assert report["meta"]["command"] == "run"
+        assert report["summary"]["iterations"] == 100
+        assert "checker.collective.graphs" in report["metrics"]
+
+    def test_run_json_prints_report_not_text(self, capsys):
+        assert main(self.RUN_ARGS + ["--json"]) == 0
+        out = capsys.readouterr().out
+        report = json.loads(out)          # whole stdout is one JSON document
+        obs.validate_report(report)
+        assert report["summary"]["unique_signatures"] >= 1
+
+    def test_check_json_report(self, capsys, tmp_path):
+        dump = str(tmp_path / "d.json")
+        main(self.RUN_ARGS + ["-o", dump])
+        capsys.readouterr()
+        assert main(["check", dump, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert {"check", "check.build_graphs"} <= obs.span_names(report)
+        assert report["summary"]["violations"] == 0
+
+    def test_litmus_metrics_out(self, capsys, tmp_path):
+        path = str(tmp_path / "litmus.json")
+        assert main(["litmus", "--model", "tso", "--iterations", "100",
+                     "--metrics-out", path]) == 0
+        report = obs.read_report(path)
+        assert report["metrics"]["litmus.tests"]["value"] >= 1
+
+    def test_stats_renders_report(self, capsys, tmp_path):
+        path = str(tmp_path / "report.json")
+        main(self.RUN_ARGS + ["--metrics-out", path])
+        capsys.readouterr()
+        assert main(["stats", path]) == 0
+        out = capsys.readouterr().out
+        assert "generate" in out and "execute" in out
+        assert "harness.iterations" in out
+
+    def test_stats_validate_flag(self, capsys, tmp_path):
+        path = str(tmp_path / "report.json")
+        main(self.RUN_ARGS + ["--metrics-out", path])
+        capsys.readouterr()
+        assert main(["stats", path, "--validate"]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_stats_rejects_malformed_report(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "nope"}))
+        assert main(["stats", str(path)]) == 2
+        assert "error" in capsys.readouterr().err.lower()
 
 
 class TestParser:

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import obs
 from repro.analysis import uniqueness
 from repro.harness import Campaign, run_and_check
 from repro.instrument import intrusiveness
@@ -50,6 +51,58 @@ class TestFullFlowBothPlatforms:
         campaign = Campaign(config=cfg, seed=1)
         report = intrusiveness(campaign.program, campaign.codec)
         assert report.normalized < 0.2
+
+
+class TestObservabilityEndToEnd:
+    def test_campaign_produces_four_phase_span_tree(self):
+        """A full campaign must cover the paper's Figure-1 pipeline:
+        tests generation -> code instrumentation -> tests execution ->
+        violation checking, all visible in the span tree."""
+        cfg = TestConfig(isa="arm", threads=2, ops_per_thread=20,
+                         addresses=8, seed=4)
+        with obs.enabled_obs() as handle:
+            campaign, result, outcome = run_and_check(cfg, 150)
+            report = handle.report(meta={"command": "test"})
+        obs.validate_report(report)
+        names = obs.span_names(report)
+        assert {"generate", "instrument", "execute", "check"} <= names
+        # the checkers ran nested inside the check phase
+        assert handle.tracer.node("check", "checker.collective").count == 1
+        assert handle.tracer.node("check", "checker.baseline").count == 1
+
+    def test_checker_counters_agree_with_check_report(self):
+        from repro.checker.results import COMPLETE, INCREMENTAL, NO_RESORT
+
+        cfg = TestConfig(isa="arm", threads=4, ops_per_thread=30,
+                         addresses=16, seed=6)
+        with obs.enabled_obs() as handle:
+            campaign, result, outcome = run_and_check(cfg, 200)
+        metrics = handle.metrics
+        collective = outcome.collective
+        assert metrics.counter("checker.collective.graphs").value == \
+            collective.num_graphs
+        assert metrics.counter("checker.collective.violations").value == \
+            len(collective.violations)
+        assert metrics.counter("checker.collective.sorted_vertices").value == \
+            collective.sorted_vertices
+        for method, suffix in ((COMPLETE, "complete"), (NO_RESORT, "no_resort"),
+                               (INCREMENTAL, "incremental")):
+            assert metrics.counter("checker.collective.verdicts."
+                                   + suffix).value == collective.count(method)
+        window = metrics.histogram("checker.collective.resort_window_size")
+        assert window.count == collective.count(INCREMENTAL)
+        assert metrics.counter("harness.iterations").value == result.iterations
+        assert metrics.counter("sim.executor.iterations").value == \
+            result.iterations
+
+    def test_disabled_observability_records_nothing(self):
+        cfg = TestConfig(isa="arm", threads=2, ops_per_thread=15,
+                         addresses=8, seed=4)
+        handle = obs.get_obs()
+        assert not handle.enabled
+        run_and_check(cfg, 50)
+        assert handle.metrics.snapshot() == {}
+        assert handle.tracer.tree() == []
 
 
 class TestBugDetectionEndToEnd:

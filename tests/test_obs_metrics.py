@@ -1,0 +1,194 @@
+"""Unit tests for the observability metric primitives and registry."""
+
+import math
+import random
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter()
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_snapshot(self):
+        c = Counter()
+        c.inc(3)
+        assert c.snapshot() == {"type": "counter", "value": 3}
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge()
+        g.set(3.5)
+        g.set(-2)
+        assert g.value == -2
+        assert g.snapshot() == {"type": "gauge", "value": -2}
+
+
+class TestHistogram:
+    def test_empty(self):
+        h = Histogram()
+        assert h.count == 0
+        assert h.quantile(0.5) == 0.0
+        snap = h.snapshot()
+        assert snap["count"] == 0 and snap["p99"] == 0.0
+
+    def test_count_sum_min_max_mean_exact(self):
+        h = Histogram()
+        for v in (4.0, 1.0, 7.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 12.0
+        assert h.min == 1.0 and h.max == 7.0
+        assert h.mean == 4.0
+
+    def test_single_sample_quantiles_are_exact(self):
+        h = Histogram()
+        h.observe(42.0)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert h.quantile(q) == pytest.approx(42.0, rel=0.05)
+
+    def test_uniform_distribution_quantiles(self):
+        h = Histogram()
+        rng = random.Random(7)
+        for _ in range(20_000):
+            h.observe(rng.uniform(0.0, 1000.0))
+        assert h.quantile(0.50) == pytest.approx(500.0, rel=0.05)
+        assert h.quantile(0.95) == pytest.approx(950.0, rel=0.05)
+        assert h.quantile(0.99) == pytest.approx(990.0, rel=0.05)
+
+    def test_exponential_distribution_quantiles(self):
+        h = Histogram()
+        rng = random.Random(11)
+        for _ in range(20_000):
+            h.observe(rng.expovariate(1.0))
+        # analytic quantiles of Exp(1): -ln(1-q)
+        assert h.quantile(0.50) == pytest.approx(math.log(2), rel=0.10)
+        assert h.quantile(0.95) == pytest.approx(-math.log(0.05), rel=0.10)
+
+    def test_wide_dynamic_range(self):
+        h = Histogram()
+        for exponent in range(12):          # 1, 10, ..., 1e11
+            h.observe(10.0 ** exponent)
+        assert h.quantile(0.0) == pytest.approx(1.0, rel=0.05)
+        assert h.quantile(1.0) == pytest.approx(1e11, rel=0.05)
+
+    def test_zero_samples_counted(self):
+        h = Histogram()
+        for _ in range(10):
+            h.observe(0.0)
+        h.observe(100.0)
+        assert h.count == 11
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(1.0) == pytest.approx(100.0, rel=0.05)
+
+    def test_quantile_bounds_validated(self):
+        h = Histogram()
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_growth_factor_validated(self):
+        with pytest.raises(ValueError):
+            Histogram(growth=1.0)
+
+    def test_no_raw_sample_retention(self):
+        """Memory is bounded by the number of buckets, not samples."""
+        h = Histogram()
+        rng = random.Random(3)
+        for _ in range(50_000):
+            h.observe(rng.uniform(1.0, 100.0))
+        assert len(h._buckets) < 200
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a.b") is reg.counter("a.b")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_snapshot_sorted_and_typed(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc(2)
+        reg.gauge("a").set(1.5)
+        reg.histogram("c").observe(3.0)
+        snap = reg.snapshot()
+        assert list(snap) == ["a", "b", "c"]
+        assert snap["a"]["type"] == "gauge"
+        assert snap["b"] == {"type": "counter", "value": 2}
+        assert snap["c"]["count"] == 1
+
+    def test_names_and_get(self):
+        reg = MetricsRegistry()
+        reg.counter("one")
+        assert reg.names() == ["one"]
+        assert reg.get("one") is reg.counter("one")
+        assert reg.get("absent") is None
+
+
+class TestDisabledMode:
+    def test_null_registry_is_inert(self):
+        reg = NullRegistry()
+        c = reg.counter("a")
+        c.inc(100)
+        assert c.value == 0
+        g = reg.gauge("b")
+        g.set(9)
+        assert g.value == 0.0
+        h = reg.histogram("c")
+        h.observe(5.0)
+        assert h.count == 0 and h.quantile(0.99) == 0.0
+        assert reg.snapshot() == {}
+        assert len(reg) == 0
+
+    def test_null_registry_shares_singletons(self):
+        reg = NullRegistry()
+        assert reg.counter("a") is reg.counter("b")
+
+    def test_global_disabled_instance_records_nothing(self):
+        handle = obs.get_obs()
+        assert not handle.enabled
+        handle.counter("x.y").inc(5)
+        with handle.span("phase"):
+            pass
+        assert handle.metrics.snapshot() == {}
+        assert handle.tracer.tree() == []
+
+    def test_disabled_span_still_measures_time(self):
+        handle = obs.Observability(enabled=False)
+        with handle.span("timed") as span:
+            sum(range(1000))
+        assert span.elapsed > 0.0
+
+    def test_enabled_obs_context_restores_previous(self):
+        before = obs.get_obs()
+        with obs.enabled_obs() as handle:
+            assert obs.get_obs() is handle
+            assert handle.enabled
+            handle.counter("k").inc()
+            assert handle.metrics.snapshot()["k"]["value"] == 1
+        assert obs.get_obs() is before

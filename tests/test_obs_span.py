@@ -1,0 +1,207 @@
+"""Unit tests for span tracing: nesting, exceptions, threads, reports."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.span import SpanTracer, flatten
+
+
+def _names(nodes):
+    return [n["name"] for n in nodes]
+
+
+class TestNesting:
+    def test_sequential_spans_are_siblings(self):
+        tracer = SpanTracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert _names(tracer.tree()) == ["a", "b"]
+
+    def test_nested_spans_build_a_tree(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                with tracer.span("leaf"):
+                    pass
+        (outer,) = tracer.tree()
+        assert outer["name"] == "outer"
+        (inner,) = outer["children"]
+        assert inner["name"] == "inner"
+        assert _names(inner["children"]) == ["leaf"]
+
+    def test_repeated_spans_aggregate(self):
+        tracer = SpanTracer()
+        for _ in range(3):
+            with tracer.span("phase"):
+                pass
+        (node,) = tracer.tree()
+        assert node["count"] == 3
+        assert node["total_s"] >= 0.0
+
+    def test_same_name_under_different_parents_is_distinct(self):
+        tracer = SpanTracer()
+        with tracer.span("a"):
+            with tracer.span("x"):
+                pass
+        with tracer.span("b"):
+            with tracer.span("x"):
+                pass
+        a, b = tracer.tree()
+        assert _names(a["children"]) == ["x"]
+        assert _names(b["children"]) == ["x"]
+
+    def test_elapsed_accumulates_wall_time(self):
+        tracer = SpanTracer()
+        with tracer.span("work"):
+            sum(range(10_000))
+        (node,) = tracer.tree()
+        assert node["total_s"] > 0.0
+
+    def test_node_lookup_by_path(self):
+        tracer = SpanTracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert tracer.node("a", "b").count == 1
+        assert tracer.node("a", "missing") is None
+
+    def test_reset_clears_tree(self):
+        tracer = SpanTracer()
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.tree() == []
+
+
+class TestExceptionSafety:
+    def test_span_records_and_propagates_on_exception(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("risky"):
+                raise RuntimeError("boom")
+        (node,) = tracer.tree()
+        assert node["count"] == 1
+        assert node["errors"] == 1
+        assert tracer.depth() == 0
+
+    def test_nesting_recovers_after_exception(self):
+        tracer = SpanTracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError
+        # the next span must be a new root, not a child of the failed one
+        with tracer.span("after"):
+            pass
+        assert _names(tracer.tree()) == ["outer", "after"]
+
+
+class TestThreadLocality:
+    def test_threads_do_not_see_each_others_open_spans(self):
+        tracer = SpanTracer()
+        barrier = threading.Barrier(2)
+        failures = []
+
+        def worker(name):
+            try:
+                with tracer.span(name):
+                    barrier.wait(timeout=5)
+                    with tracer.span("child"):
+                        pass
+            except Exception as exc:          # pragma: no cover
+                failures.append(exc)
+
+        threads = [threading.Thread(target=worker, args=("t%d" % i,))
+                   for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+        roots = {n["name"]: n for n in tracer.tree()}
+        # both threads' spans are roots with their own child; neither
+        # nested under the other despite overlapping in time
+        assert set(roots) == {"t0", "t1"}
+        for node in roots.values():
+            assert _names(node.get("children", [])) == ["child"]
+
+    def test_concurrent_same_name_spans_aggregate_safely(self):
+        tracer = SpanTracer()
+
+        def worker():
+            for _ in range(200):
+                with tracer.span("hot"):
+                    pass
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        (node,) = tracer.tree()
+        assert node["count"] == 800
+
+
+class TestFlattenAndReport:
+    def test_flatten_depth_first(self):
+        tracer = SpanTracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        flat = flatten(tracer.tree())
+        assert [(d, n["name"]) for d, n in flat] == [(0, "a"), (1, "b"), (0, "c")]
+
+    def test_report_round_trips_through_validation(self, tmp_path):
+        with obs.enabled_obs() as handle:
+            with handle.span("generate"):
+                pass
+            handle.counter("c").inc()
+            handle.histogram("h").observe(1.0)
+            report = handle.report(meta={"command": "test"},
+                                   summary={"n": 1})
+        obs.validate_report(report)
+        path = tmp_path / "report.json"
+        obs.write_report(report, str(path))
+        loaded = obs.read_report(str(path))
+        assert loaded == report
+        assert obs.span_names(loaded) == {"generate"}
+
+    def test_validation_rejects_malformed_reports(self):
+        good = obs.build_run_report(obs.Observability(enabled=True))
+        for mutate in (
+            lambda r: r.pop("schema"),
+            lambda r: r.update(version=99),
+            lambda r: r.update(metrics=[1]),
+            lambda r: r.update(spans={"name": "x"}),
+            lambda r: r.update(spans=[{"name": "", "count": 1, "total_s": 0.0}]),
+            lambda r: r.update(spans=[{"name": "x", "count": True,
+                                       "total_s": 0.0}]),
+            lambda r: r.update(metrics={"m": {"type": "martian"}}),
+        ):
+            bad = {k: (dict(v) if isinstance(v, dict) else list(v)
+                       if isinstance(v, list) else v)
+                   for k, v in good.items()}
+            mutate(bad)
+            with pytest.raises(obs.ReportSchemaError):
+                obs.validate_report(bad)
+
+    def test_render_stats_shows_phases_and_metrics(self):
+        with obs.enabled_obs() as handle:
+            with handle.span("execute"):
+                with handle.span("iteration"):
+                    pass
+            handle.counter("harness.iterations").inc(10)
+            handle.gauge("g.x").set(2.0)
+            handle.histogram("h.y").observe(4.0)
+            report = handle.report()
+        text = obs.render_stats(report)
+        assert "execute" in text
+        assert "  iteration" in text          # child indented under parent
+        assert "harness.iterations" in text
+        assert "g.x" in text and "h.y" in text

@@ -2,8 +2,9 @@
 
 import pytest
 
+from repro import obs
 from repro.sim.detailed import DetailedExecutor
-from repro.sim.tracing import ProtocolTracer
+from repro.sim.tracing import COHERENCE_TAP, ProtocolTracer
 from repro.testgen import TestConfig, generate
 
 
@@ -59,6 +60,81 @@ class TestCapture:
                          addresses=4, seed=8)
         DetailedExecutor(generate(cfg), seed=1).run_one()
         assert len(tracer) == before
+
+
+class TestReentrancy:
+    def _run(self, executor):
+        executor.run_one()
+
+    def test_nested_contexts_restore_originals(self):
+        import repro.sim.coherence as coherence
+
+        original_send = coherence.Mesh.send
+        original_record = coherence.CoherentSystem.record_store
+        cfg = TestConfig(isa="x86", threads=2, ops_per_thread=8,
+                         addresses=4, seed=8)
+        executor = DetailedExecutor(generate(cfg), seed=3)
+        outer, inner = ProtocolTracer(), ProtocolTracer()
+        with outer.attach_to(executor):
+            with inner.attach_to(executor):
+                self._run(executor)
+            assert COHERENCE_TAP.active      # outer still subscribed
+            self._run(executor)
+        assert not COHERENCE_TAP.active
+        assert coherence.Mesh.send is original_send
+        assert coherence.CoherentSystem.record_store is original_record
+
+    def test_nested_tracers_both_capture(self):
+        cfg = TestConfig(isa="x86", threads=2, ops_per_thread=8,
+                         addresses=4, seed=8)
+        executor = DetailedExecutor(generate(cfg), seed=3)
+        outer, inner = ProtocolTracer(), ProtocolTracer()
+        with outer.attach_to(executor):
+            self._run(executor)              # outer only
+            outer_solo = len(outer)
+            with inner.attach_to(executor):
+                self._run(executor)          # both
+        assert outer_solo > 0
+        assert len(inner) > 0
+        assert len(outer) > outer_solo
+
+    def test_overlapping_non_nested_exit_order(self):
+        """Out-of-order detach (a releases before b) must still restore
+        the unpatched functions once both are gone."""
+        import repro.sim.coherence as coherence
+
+        original_send = coherence.Mesh.send
+        a, b = ProtocolTracer(), ProtocolTracer()
+        ctx_a, ctx_b = a.attach_to(None), b.attach_to(None)
+        ctx_a.__enter__()
+        ctx_b.__enter__()
+        ctx_a.__exit__(None, None, None)
+        assert COHERENCE_TAP.active
+        ctx_b.__exit__(None, None, None)
+        assert not COHERENCE_TAP.active
+        assert coherence.Mesh.send is original_send
+
+    def test_same_tracer_twice_is_refused(self):
+        tracer = ProtocolTracer()
+        with tracer.attach_to(None):
+            with pytest.raises(ValueError):
+                with tracer.attach_to(None):
+                    pass
+        assert not COHERENCE_TAP.active
+
+    def test_events_counted_in_obs_registry(self):
+        cfg = TestConfig(isa="x86", threads=2, ops_per_thread=8,
+                         addresses=4, words_per_line=4, seed=8)
+        executor = DetailedExecutor(generate(cfg), seed=3)
+        tracer = ProtocolTracer()
+        with obs.enabled_obs() as handle:
+            with tracer.attach_to(executor):
+                execution = executor.run_one()
+        metrics = handle.metrics
+        assert metrics.counter("sim.coherence.messages").value >= len(
+            tracer.messages())
+        assert metrics.counter("sim.coherence.store_commits").value == sum(
+            len(c) for c in execution.ws.values())
 
 
 class TestFiltering:
