@@ -1,0 +1,86 @@
+"""Fleet scaling — sharded campaigns vs the serial runner.
+
+Runs one configuration serially and sharded over 2/4/8 worker processes
+and checks that every fleet size merges to the *identical* signature
+multiset (the subsystem's core guarantee: ``jobs`` is purely a
+throughput knob).  The paper's deployment is many devices feeding one
+host; here each worker process stands in for a device.
+
+Besides the terminal table, a deterministic snapshot is written to
+``benchmarks/results/BENCH_fleet.json`` — unique counts, a multiset
+checksum, crash totals and shard counts, never wall-clock — so fleet
+behaviour is diffable across PRs.
+"""
+
+import hashlib
+import json
+import pathlib
+
+from conftest import obs_off, record_table
+from repro.fleet import merge_campaign_results, run_campaign_fleet
+from repro.harness import Campaign, format_table
+from repro.testgen import paper_config
+
+_CONFIG = paper_config("ARM-2-50-32")
+_ITERS = 192
+_BLOCK = 24          # 8 seed blocks: every fleet size below gets real shards
+_SEED = 17
+_JOBS = [2, 4, 8]
+
+_RESULTS = pathlib.Path(__file__).parent / "results"
+
+
+def _checksum(result) -> str:
+    payload = json.dumps(sorted(
+        ([list(w) for w in sig.words], count)
+        for sig, count in result.signature_counts.items()))
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def test_fleet_scaling_multiset_invariance(benchmark):
+    serial = Campaign(config=_CONFIG, seed=_SEED).run(_ITERS, block=_BLOCK)
+    runs = {"serial": serial}
+    for jobs in _JOBS:
+        runs["jobs=%d" % jobs] = run_campaign_fleet(
+            config=_CONFIG, iterations=_ITERS, jobs=jobs, seed=_SEED,
+            block=_BLOCK)
+
+    reference = _checksum(serial)
+    rows = []
+    snapshot = {}
+    for label, result in runs.items():
+        checksum = _checksum(result)
+        shards = 1 if label == "serial" else min(
+            int(label.split("=")[1]), _ITERS // _BLOCK)
+        rows.append([label, shards, result.iterations,
+                     result.unique_signatures, result.crashes, checksum])
+        snapshot[label] = {
+            "shards": shards,
+            "iterations": result.iterations,
+            "unique_signatures": result.unique_signatures,
+            "crashes": result.crashes,
+            "multiset_sha256_16": checksum,
+        }
+        assert checksum == reference
+        assert result.signature_counts == serial.signature_counts
+
+    record_table("fleet_scaling", format_table(
+        ["run", "shards", "iterations", "unique signatures", "crashes",
+         "multiset checksum"], rows,
+        title="Fleet scaling: %s, %d iterations, block %d — identical "
+              "multisets at every worker count" % (_CONFIG.name, _ITERS,
+                                                   _BLOCK)))
+
+    _RESULTS.mkdir(exist_ok=True)
+    (_RESULTS / "BENCH_fleet.json").write_text(json.dumps(
+        {"schema": "repro.bench-fleet", "version": 1,
+         "config": _CONFIG.name, "iterations": _ITERS, "block": _BLOCK,
+         "seed": _SEED, "runs": snapshot}, indent=2, sort_keys=True) + "\n")
+
+    # the merge stage is the host's only fleet-specific serial work;
+    # time it over the per-block shard results
+    parts = [Campaign(program=serial.program, config=_CONFIG,
+                      seed=_SEED).run_blocks([(i, _BLOCK)])
+             for i in range(_ITERS // _BLOCK)]
+    merged = benchmark(obs_off(merge_campaign_results), parts)
+    assert merged.signature_counts == serial.signature_counts

@@ -70,7 +70,7 @@ def pytest_runtest_teardown(item):
 def _diffable(snapshot: dict) -> dict:
     """Drop wall-clock series so the file only changes when behaviour does."""
     return {name: entry for name, entry in snapshot.items()
-            if not name.endswith(".elapsed_s")}
+            if not name.endswith((".elapsed_s", "_seconds"))}
 
 
 _DISABLED_OBS = obs.Observability(enabled=False)

@@ -54,6 +54,22 @@ class CheckReport:
         """Number of graphs handled via ``method`` (Figure 14 bars)."""
         return sum(1 for v in self.verdicts if v.method == method)
 
+    def summary(self) -> dict:
+        """Timing-free digest of this report, safe to compare across runs.
+
+        Two reports over the same checked sequence summarize identically
+        regardless of wall-clock, which is how the fleet asserts that a
+        sharded campaign's merged multiset checks byte-identically to
+        the serial run's (only ``elapsed`` may differ).
+        """
+        return {
+            "graphs": self.num_graphs,
+            "violations": [(v.index, v.cycle) for v in self.violations],
+            "methods": [v.method for v in self.verdicts],
+            "sorted_vertices": self.sorted_vertices,
+            "resorted_vertices": [v.resorted_vertices for v in self.verdicts],
+        }
+
     def record_metrics(self, obs, prefix: str) -> None:
         """Fold this report into an observability registry.
 

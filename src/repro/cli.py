@@ -6,9 +6,14 @@ Commands mirror the paper's flow so each stage can run standalone:
 * ``instrument`` — show the instrumented pseudo-assembly and its static
   metrics (signature size, code size, intrusiveness),
 * ``run`` — execute a test for N iterations on a simulated platform and
-  dump the collected signatures to JSON (the device side),
+  dump the collected signatures to JSON (the device side); ``--jobs N``
+  shards the iterations over N worker processes,
 * ``check`` — load a signature dump, decode, build graphs, and run the
   collective checker (the host side),
+* ``suite`` — run a multi-test suite (the paper's per-configuration
+  campaign), optionally sharded over ``--jobs`` workers,
+* ``merge`` — union saved campaign shard dumps into one dump (the host
+  side of a manually distributed campaign),
 * ``litmus`` — run the litmus library against a memory model,
 * ``stats`` — render (and validate) a saved observability run report.
 
@@ -27,9 +32,8 @@ import sys
 from repro import io as repro_io
 from repro import obs as repro_obs
 from repro.errors import ReproError
-from repro.checker import CollectiveChecker, describe_cycle
-from repro.graph import GraphBuilder
-from repro.harness import Campaign, format_table
+from repro.checker import describe_cycle
+from repro.harness import Campaign, SuiteRunner, check_campaign_result, format_table
 from repro.instrument import SignatureCodec, code_size, emit_listing, intrusiveness
 from repro.isa.assembler import disassemble
 from repro.mcm import get_model
@@ -103,33 +107,44 @@ def _cmd_instrument(args) -> int:
 
 def _cmd_run(args) -> int:
     config = _config_from(args)
+    if (args.detailed or args.bug) and config.isa != "x86":
+        raise ValueError("the detailed MESI simulator models x86 only; "
+                         "use --isa x86 with --detailed/--bug")
     # enable before the Campaign is built so the generate/instrument
     # phases land in the span tree
     handle = repro_obs.enable() if _metrics_wanted(args) else None
-    extra = {}
-    if args.detailed or args.bug:
-        if config.isa != "x86":
-            raise ValueError("the detailed MESI simulator models x86 only; "
-                             "use --isa x86 with --detailed/--bug")
-        from repro.sim.detailed import DetailedExecutor
-        from repro.sim.faults import Bug, FaultConfig
-        from repro.sim.platform import GEM5_X86_8CORE
+    if args.jobs > 1:
+        from repro.fleet import run_campaign_fleet
 
-        faults = FaultConfig(bug=Bug(args.bug) if args.bug else None,
-                             l1_lines=args.l1_lines)
-        extra["platform"] = GEM5_X86_8CORE
-        extra["executor_cls"] = (
-            lambda *a, **kw: DetailedExecutor(*a, faults=faults, **kw))
-    campaign = Campaign(config=config, seed=args.run_seed,
-                        os_model=args.os or None, **extra)
-    result = campaign.run(args.iterations)
+        result = run_campaign_fleet(
+            config=config, iterations=args.iterations, jobs=args.jobs,
+            seed=args.run_seed, block=args.block, os_model=bool(args.os),
+            detailed=bool(args.detailed or args.bug), bug=args.bug,
+            l1_lines=args.l1_lines)
+        checker = lambda: check_campaign_result(result)
+    else:
+        extra = {}
+        if args.detailed or args.bug:
+            from repro.sim.detailed import DetailedExecutor
+            from repro.sim.faults import Bug, FaultConfig
+            from repro.sim.platform import GEM5_X86_8CORE
+
+            faults = FaultConfig(bug=Bug(args.bug) if args.bug else None,
+                                 l1_lines=args.l1_lines)
+            extra["platform"] = GEM5_X86_8CORE
+            extra["executor_cls"] = (
+                lambda *a, **kw: DetailedExecutor(*a, faults=faults, **kw))
+        campaign = Campaign(config=config, seed=args.run_seed,
+                            os_model=args.os or None, **extra)
+        result = campaign.run(args.iterations, block=args.block)
+        checker = lambda: campaign.check(result)
     summary = {"config": config.name, "iterations": result.iterations,
                "unique_signatures": result.unique_signatures,
-               "crashes": result.crashes}
+               "crashes": result.crashes, "jobs": args.jobs}
     if handle is not None:
         # complete the pipeline so the report's span tree covers all four
         # phases and carries the checker counters for this very run
-        outcome = campaign.check(result)
+        outcome = checker()
         summary["violations"] = len(outcome.collective.violations)
     if not args.json:
         print("%s: %d iterations, %d unique signatures, %d crashes"
@@ -142,7 +157,7 @@ def _cmd_run(args) -> int:
     _emit_report(args, handle,
                  meta={"command": "run", "config": config.name,
                        "isa": config.isa, "seed": args.seed,
-                       "run_seed": args.run_seed},
+                       "run_seed": args.run_seed, "jobs": args.jobs},
                  summary=summary)
     return 0
 
@@ -152,26 +167,16 @@ def _cmd_check(args) -> int:
     result = repro_io.read_campaign(args.dump)
     config_model = get_model(args.model) if args.model else \
         platform_for_isa("x86" if result.codec.register_width == 64 else "arm").memory_model
-    obs = repro_obs.get_obs()
-    with obs.span("check"):
-        builder = GraphBuilder(result.program, config_model, ws_mode=args.ws_mode)
-        graphs = []
-        with obs.span("check.build_graphs"):
-            for signature in result.sorted_signatures():
-                rf = result.codec.decode(signature)
-                if args.ws_mode == "observed":
-                    graphs.append(
-                        builder.build(rf, result.representatives[signature].ws))
-                else:
-                    graphs.append(builder.build(rf))
-        report = CollectiveChecker().check(graphs)
+    outcome = check_campaign_result(result, config_model, ws_mode=args.ws_mode,
+                                    baseline=False)
+    report = outcome.collective
     if not args.json:
         print("checked %d unique executions under %s (%s ws): %d violations"
               % (report.num_graphs, config_model.name, args.ws_mode,
                  len(report.violations)))
         for verdict in report.violations:
             print()
-            print(describe_cycle(result.program, graphs[verdict.index],
+            print(describe_cycle(result.program, outcome.graphs[verdict.index],
                                  verdict.cycle))
     _emit_report(args, handle,
                  meta={"command": "check", "dump": args.dump,
@@ -179,6 +184,51 @@ def _cmd_check(args) -> int:
                  summary={"unique_executions": report.num_graphs,
                           "violations": len(report.violations)})
     return 1 if report.violations else 0
+
+
+def _cmd_suite(args) -> int:
+    config = _config_from(args)
+    handle = repro_obs.enable() if _metrics_wanted(args) else None
+    runner = SuiteRunner(config, tests=args.tests, iterations=args.iterations,
+                         jobs=args.jobs, os_model=args.os or None)
+    stats = runner.run(seed=args.run_seed)
+    rows = [
+        ["tests", stats.tests],
+        ["iterations per test", stats.iterations_per_test],
+        ["jobs", args.jobs],
+        ["mean unique signatures", "%.1f" % stats.mean_unique],
+        ["violating signatures", stats.violating_signatures],
+        ["tests with violations", stats.tests_with_violations],
+        ["crashes", stats.crashes],
+        ["checking reduction", "%.1f%%" % (100 * stats.checking_reduction)],
+    ]
+    summary = {"config": config.name, "tests": stats.tests,
+               "iterations_per_test": stats.iterations_per_test,
+               "jobs": args.jobs, "mean_unique": stats.mean_unique,
+               "violating_signatures": stats.violating_signatures,
+               "crashes": stats.crashes}
+    if not getattr(args, "json", False):
+        print(format_table(["metric", "value"], rows,
+                           title="suite results (%s)" % config.name))
+    _emit_report(args, handle,
+                 meta={"command": "suite", "config": config.name,
+                       "isa": config.isa, "seed": args.seed,
+                       "run_seed": args.run_seed, "jobs": args.jobs},
+                 summary=summary)
+    return 1 if stats.violating_signatures else 0
+
+
+def _cmd_merge(args) -> int:
+    from repro.fleet import merge_campaign_results
+
+    results = [repro_io.read_campaign(path) for path in args.shards]
+    merged = merge_campaign_results(results)
+    repro_io.save_campaign(merged, args.output)
+    print("merged %d shard dumps: %d iterations, %d unique signatures, "
+          "%d crashes -> %s"
+          % (len(results), merged.iterations, merged.unique_signatures,
+             merged.crashes, args.output))
+    return 0
 
 
 def _cmd_litmus(args) -> int:
@@ -258,8 +308,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--l1-lines", type=int, default=4,
                    help="detailed simulator L1 capacity in lines")
     p.add_argument("--output", "-o", help="write a JSON signature dump")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="shard the campaign over N worker processes")
+    p.add_argument("--block", type=int, default=None,
+                   help="seed-block size override (default 1024); smaller "
+                        "blocks spread short campaigns over more workers")
     _add_report_arguments(p, json_flag=True)
     p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("suite", help="run a multi-test suite, aggregate stats")
+    _add_config_arguments(p)
+    p.add_argument("--tests", type=int, default=10,
+                   help="distinct tests to generate (paper: 10)")
+    p.add_argument("--iterations", type=int, default=1000)
+    p.add_argument("--run-seed", type=int, default=0)
+    p.add_argument("--os", action="store_true", help="enable OS perturbation")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="shard the suite's tests over N worker processes")
+    _add_report_arguments(p, json_flag=True)
+    p.set_defaults(fn=_cmd_suite)
+
+    p = sub.add_parser("merge", help="merge campaign shard dumps (host side)")
+    p.add_argument("shards", nargs="+", help="JSON dumps from 'repro run -o'")
+    p.add_argument("--output", "-o", required=True,
+                   help="write the merged JSON dump here")
+    p.set_defaults(fn=_cmd_merge)
 
     p = sub.add_parser("check", help="check a signature dump (host side)")
     p.add_argument("dump", help="JSON dump from 'repro run -o'")

@@ -1,0 +1,94 @@
+"""Deterministic sharding of a campaign's iterations across workers.
+
+The paper's runtime is inherently distributed: many devices under
+validation execute the same test concurrently and each ships its
+signature multiset to one host (Section 1).  To reproduce a *serial*
+campaign bit-for-bit on any number of devices, iterations are split into
+fixed-size *seed blocks* — block ``i`` always runs under
+``derive_seed(base, i)`` no matter which worker executes it.  The block
+plan depends only on the iteration count, never on the worker count, so
+the merged signature multiset of a sharded run is identical to the
+serial run's, and ``jobs`` is purely a throughput knob.
+
+``derive_seed(base, 0) == base`` by construction: a one-block campaign
+is seeded exactly like the historical serial runner, keeping every
+pre-fleet result reproducible.
+"""
+
+from __future__ import annotations
+
+#: iterations per seed block; campaigns at or below this size behave
+#: exactly like the pre-fleet single-stream runner
+DEFAULT_BLOCK = 1024
+
+#: salt mixed into the OS-interference RNG so it never correlates with
+#: the executor's stream (historically ``seed ^ 0x05`` in the runner)
+OS_SEED_SALT = 0x05
+
+_MASK = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def derive_seed(base: int, block: int) -> int:
+    """The RNG seed of seed-block ``block`` of a campaign seeded ``base``.
+
+    Block 0 maps to ``base`` itself (legacy serial behaviour); later
+    blocks go through a splitmix64-style finalizer so nearby bases and
+    block indices produce statistically unrelated streams.
+    """
+    if block < 0:
+        raise ValueError("block index must be non-negative; got %r" % (block,))
+    if block == 0:
+        return base
+    x = (base + block * _GOLDEN) & _MASK
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK
+    x ^= x >> 31
+    return x
+
+
+def derive_os_seed(base: int, block: int = 0) -> int:
+    """Seed for the OS-perturbation RNG of seed-block ``block``."""
+    return derive_seed(base, block) ^ OS_SEED_SALT
+
+
+def plan_blocks(iterations: int, block: int = None) -> list[tuple[int, int]]:
+    """Split ``iterations`` into ``(block_index, count)`` seed blocks.
+
+    The plan is a pure function of the iteration count (and the block
+    size): it does not know or care how many workers will execute it.
+    """
+    if iterations < 0:
+        raise ValueError("iterations must be non-negative; got %r" % (iterations,))
+    size = DEFAULT_BLOCK if block is None else block
+    if size < 1:
+        raise ValueError("block size must be positive; got %r" % (size,))
+    blocks = []
+    index = 0
+    remaining = iterations
+    while remaining > 0:
+        count = min(size, remaining)
+        blocks.append((index, count))
+        remaining -= count
+        index += 1
+    return blocks
+
+
+def partition_blocks(blocks, jobs: int) -> list[tuple[tuple[int, int], ...]]:
+    """Deal seed blocks round-robin onto ``jobs`` worker shards.
+
+    Striping balances the (single, possibly short) trailing block across
+    shards.  Shards that would receive no blocks are dropped, so the
+    returned list never contains empty work assignments.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be positive; got %r" % (jobs,))
+    shards = [tuple(blocks[j::jobs]) for j in range(jobs)]
+    return [shard for shard in shards if shard]
+
+
+def shard_iterations(shard) -> int:
+    """Total iterations assigned to one shard's block tuple."""
+    return sum(count for _, count in shard)

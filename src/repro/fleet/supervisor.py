@@ -1,0 +1,161 @@
+"""Crash-tolerant supervision of a pool of shard workers.
+
+The host side of the paper's execution phase: launch one process per
+shard (at most ``jobs`` concurrently), wait for each device's signature
+hand-off, and treat worker death — a non-zero exit, a missing hand-off,
+or a per-shard timeout — the way the paper treats its bug-3 runs: as a
+*crash outcome* of that shard, retried up to a bounded limit and then
+recorded, never aborting the campaign.
+
+Observability (when the host's global instance is enabled):
+
+* ``fleet.shard`` spans — one aggregated node counting every shard
+  drive, with total supervision wall time;
+* ``fleet.workers_launched`` / ``fleet.worker_retries`` /
+  ``fleet.worker_deaths`` / ``fleet.shards_crashed`` counters;
+* a ``fleet.shard_seconds`` histogram of per-shard wall time;
+* worker-side metric state (``collect_metrics`` tasks) absorbed into
+  the host registry, merging the devices' own series.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.obs import get_obs
+from repro.fleet.worker import WorkerTask, worker_main
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Supervision knobs for one fleet run."""
+
+    #: maximum concurrently running worker processes
+    jobs: int = 2
+    #: per-shard wall-clock limit per attempt; None disables the limit
+    timeout_s: float = 120.0
+    #: re-launches after the first attempt before recording a crash
+    max_retries: int = 1
+    #: multiprocessing start method; None picks fork when available
+    start_method: str = None
+
+
+@dataclass
+class ShardOutcome:
+    """What the supervisor observed for one shard."""
+
+    index: int
+    iterations: int
+    attempts: int = 0
+    #: the worker's io.py JSON hand-off; None when the shard crashed
+    payload: str = None
+    error: str = None
+    elapsed_s: float = 0.0
+
+    @property
+    def crashed(self) -> bool:
+        return self.payload is None
+
+
+class FleetSupervisor:
+    """Drives worker processes for a list of shard tasks.
+
+    Args:
+        config: supervision limits and concurrency.
+        target: process entry point; defaults to
+            :func:`repro.fleet.worker.worker_main`.  Overridable so tests
+            can interpose flaky or hostile workers.
+    """
+
+    def __init__(self, config: FleetConfig = None, target=None):
+        self.config = config or FleetConfig()
+        self.target = target or worker_main
+
+    def run(self, tasks: list[WorkerTask]) -> list[ShardOutcome]:
+        """Execute every task, bounded-concurrently; never raises for
+        worker failures — each failure is its shard's crash outcome."""
+        outcomes = [ShardOutcome(index, task.iterations)
+                    for index, task in enumerate(tasks)]
+        if not tasks:
+            return outcomes
+        obs = get_obs()
+        semaphore = threading.BoundedSemaphore(max(1, self.config.jobs))
+        threads = [
+            threading.Thread(target=self._drive,
+                             args=(task, outcome, semaphore, obs),
+                             name="fleet-shard-%d" % outcome.index,
+                             daemon=True)
+            for task, outcome in zip(tasks, outcomes)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return outcomes
+
+    # -- per-shard driving ------------------------------------------------------------
+
+    def _drive(self, task, outcome, semaphore, obs) -> None:
+        with semaphore:
+            with obs.span("fleet.shard"):
+                start = time.perf_counter()
+                attempts = 1 + max(0, self.config.max_retries)
+                for attempt in range(attempts):
+                    outcome.attempts += 1
+                    obs.counter("fleet.workers_launched").inc()
+                    if attempt:
+                        obs.counter("fleet.worker_retries").inc()
+                    ok, payload, state = self._attempt(task)
+                    if ok:
+                        outcome.payload = payload
+                        outcome.error = None
+                        if state is not None:
+                            obs.metrics.absorb_state(state)
+                        break
+                    outcome.error = payload
+                    obs.counter("fleet.worker_deaths").inc()
+                else:
+                    obs.counter("fleet.shards_crashed").inc()
+                outcome.elapsed_s = time.perf_counter() - start
+                obs.histogram("fleet.shard_seconds").observe(outcome.elapsed_s)
+
+    def _attempt(self, task):
+        """One worker launch; returns (ok, payload_or_error, metric_state)."""
+        ctx = self._context()
+        receiver, sender = ctx.Pipe(duplex=False)
+        process = ctx.Process(target=self.target, args=(task, sender),
+                              daemon=True)
+        process.start()
+        sender.close()          # keep only the child's write end open
+        process.join(self.config.timeout_s)
+        if process.is_alive():
+            process.terminate()
+            process.join(5.0)
+            if process.is_alive():
+                process.kill()
+                process.join(5.0)
+            receiver.close()
+            return False, "timed out after %.3gs" % self.config.timeout_s, None
+        message = None
+        try:
+            if receiver.poll():
+                message = receiver.recv()
+        except (EOFError, OSError):
+            message = None
+        finally:
+            receiver.close()
+        if message is not None and message[0] == "ok":
+            return True, message[1], message[2]
+        if message is not None and message[0] == "error":
+            return False, message[1], None
+        return False, "worker died with exit code %s" % process.exitcode, None
+
+    def _context(self):
+        method = self.config.start_method
+        if method is None:
+            available = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in available else "spawn"
+        return multiprocessing.get_context(method)

@@ -1,0 +1,140 @@
+"""The device side of the fleet: one process, one shard, one hand-off.
+
+A :class:`WorkerTask` is a pure-data description of a shard — the test
+program as assembler text (the :mod:`repro.io` program document), the
+seed-block assignment, and the campaign knobs — so it pickles under any
+``multiprocessing`` start method.  The worker rebuilds the campaign,
+runs exactly its blocks, and returns the signature multiset serialized
+through :func:`repro.io.dump_campaign`: the same JSON hand-off a device
+under validation would ship to the host (paper Section 1).
+
+``die_on_crash`` models the paper's bug-3 behaviour faithfully: on real
+silicon a writeback-race crash takes the whole device down, so no
+signatures are ever shipped.  With it set, any crashed iteration makes
+the worker process exit non-zero instead of reporting partial results;
+the supervisor then retries and eventually records the shard as a crash
+outcome.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.testgen.config import TestConfig
+
+#: exit status of a worker that died emulating a device crash (bug 3)
+CRASH_EXIT = 70
+
+
+@dataclass(frozen=True)
+class WorkerTask:
+    """Everything a worker process needs, as picklable plain data."""
+
+    #: :func:`repro.io.dump_program` document ({"name", "listing"})
+    program_doc: dict
+    #: ``(block_index, iterations)`` seed blocks assigned to this shard
+    blocks: tuple
+    #: campaign base seed; per-block seeds derive from it
+    seed: int = 0
+    #: test configuration (layout / register width); optional
+    config: TestConfig = None
+    #: ISA fallback when no config is given
+    isa: str = "arm"
+    instrumentation: str = "signature"
+    #: True enables the Linux-perturbation OS model
+    os_model: bool = False
+    sync_barriers: bool = False
+    #: use the detailed MESI simulator (x86 only)
+    detailed: bool = False
+    #: paper Section-7 bug number to inject (implies ``detailed``)
+    bug: int = None
+    l1_lines: int = 4
+    #: emulate device death: exit non-zero if any iteration crashes
+    die_on_crash: bool = False
+    #: ship the worker's metric state home for host-side absorption
+    collect_metrics: bool = False
+    #: include observed coherence orders in the hand-off
+    include_ws: bool = True
+
+    @property
+    def iterations(self) -> int:
+        return sum(count for _, count in self.blocks)
+
+
+def execute_task(task: WorkerTask):
+    """Run a task's shard in-process; returns the :class:`CampaignResult`.
+
+    Used by the worker entry point and directly by ``jobs=1`` fallbacks
+    and tests — the fleet's execution semantics without any process.
+    """
+    # imported here so this module stays importable mid-way through a
+    # ``repro.harness`` import (harness.runner itself imports the
+    # sharding module of this package)
+    from repro.harness.runner import Campaign
+    from repro.io import load_program
+    from repro.sim.platform import GEM5_X86_8CORE, platform_for_isa
+
+    program = load_program(task.program_doc)
+    extra = {}
+    if task.detailed or task.bug:
+        from repro.sim.detailed import DetailedExecutor
+        from repro.sim.faults import Bug, FaultConfig
+
+        faults = FaultConfig(bug=Bug(task.bug) if task.bug else None,
+                             l1_lines=task.l1_lines)
+        extra["platform"] = GEM5_X86_8CORE
+        extra["executor_cls"] = (
+            lambda *a, **kw: DetailedExecutor(*a, faults=faults, **kw))
+    else:
+        extra["platform"] = platform_for_isa(
+            task.config.isa if task.config else task.isa)
+    campaign = Campaign(program=program, config=task.config,
+                        instrumentation=task.instrumentation,
+                        os_model=True if task.os_model else None,
+                        seed=task.seed, sync_barriers=task.sync_barriers,
+                        **extra)
+    return campaign.run_blocks(task.blocks)
+
+
+def task_meta(task: WorkerTask) -> dict:
+    """Shard provenance stamped into the worker's campaign dump."""
+    return {"shard": {"seed": task.seed,
+                      "blocks": [list(block) for block in task.blocks]}}
+
+
+def run_worker_task(task: WorkerTask) -> str:
+    """Execute a task and serialize its result to the io.py hand-off."""
+    from repro.io import dump_campaign
+
+    return dump_campaign(execute_task(task), include_ws=task.include_ws,
+                         meta=task_meta(task))
+
+
+def worker_main(task: WorkerTask, conn) -> None:
+    """Process entry point: run the shard, ship the result, exit.
+
+    Sends ``("ok", dump_json, metrics_state_or_None)`` on success or
+    ``("error", message, None)`` on a handled failure; emulated device
+    crashes (``die_on_crash``) exit without sending anything, exactly
+    like a killed process.
+    """
+    from repro import obs
+    from repro.io import dump_campaign
+
+    handle = obs.enable() if task.collect_metrics else obs.disable()
+    try:
+        result = execute_task(task)
+        if task.die_on_crash and result.crashes:
+            os._exit(CRASH_EXIT)
+        state = handle.metrics.export_state() if task.collect_metrics else None
+        conn.send(("ok", dump_campaign(result, include_ws=task.include_ws,
+                                       meta=task_meta(task)),
+                   state))
+        conn.close()
+    except BaseException as exc:  # ship the reason before dying
+        try:
+            conn.send(("error", "%s: %s" % (type(exc).__name__, exc), None))
+            conn.close()
+        finally:
+            os._exit(1)

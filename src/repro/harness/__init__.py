@@ -1,7 +1,13 @@
 """End-to-end campaign harness and report formatting."""
 
 from repro.harness.reporting import format_bar_chart, format_table
-from repro.harness.runner import Campaign, CampaignResult, CheckOutcome, run_and_check
+from repro.harness.runner import (
+    Campaign,
+    CampaignResult,
+    CheckOutcome,
+    check_campaign_result,
+    run_and_check,
+)
 from repro.harness.sortmodel import SortCostModel
 from repro.harness.suite import SuiteRunner, SuiteStats
 
@@ -12,6 +18,7 @@ __all__ = [
     "SortCostModel",
     "SuiteRunner",
     "SuiteStats",
+    "check_campaign_result",
     "format_bar_chart",
     "format_table",
     "run_and_check",

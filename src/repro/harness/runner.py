@@ -15,9 +15,12 @@ violation checking``:
 
 from __future__ import annotations
 
+import random
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro.errors import ReproError
+from repro.fleet.sharding import derive_os_seed, derive_seed, plan_blocks
 from repro.harness.sortmodel import SortCostModel
 from repro.checker.baseline import BaselineChecker
 from repro.checker.collective import CollectiveChecker
@@ -68,9 +71,12 @@ class CheckOutcome:
     """Violation-checking results over a campaign's unique executions."""
 
     collective: CheckReport
-    baseline: CheckReport
+    #: conventional per-execution checking; None when it was skipped
+    baseline: CheckReport = None
     #: signatures, in the checked (ascending) order
     signatures: list = field(default_factory=list)
+    #: constraint graphs, aligned with ``signatures``
+    graphs: list = field(default_factory=list)
 
     @property
     def violating_signatures(self) -> list:
@@ -113,43 +119,106 @@ class Campaign:
         with obs.span("instrument"):
             self.codec = SignatureCodec(program, platform.register_width)
         layout = config.layout if config else None
+        self._owned_os_model = None
         if os_model is True:
-            os_model = OSModel(__import__("random").Random(seed ^ 0x05),
+            os_model = OSModel(random.Random(derive_os_seed(seed)),
                                program.num_threads, platform.num_cores)
+            self._owned_os_model = os_model
         self.executor = executor_cls(
             program, self.model, platform, seed=seed,
             instrumentation=instrumentation, codec=self.codec,
             layout=layout, os_model=os_model, sync_barriers=sync_barriers)
         self.instrumentation = instrumentation
+        self.seed = seed
+        self.sync_barriers = sync_barriers
+        #: dispatchable to fleet workers only when every knob is plain data
+        self._fleet_ready = (
+            executor_cls is OperationalExecutor
+            and (os_model is None or os_model is self._owned_os_model))
         self._sort_model = SortCostModel()
 
-    def run(self, iterations: int) -> CampaignResult:
-        """Execute ``iterations`` runs, collecting signatures."""
+    def run(self, iterations: int, jobs: int = 1,
+            block: int = None) -> CampaignResult:
+        """Execute ``iterations`` runs, collecting signatures.
+
+        Iterations are executed in deterministic *seed blocks* (see
+        :mod:`repro.fleet.sharding`): block ``i`` reseeds the executor
+        with ``derive_seed(seed, i)``, so the collected signature
+        multiset is a pure function of ``(seed, iterations)`` and is
+        identical whether the blocks run serially here or sharded over
+        a worker fleet.
+
+        Args:
+            iterations: total iterations to run.
+            jobs: worker processes; ``1`` runs in-process, ``N > 1``
+                dispatches the seed blocks to a fleet of ``N`` workers
+                and merges their signature multisets.
+            block: seed-block size override (mainly for tests).
+        """
+        if jobs < 1:
+            raise ValueError("jobs must be positive; got %r" % (jobs,))
+        if jobs > 1:
+            return self._run_fleet(iterations, jobs, block)
+        return self.run_blocks(plan_blocks(iterations, block))
+
+    def run_blocks(self, blocks) -> CampaignResult:
+        """Execute an explicit ``(block_index, count)`` seed-block list.
+
+        This is the worker-shard entry point: a fleet worker runs exactly
+        its assigned blocks through the same code path the serial runner
+        uses for the full plan.
+        """
+        iterations = sum(count for _, count in blocks)
         result = CampaignResult(self.program, self.codec, iterations)
-        encode = self.codec.encode
-        counts = result.signature_counts
-        reps = result.representatives
         obs = get_obs()
         with obs.span("execute"):
-            for execution in self.executor.run(iterations):
-                if execution.crashed:
-                    result.crashes += 1
-                    continue
-                signature = encode(execution.rf)
-                counts[signature] += 1
-                if signature not in reps:
-                    reps[signature] = execution
-                c = execution.counters
-                result.base_cycles += c.base_cycles
-                result.instrumentation_cycles += c.instrumentation_cycles
-                result.test_accesses += c.test_accesses
-                result.extra_accesses += c.extra_accesses
-                if self.instrumentation == "signature":
-                    result.signature_sort_cycles += self._sort_model.insert_cost(
-                        len(counts), self.codec.total_words)
+            for index, count in blocks:
+                self._reseed_block(index)
+                self._run_into(result, count)
         if obs.enabled:
             self._record_run_metrics(obs, result)
         return result
+
+    def _reseed_block(self, index: int) -> None:
+        """Point the substrate's RNG streams at seed block ``index``."""
+        self.executor.reseed(derive_seed(self.seed, index))
+        if self._owned_os_model is not None:
+            self._owned_os_model.rng.seed(derive_os_seed(self.seed, index))
+
+    def _run_into(self, result: CampaignResult, iterations: int) -> None:
+        encode = self.codec.encode
+        counts = result.signature_counts
+        reps = result.representatives
+        for execution in self.executor.run(iterations):
+            if execution.crashed:
+                result.crashes += 1
+                continue
+            signature = encode(execution.rf)
+            counts[signature] += 1
+            if signature not in reps:
+                reps[signature] = execution
+            c = execution.counters
+            result.base_cycles += c.base_cycles
+            result.instrumentation_cycles += c.instrumentation_cycles
+            result.test_accesses += c.test_accesses
+            result.extra_accesses += c.extra_accesses
+            if self.instrumentation == "signature":
+                result.signature_sort_cycles += self._sort_model.insert_cost(
+                    len(counts), self.codec.total_words)
+
+    def _run_fleet(self, iterations: int, jobs: int, block) -> CampaignResult:
+        from repro.fleet.campaign import run_campaign_fleet
+
+        if not self._fleet_ready:
+            raise ReproError(
+                "this campaign uses a custom executor or OS model and "
+                "cannot be dispatched to worker processes; run with jobs=1")
+        return run_campaign_fleet(
+            config=self.config, program=self.program, iterations=iterations,
+            jobs=jobs, seed=self.seed, block=block,
+            instrumentation=self.instrumentation,
+            os_model=self._owned_os_model is not None,
+            sync_barriers=self.sync_barriers)
 
     def _record_run_metrics(self, obs, result: CampaignResult) -> None:
         metrics = obs.metrics
@@ -174,25 +243,49 @@ class Campaign:
                 ``"observed"`` (use each representative execution's
                 coherence order for strictly stronger checking).
         """
-        obs = get_obs()
-        with obs.span("check"):
-            builder = GraphBuilder(self.program, self.model, ws_mode=ws_mode)
-            signatures = result.sorted_signatures()
-            graphs = []
-            with obs.span("check.build_graphs"):
-                for signature in signatures:
-                    rf = self.codec.decode(signature)
-                    if ws_mode == "observed":
-                        graphs.append(
-                            builder.build(rf, result.representatives[signature].ws))
-                    else:
-                        graphs.append(builder.build(rf))
-            outcome = CheckOutcome(
-                collective=CollectiveChecker().check(graphs),
-                baseline=BaselineChecker().check(graphs),
-                signatures=signatures,
-            )
-        return outcome
+        return check_campaign_result(result, self.model, ws_mode=ws_mode)
+
+
+def check_campaign_result(result: CampaignResult, model: MemoryModel = None,
+                          ws_mode: str = "static",
+                          baseline: bool = True) -> CheckOutcome:
+    """Host-side checking of any campaign result — live, loaded or merged.
+
+    The campaign's origin is irrelevant: a serial run, a fleet-merged
+    multiset and a :func:`repro.io.load_campaign` dump all check through
+    this one path, so sharding can never change checker semantics.
+
+    Args:
+        result: signature multiset (plus representatives) to check.
+        model: memory model; defaults to the platform matching the
+            result's signature register width (the io.py convention).
+        ws_mode: ``"static"`` (paper default) or ``"observed"``.
+        baseline: also run the conventional per-execution checker;
+            skipped (``outcome.baseline is None``) when False.
+    """
+    if model is None:
+        model = platform_for_isa(
+            "x86" if result.codec.register_width == 64 else "arm").memory_model
+    obs = get_obs()
+    with obs.span("check"):
+        builder = GraphBuilder(result.program, model, ws_mode=ws_mode)
+        signatures = result.sorted_signatures()
+        graphs = []
+        with obs.span("check.build_graphs"):
+            for signature in signatures:
+                rf = result.codec.decode(signature)
+                if ws_mode == "observed":
+                    graphs.append(
+                        builder.build(rf, result.representatives[signature].ws))
+                else:
+                    graphs.append(builder.build(rf))
+        outcome = CheckOutcome(
+            collective=CollectiveChecker().check(graphs),
+            baseline=BaselineChecker().check(graphs) if baseline else None,
+            signatures=signatures,
+            graphs=graphs,
+        )
+    return outcome
 
 
 def run_and_check(config: TestConfig, iterations: int, **kwargs):

@@ -12,9 +12,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.checker.results import COMPLETE, INCREMENTAL, NO_RESORT
-from repro.harness.runner import Campaign, CampaignResult, CheckOutcome
+from repro.errors import ReproError
+from repro.harness.runner import (
+    Campaign,
+    CampaignResult,
+    CheckOutcome,
+    check_campaign_result,
+)
 from repro.testgen.config import TestConfig
 from repro.testgen.generator import generate_suite
+
+#: campaign kwargs a worker process can reconstruct from plain data
+_FLEET_KWARGS = {"instrumentation", "os_model", "sync_barriers"}
 
 
 @dataclass
@@ -55,19 +64,34 @@ class SuiteRunner:
         config: test configuration.
         tests: how many distinct tests to generate (paper: 10).
         iterations: iterations per test (paper: 65,536).
+        jobs: worker processes; ``1`` runs every test in-process, while
+            ``N > 1`` shards the suite's tests over a fleet of ``N``
+            workers (the paper's many-devices-one-host deployment) and
+            checks each shipped signature multiset on the host.
+        fleet: optional :class:`repro.fleet.FleetConfig` supervision
+            knobs for ``jobs > 1``.
         campaign_kwargs: forwarded to every :class:`Campaign`
-            (platform, instrumentation, executor_cls, os_model, ...).
+            (platform, instrumentation, executor_cls, os_model, ...);
+            fleet mode accepts only the plain-data subset
+            (``instrumentation``, ``os_model``, ``sync_barriers``).
     """
 
     def __init__(self, config: TestConfig, tests: int = 10,
-                 iterations: int = 1000, **campaign_kwargs):
+                 iterations: int = 1000, jobs: int = 1, fleet=None,
+                 **campaign_kwargs):
+        if jobs < 1:
+            raise ValueError("jobs must be positive; got %r" % (jobs,))
         self.config = config
         self.tests = tests
         self.iterations = iterations
+        self.jobs = jobs
+        self.fleet = fleet
         self.campaign_kwargs = campaign_kwargs
 
     def run(self, seed: int = 0, check: bool = True) -> SuiteStats:
         """Execute the whole suite; optionally check every campaign."""
+        if self.jobs > 1:
+            return self._run_fleet(seed, check)
         stats = SuiteStats(self.config, tests=self.tests,
                            iterations_per_test=self.iterations)
         for index, program in enumerate(generate_suite(self.config, self.tests)):
@@ -80,6 +104,72 @@ class SuiteRunner:
                 continue
             outcome = campaign.check(result)
             self._absorb(stats, result, outcome)
+        return stats
+
+    def _run_fleet(self, seed: int, check: bool) -> SuiteStats:
+        """Shard the suite's tests over worker processes.
+
+        Each test is one shard task carrying the test's full seed-block
+        plan, so its worker-side execution is bit-identical to the
+        serial campaign with the same seed.  A dead worker (crash after
+        retries, timeout) records its whole test as crashed iterations
+        with zero observed signatures — the paper's bug-3 accounting —
+        and the suite carries on.
+        """
+        from repro import io as repro_io
+        from repro.fleet.sharding import plan_blocks
+        from repro.fleet.supervisor import FleetConfig, FleetSupervisor
+        from repro.fleet.worker import WorkerTask
+        from repro.obs import get_obs
+        from repro.sim.platform import platform_for_isa
+
+        unsupported = set(self.campaign_kwargs) - _FLEET_KWARGS
+        if unsupported:
+            raise ReproError(
+                "campaign options %s cannot be dispatched to worker "
+                "processes; run with jobs=1" % sorted(unsupported))
+        os_model = self.campaign_kwargs.get("os_model")
+        if os_model not in (None, False, True):
+            raise ReproError("fleet suites support only os_model=True; "
+                             "custom OS models need jobs=1")
+        obs = get_obs()
+        blocks = tuple(plan_blocks(self.iterations))
+        tasks = [
+            WorkerTask(
+                program_doc=repro_io.dump_program(program), blocks=blocks,
+                seed=seed + index, config=self.config, isa=self.config.isa,
+                instrumentation=self.campaign_kwargs.get(
+                    "instrumentation", "signature"),
+                os_model=bool(os_model),
+                sync_barriers=self.campaign_kwargs.get("sync_barriers", False),
+                collect_metrics=obs.enabled)
+            for index, program in enumerate(
+                generate_suite(self.config, self.tests))
+        ]
+        base = FleetConfig() if self.fleet is None else self.fleet
+        supervisor = FleetSupervisor(
+            FleetConfig(jobs=self.jobs, timeout_s=base.timeout_s,
+                        max_retries=base.max_retries,
+                        start_method=base.start_method))
+        obs.counter("fleet.shards").inc(len(tasks))
+        with obs.span("execute"):
+            outcomes = supervisor.run(tasks)
+
+        stats = SuiteStats(self.config, tests=self.tests,
+                           iterations_per_test=self.iterations)
+        model = platform_for_isa(self.config.isa).memory_model
+        for outcome in outcomes:
+            if outcome.crashed:
+                stats.unique_signatures.append(0)
+                stats.crashes += outcome.iterations
+                continue
+            result = repro_io.load_campaign(outcome.payload)
+            stats.unique_signatures.append(result.unique_signatures)
+            stats.crashes += result.crashes
+            if not check:
+                continue
+            checked = check_campaign_result(result, model)
+            self._absorb(stats, result, checked)
         return stats
 
     @staticmethod

@@ -51,7 +51,8 @@ def _signature_from_list(data) -> Signature:
     return Signature(tuple(tuple(int(w) for w in words) for words in data))
 
 
-def dump_campaign(result: CampaignResult, include_ws: bool = True) -> str:
+def dump_campaign(result: CampaignResult, include_ws: bool = True,
+                  meta: dict = None) -> str:
     """Serialize a campaign's signatures (and optional ws orders) to JSON.
 
     Args:
@@ -60,6 +61,9 @@ def dump_campaign(result: CampaignResult, include_ws: bool = True) -> str:
             coherence order, enabling host-side ``observed``-mode
             checking.  Without it the dump carries only what the paper's
             signature transfer carries.
+        meta: optional free-form provenance (fleet workers stamp their
+            shard's seed and seed-block assignment here).  Ignored by
+            :func:`load_campaign`; surfaced by :func:`campaign_meta`.
     """
     signatures = []
     for signature, count in sorted(result.signature_counts.items()):
@@ -76,7 +80,21 @@ def dump_campaign(result: CampaignResult, include_ws: bool = True) -> str:
         "crashes": result.crashes,
         "signatures": signatures,
     }
+    if meta:
+        doc["meta"] = dict(meta)
     return json.dumps(doc, indent=1)
+
+
+def campaign_meta(text: str) -> dict:
+    """The free-form ``meta`` block of a campaign dump (``{}`` if absent)."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise FormatError("not valid JSON: %s" % exc) from None
+    meta = doc.get("meta", {})
+    if not isinstance(meta, dict):
+        raise FormatError("campaign 'meta' must be an object")
+    return meta
 
 
 def load_campaign(text: str) -> CampaignResult:

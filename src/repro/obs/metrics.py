@@ -43,6 +43,12 @@ class Counter:
     def snapshot(self) -> dict:
         return {"type": COUNTER, "value": self.value}
 
+    def state(self) -> dict:
+        return {"type": COUNTER, "value": self.value}
+
+    def absorb_state(self, state: dict) -> None:
+        self.inc(state["value"])
+
 
 class Gauge:
     """A last-write-wins value."""
@@ -57,6 +63,12 @@ class Gauge:
 
     def snapshot(self) -> dict:
         return {"type": GAUGE, "value": self.value}
+
+    def state(self) -> dict:
+        return {"type": GAUGE, "value": self.value}
+
+    def absorb_state(self, state: dict) -> None:
+        self.set(state["value"])
 
 
 class Histogram:
@@ -138,6 +150,51 @@ class Histogram:
             "p99": self.quantile(0.99),
         }
 
+    def state(self) -> dict:
+        """Full mergeable state (buckets included), unlike ``snapshot``."""
+        return {
+            "type": HISTOGRAM,
+            "growth": self.growth,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "underflow": self._underflow,
+            "buckets": dict(self._buckets),
+        }
+
+    def absorb_state(self, state: dict) -> None:
+        """Merge another histogram's exported state into this one.
+
+        Matching growth factors merge exactly (bucket-by-bucket); a
+        mismatched exporter is folded in approximately by re-observing
+        each foreign bucket at its geometric midpoint.
+        """
+        count = state["count"]
+        if not count:
+            return
+        if state.get("growth") == self.growth:
+            self.count += count
+            self.total += state["sum"]
+            self.min = min(self.min, state["min"])
+            self.max = max(self.max, state["max"])
+            self._underflow += state.get("underflow", 0)
+            for index, n in state["buckets"].items():
+                index = int(index)
+                self._buckets[index] = self._buckets.get(index, 0) + n
+            return
+        growth = state["growth"]
+        for index, n in state["buckets"].items():
+            hi = growth ** int(index)
+            midpoint = math.sqrt(hi * hi / growth)
+            for _ in range(n):
+                self.observe(midpoint)
+        for _ in range(state.get("underflow", 0)):
+            self.observe(0.0)
+        # re-observing midpoints loses the true extremes; restore them
+        self.min = min(self.min, state["min"])
+        self.max = max(self.max, state["max"])
+
 
 class MetricsRegistry:
     """Get-or-create metric store keyed by dotted names.
@@ -184,6 +241,38 @@ class MetricsRegistry:
         """All metrics as plain JSON-ready dicts, keyed by dotted name."""
         return {name: self._metrics[name].snapshot()
                 for name in sorted(self._metrics)}
+
+    # -- cross-process merging ---------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Mergeable full state of every metric, keyed by dotted name.
+
+        Unlike :meth:`snapshot` (a read-only report), the exported state
+        carries everything another registry needs to fold these series
+        into its own — the fleet workers ship this home so the host
+        report covers device-side execution too.
+        """
+        return {name: self._metrics[name].state()
+                for name in sorted(self._metrics)}
+
+    def absorb_state(self, state: dict) -> None:
+        """Merge a registry state exported elsewhere into this registry.
+
+        Counters and histogram samples add; gauges are last-write-wins.
+        Metrics missing here are created with the exporter's kind.
+        """
+        for name, entry in state.items():
+            kind = entry.get("type")
+            if kind == COUNTER:
+                self.counter(name).absorb_state(entry)
+            elif kind == GAUGE:
+                self.gauge(name).absorb_state(entry)
+            elif kind == HISTOGRAM:
+                self.histogram(
+                    name, entry.get("growth", 1.05)).absorb_state(entry)
+            else:
+                raise TypeError("cannot absorb metric %r of unknown type %r"
+                                % (name, kind))
 
 
 # -- disabled-mode no-ops ------------------------------------------------------------
@@ -256,3 +345,9 @@ class NullRegistry:
 
     def snapshot(self) -> dict:
         return {}
+
+    def export_state(self) -> dict:
+        return {}
+
+    def absorb_state(self, state: dict) -> None:
+        pass

@@ -127,6 +127,10 @@ class DetailedExecutor:
 
     # -- public API ----------------------------------------------------------------
 
+    def reseed(self, seed: int) -> None:
+        """Reset the RNG stream; per-iteration state is rebuilt anyway."""
+        self.rng.seed(seed)
+
     def run_one(self) -> Execution:
         """Execute one iteration; returns a crashed Execution on bug 3."""
         self._squashed_loads = 0

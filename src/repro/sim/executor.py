@@ -149,6 +149,17 @@ class OperationalExecutor:
 
     # -- public API -------------------------------------------------------------
 
+    def reseed(self, seed: int) -> None:
+        """Reset the RNG stream and cross-iteration predictor state.
+
+        All other mutable state (contention line ownership, store
+        buffers, windows) is rebuilt per iteration, so after a reseed
+        the executor behaves exactly like a freshly constructed one —
+        the property the fleet's seed-block scheme relies on.
+        """
+        self.rng.seed(seed)
+        self._predictor.clear()
+
     def run_one(self) -> Execution:
         """Execute one iteration of the test."""
         if self.model.name == "tso":

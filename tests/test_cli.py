@@ -73,6 +73,87 @@ class TestRunAndCheck:
                      "--iterations", "40", "--os"]) == 0
 
 
+class TestFleetCLI:
+    RUN = ["run", "--threads", "2", "--ops", "10", "--addresses", "8",
+           "--iterations", "80", "--run-seed", "3"]
+
+    def test_run_jobs_flag_shards_the_campaign(self, capsys):
+        assert main(self.RUN + ["--jobs", "2"]) == 0
+        assert "unique signatures" in capsys.readouterr().out
+
+    def test_sharded_dump_equals_serial_dump(self, capsys, tmp_path):
+        from repro.io import read_campaign
+
+        serial, sharded = str(tmp_path / "s.json"), str(tmp_path / "f.json")
+        assert main(self.RUN + ["-o", serial]) == 0
+        assert main(self.RUN + ["--jobs", "2", "-o", sharded]) == 0
+        capsys.readouterr()
+        assert read_campaign(sharded).signature_counts == \
+               read_campaign(serial).signature_counts
+
+    def test_merge_subcommand_unions_shards(self, capsys, tmp_path):
+        import json as _json
+
+        from repro.io import read_campaign, save_campaign
+        from repro.harness import Campaign
+        from repro.testgen import TestConfig
+
+        cfg = TestConfig(threads=2, ops_per_thread=10, addresses=8, seed=5)
+        campaign = Campaign(config=cfg, seed=9)
+        paths = []
+        for i in range(2):
+            shard = Campaign(program=campaign.program, config=cfg,
+                             seed=9).run_blocks([(i, 40)])
+            paths.append(str(tmp_path / ("shard%d.json" % i)))
+            save_campaign(shard, paths[-1])
+        merged_path = str(tmp_path / "merged.json")
+        assert main(["merge", *paths, "-o", merged_path]) == 0
+        assert "merged 2 shard dumps" in capsys.readouterr().out
+        whole = campaign.run(80, block=40)
+        assert read_campaign(merged_path).signature_counts == \
+               whole.signature_counts
+
+    def test_merge_rejects_mismatched_shards(self, capsys, tmp_path):
+        from repro.io import save_campaign
+        from repro.harness import Campaign
+        from repro.testgen import TestConfig
+
+        a = Campaign(config=TestConfig(threads=2, ops_per_thread=10,
+                                       addresses=8, seed=5))
+        b = Campaign(config=TestConfig(threads=2, ops_per_thread=10,
+                                       addresses=8, seed=6))
+        pa, pb = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+        save_campaign(a.run(20), pa)
+        save_campaign(b.run(20), pb)
+        assert main(["merge", pa, pb, "-o", str(tmp_path / "m.json")]) == 2
+        assert "error" in capsys.readouterr().err.lower()
+
+    def test_suite_subcommand(self, capsys):
+        assert main(["suite", "--threads", "2", "--ops", "8", "--addresses",
+                     "4", "--tests", "2", "--iterations", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "mean unique signatures" in out
+        assert "checking reduction" in out
+
+    def test_suite_with_jobs(self, capsys):
+        assert main(["suite", "--threads", "2", "--ops", "8", "--addresses",
+                     "4", "--tests", "2", "--iterations", "40",
+                     "--jobs", "2"]) == 0
+        assert "mean unique signatures" in capsys.readouterr().out
+
+    def test_run_jobs_report_includes_fleet_spans(self, capsys, tmp_path):
+        path = str(tmp_path / "report.json")
+        assert main(self.RUN + ["--jobs", "2", "--metrics-out", path]) == 0
+        report = obs.read_report(path)
+        names = obs.span_names(report)
+        assert {"generate", "instrument", "execute",
+                "fleet.shard", "fleet.merge"} <= names
+        assert report["summary"]["jobs"] == 2
+        assert "fleet.workers_launched" in report["metrics"]
+        # device-side series absorbed into the host report
+        assert report["metrics"]["harness.iterations"]["value"] == 80
+
+
 class TestLitmus:
     def test_litmus_clean_under_tso(self, capsys):
         assert main(["litmus", "--model", "tso", "--iterations", "300"]) == 0

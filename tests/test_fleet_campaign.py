@@ -1,0 +1,159 @@
+"""Integration tests: sharded campaigns vs serial ground truth."""
+
+import pytest
+
+from repro import obs
+from repro.errors import ReproError
+from repro.fleet import FleetConfig, run_campaign_fleet
+from repro.harness import Campaign, SuiteRunner, check_campaign_result
+from repro.testgen import TestConfig
+
+CFG = TestConfig(threads=2, ops_per_thread=10, addresses=8, seed=7)
+
+
+class TestShardedDeterminism:
+    """Acceptance: jobs > 1 must reproduce the serial run bit-for-bit."""
+
+    def test_four_workers_match_serial(self):
+        serial = Campaign(config=CFG, seed=11).run(240, block=40)
+        merged = run_campaign_fleet(config=CFG, iterations=240, jobs=4,
+                                    seed=11, block=40)
+        assert merged.signature_counts == serial.signature_counts
+        assert merged.iterations == serial.iterations
+        assert merged.crashes == serial.crashes
+
+    def test_checker_verdicts_identical(self):
+        serial = Campaign(config=CFG, seed=11).run(240, block=40)
+        merged = run_campaign_fleet(config=CFG, iterations=240, jobs=4,
+                                    seed=11, block=40)
+        ours = check_campaign_result(merged)
+        theirs = check_campaign_result(serial)
+        assert ours.collective.summary() == theirs.collective.summary()
+        assert ours.baseline.summary() == theirs.baseline.summary()
+        assert ours.signatures == theirs.signatures
+
+    def test_campaign_jobs_knob_routes_to_fleet(self):
+        serial = Campaign(config=CFG, seed=11).run(200, block=50)
+        sharded = Campaign(config=CFG, seed=11).run(200, jobs=2, block=50)
+        assert sharded.signature_counts == serial.signature_counts
+
+    def test_worker_count_does_not_matter(self):
+        two = run_campaign_fleet(config=CFG, iterations=160, jobs=2,
+                                 seed=11, block=40)
+        three = run_campaign_fleet(config=CFG, iterations=160, jobs=3,
+                                   seed=11, block=40)
+        assert two.signature_counts == three.signature_counts
+
+    def test_custom_executor_cannot_be_sharded(self):
+        from repro.sim.executor import OperationalExecutor
+
+        class Custom(OperationalExecutor):
+            pass
+
+        campaign = Campaign(config=CFG, executor_cls=Custom)
+        with pytest.raises(ReproError):
+            campaign.run(40, jobs=2)
+
+
+class TestCrashTolerance:
+    """Acceptance: a dying worker is a crash outcome, not an abort."""
+
+    X86 = TestConfig(isa="x86", threads=2, ops_per_thread=8, addresses=4,
+                     seed=3)
+
+    def test_bug3_device_death_recorded_as_crashes(self):
+        # bug 3 (writeback race) crashes every iteration; die_on_crash
+        # makes the worker die like real silicon, so after the bounded
+        # retries each shard lands in the crash column and the campaign
+        # still completes.
+        with obs.enabled_obs() as handle:
+            merged = run_campaign_fleet(
+                config=self.X86, iterations=60, jobs=2, seed=5, block=20,
+                detailed=True, bug=3, l1_lines=2, die_on_crash=True,
+                fleet=FleetConfig(max_retries=1))
+            assert merged.iterations == 60
+            assert merged.crashes == 60
+            assert merged.unique_signatures == 0
+            assert handle.metrics.get("fleet.worker_retries").value >= 1
+            assert handle.metrics.get("fleet.shards_crashed").value == 2
+
+    def test_crashed_result_still_checks(self):
+        merged = run_campaign_fleet(
+            config=self.X86, iterations=40, jobs=2, seed=5, block=20,
+            detailed=True, bug=3, l1_lines=2, die_on_crash=True,
+            fleet=FleetConfig(max_retries=0))
+        outcome = check_campaign_result(merged)
+        assert outcome.collective.num_graphs == 0
+
+    def test_in_simulation_crashes_without_device_death(self):
+        # without die_on_crash the worker survives bug-3 iterations and
+        # ships its multiset with the per-iteration crash count; the
+        # multiset matches the serial run's exactly
+        merged = run_campaign_fleet(
+            config=self.X86, iterations=40, jobs=2, seed=5, block=20,
+            detailed=True, bug=3, l1_lines=2)
+        assert merged.iterations == 40
+        assert merged.crashes >= 1              # writeback races fired
+        from repro.sim.detailed import DetailedExecutor
+        from repro.sim.faults import Bug, FaultConfig
+        from repro.sim.platform import GEM5_X86_8CORE
+
+        faults = FaultConfig(bug=Bug.WRITEBACK_RACE, l1_lines=2)
+        serial = Campaign(
+            config=self.X86, platform=GEM5_X86_8CORE, seed=5,
+            executor_cls=lambda *a, **kw: DetailedExecutor(
+                *a, faults=faults, **kw)).run(40, block=20)
+        assert merged.crashes == serial.crashes
+        assert merged.signature_counts == serial.signature_counts
+
+
+class TestFleetObservability:
+    def test_phase_spans_and_fleet_metrics(self):
+        with obs.enabled_obs() as handle:
+            run_campaign_fleet(config=CFG, iterations=80, jobs=2, seed=1,
+                               block=40)
+            assert handle.tracer.node("generate") is not None
+            assert handle.tracer.node("execute") is not None
+            assert handle.tracer.node("fleet.shard") is not None
+            assert handle.tracer.node("fleet.merge") is not None
+            metrics = handle.metrics
+            assert metrics.get("fleet.jobs").value == 2
+            assert metrics.get("fleet.shards").value == 2
+            assert metrics.get("fleet.merge_seconds").count == 1
+            # worker-side series shipped home and absorbed by the host
+            assert metrics.get("harness.iterations").value == 80
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            run_campaign_fleet(config=CFG, iterations=10, jobs=0)
+        with pytest.raises(ValueError):
+            run_campaign_fleet(iterations=10, jobs=2)
+
+
+class TestSuiteFleet:
+    def test_sharded_suite_matches_serial(self):
+        cfg = TestConfig(threads=2, ops_per_thread=8, addresses=4, seed=2)
+        serial = SuiteRunner(cfg, tests=3, iterations=60).run(seed=4)
+        fleet = SuiteRunner(cfg, tests=3, iterations=60, jobs=2).run(seed=4)
+        assert fleet.unique_signatures == serial.unique_signatures
+        assert fleet.crashes == serial.crashes
+        assert fleet.violating_signatures == serial.violating_signatures
+        assert fleet.method_counts == serial.method_counts
+        assert fleet.collective_sorted_vertices == \
+               serial.collective_sorted_vertices
+        assert fleet.baseline_sorted_vertices == \
+               serial.baseline_sorted_vertices
+
+    def test_unsupported_campaign_kwargs_rejected(self):
+        from repro.sim.executor import OperationalExecutor
+
+        cfg = TestConfig(threads=2, ops_per_thread=8, addresses=4, seed=2)
+        runner = SuiteRunner(cfg, tests=1, iterations=20, jobs=2,
+                             executor_cls=OperationalExecutor)
+        with pytest.raises(ReproError):
+            runner.run()
+
+    def test_jobs_must_be_positive(self):
+        cfg = TestConfig(threads=2, ops_per_thread=8, addresses=4, seed=2)
+        with pytest.raises(ValueError):
+            SuiteRunner(cfg, jobs=0)

@@ -1,0 +1,130 @@
+"""Unit tests for deterministic seed-block sharding."""
+
+import pytest
+
+from repro.fleet.sharding import (
+    DEFAULT_BLOCK,
+    OS_SEED_SALT,
+    derive_os_seed,
+    derive_seed,
+    partition_blocks,
+    plan_blocks,
+    shard_iterations,
+)
+from repro.harness import Campaign
+from repro.testgen import TestConfig
+
+
+class TestDeriveSeed:
+    def test_block_zero_is_the_base_seed(self):
+        for base in (0, 1, 7, 12345, 2**63):
+            assert derive_seed(base, 0) == base
+
+    def test_deterministic(self):
+        assert derive_seed(42, 3) == derive_seed(42, 3)
+
+    def test_distinct_across_blocks(self):
+        seeds = {derive_seed(42, block) for block in range(200)}
+        assert len(seeds) == 200
+
+    def test_distinct_across_nearby_bases(self):
+        # the splitmix64 finalizer decorrelates base seeds differing by 1
+        assert derive_seed(42, 1) != derive_seed(43, 1)
+
+    def test_negative_block_rejected(self):
+        with pytest.raises(ValueError):
+            derive_seed(0, -1)
+
+    def test_os_seed_keeps_legacy_salt(self):
+        # the serial runner historically seeded OS interference at seed^0x05
+        assert derive_os_seed(9) == 9 ^ OS_SEED_SALT
+        assert derive_os_seed(9, 2) == derive_seed(9, 2) ^ OS_SEED_SALT
+
+
+class TestPlanBlocks:
+    def test_exact_multiple(self):
+        assert plan_blocks(120, block=40) == [(0, 40), (1, 40), (2, 40)]
+
+    def test_trailing_partial_block(self):
+        assert plan_blocks(100, block=40) == [(0, 40), (1, 40), (2, 20)]
+
+    def test_zero_iterations(self):
+        assert plan_blocks(0) == []
+
+    def test_default_block_size(self):
+        blocks = plan_blocks(DEFAULT_BLOCK + 1)
+        assert blocks == [(0, DEFAULT_BLOCK), (1, 1)]
+
+    def test_small_campaigns_stay_single_block(self):
+        # every pre-fleet campaign (<= DEFAULT_BLOCK iterations) keeps
+        # its single RNG stream seeded at the base seed
+        assert plan_blocks(300) == [(0, 300)]
+
+    def test_counts_always_sum_to_iterations(self):
+        for n in (1, 39, 40, 41, 1000):
+            assert sum(c for _, c in plan_blocks(n, block=40)) == n
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            plan_blocks(-1)
+        with pytest.raises(ValueError):
+            plan_blocks(10, block=0)
+
+
+class TestPartitionBlocks:
+    def test_striped_dealing(self):
+        blocks = plan_blocks(200, block=40)     # 5 blocks
+        shards = partition_blocks(blocks, 2)
+        assert shards == [((0, 40), (2, 40), (4, 40)), ((1, 40), (3, 40))]
+
+    def test_every_block_assigned_exactly_once(self):
+        blocks = plan_blocks(500, block=30)
+        shards = partition_blocks(blocks, 4)
+        dealt = [block for shard in shards for block in shard]
+        assert sorted(dealt) == blocks
+
+    def test_independent_of_worker_count(self):
+        # the union of shard blocks is the same plan for any jobs value
+        blocks = plan_blocks(333, block=50)
+        for jobs in (1, 2, 3, 7):
+            dealt = [b for s in partition_blocks(blocks, jobs) for b in s]
+            assert sorted(dealt) == blocks
+
+    def test_empty_shards_dropped(self):
+        shards = partition_blocks(plan_blocks(60, block=40), 8)
+        assert len(shards) == 2
+        assert all(shard for shard in shards)
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            partition_blocks([(0, 10)], 0)
+
+    def test_shard_iterations(self):
+        assert shard_iterations(((0, 40), (2, 40), (3, 7))) == 87
+
+
+class TestCampaignSeedBlocks:
+    """The serial runner itself executes the block plan."""
+
+    CFG = TestConfig(threads=2, ops_per_thread=10, addresses=8, seed=5)
+
+    def test_multiset_reproducible_for_same_plan(self):
+        # the multiset is a pure function of (seed, iterations, block):
+        # re-running the same plan reproduces it exactly
+        a = Campaign(config=self.CFG, seed=9).run(120, block=40)
+        b = Campaign(config=self.CFG, seed=9).run(120, block=40)
+        assert a.signature_counts == b.signature_counts
+
+    def test_run_blocks_parts_equal_whole(self):
+        whole = Campaign(config=self.CFG, seed=9).run(120, block=40)
+        parts = Campaign(config=self.CFG, seed=9)
+        merged_counts = sum(
+            (parts.run_blocks([(i, 40)]).signature_counts for i in range(3)),
+            start=type(whole.signature_counts)())
+        assert merged_counts == whole.signature_counts
+
+    def test_default_run_is_block_zero(self):
+        # run(n) for n <= DEFAULT_BLOCK is exactly run_blocks([(0, n)])
+        a = Campaign(config=self.CFG, seed=9).run(100)
+        b = Campaign(config=self.CFG, seed=9).run_blocks([(0, 100)])
+        assert a.signature_counts == b.signature_counts

@@ -1,0 +1,128 @@
+"""Unit tests for crash-tolerant worker supervision.
+
+These interpose stub worker entry points (the supervisor's ``target``
+hook) so process-death handling is exercised without paying for real
+campaigns in every test.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro import obs
+from repro.fleet import FleetConfig, FleetSupervisor, WorkerTask
+from repro.fleet.supervisor import ShardOutcome
+
+TASK = WorkerTask(program_doc={"name": "stub", "listing": ""},
+                  blocks=((0, 25),))
+
+
+def _ok_worker(task, conn):
+    conn.send(("ok", "payload-%d" % task.blocks[0][0], None))
+    conn.close()
+
+
+def _dying_worker(task, conn):
+    os._exit(3)
+
+
+def _error_worker(task, conn):
+    conn.send(("error", "synthetic failure", None))
+    conn.close()
+    os._exit(1)
+
+
+def _sleepy_worker(task, conn):
+    time.sleep(60)
+
+
+def _flaky_worker(task, conn):
+    """Dies on the first launch, succeeds on the retry (via a flag file)."""
+    flag = task.program_doc["flag"]
+    if not os.path.exists(flag):
+        with open(flag, "w"):
+            pass
+        os._exit(3)
+    conn.send(("ok", "recovered", None))
+    conn.close()
+
+
+class TestSupervisor:
+    def test_successful_shards(self):
+        supervisor = FleetSupervisor(FleetConfig(jobs=2), target=_ok_worker)
+        tasks = [WorkerTask(program_doc=TASK.program_doc, blocks=((i, 10),))
+                 for i in range(3)]
+        outcomes = supervisor.run(tasks)
+        assert [o.payload for o in outcomes] == ["payload-0", "payload-1",
+                                                "payload-2"]
+        assert all(not o.crashed and o.attempts == 1 for o in outcomes)
+
+    def test_empty_task_list(self):
+        assert FleetSupervisor().run([]) == []
+
+    def test_worker_death_becomes_crash_outcome(self):
+        supervisor = FleetSupervisor(FleetConfig(jobs=1, max_retries=1),
+                                     target=_dying_worker)
+        outcome, = supervisor.run([TASK])
+        assert outcome.crashed
+        assert outcome.attempts == 2            # first try + one retry
+        assert outcome.iterations == 25
+        assert "exit code 3" in outcome.error
+
+    def test_handled_error_message_propagates(self):
+        supervisor = FleetSupervisor(FleetConfig(max_retries=0),
+                                     target=_error_worker)
+        outcome, = supervisor.run([TASK])
+        assert outcome.crashed
+        assert outcome.error == "synthetic failure"
+
+    def test_timeout_kills_and_records_crash(self):
+        supervisor = FleetSupervisor(
+            FleetConfig(jobs=1, timeout_s=0.2, max_retries=0),
+            target=_sleepy_worker)
+        outcome, = supervisor.run([TASK])
+        assert outcome.crashed
+        assert "timed out" in outcome.error
+
+    def test_retry_recovers_flaky_worker(self, tmp_path):
+        task = WorkerTask(
+            program_doc={"name": "stub", "listing": "",
+                         "flag": str(tmp_path / "flaky")},
+            blocks=((0, 10),))
+        supervisor = FleetSupervisor(FleetConfig(max_retries=1),
+                                     target=_flaky_worker)
+        outcome, = supervisor.run([task])
+        assert not outcome.crashed
+        assert outcome.payload == "recovered"
+        assert outcome.attempts == 2
+
+    def test_crash_never_raises_and_other_shards_finish(self):
+        def route(task, conn):
+            (_dying_worker if task.blocks[0][0] == 0 else _ok_worker)(
+                task, conn)
+
+        supervisor = FleetSupervisor(FleetConfig(jobs=2, max_retries=0),
+                                     target=route)
+        tasks = [WorkerTask(program_doc=TASK.program_doc, blocks=((i, 10),))
+                 for i in range(2)]
+        bad, good = supervisor.run(tasks)
+        assert bad.crashed and not good.crashed
+
+    def test_metrics_recorded(self):
+        with obs.enabled_obs() as handle:
+            FleetSupervisor(FleetConfig(max_retries=1),
+                            target=_dying_worker).run([TASK])
+            metrics = handle.metrics
+            assert metrics.get("fleet.workers_launched").value == 2
+            assert metrics.get("fleet.worker_retries").value == 1
+            assert metrics.get("fleet.worker_deaths").value == 2
+            assert metrics.get("fleet.shards_crashed").value == 1
+            assert metrics.get("fleet.shard_seconds").count == 1
+            assert handle.tracer.node("fleet.shard") is not None
+
+
+class TestShardOutcome:
+    def test_crashed_property(self):
+        assert ShardOutcome(0, 10).crashed
+        assert not ShardOutcome(0, 10, payload="{}").crashed
