@@ -13,7 +13,7 @@
   precision.
 """
 
-from conftest import campaign_graphs, obs_off, record_table, run_campaign
+from conftest import campaign_graphs, obs_off, record_table
 from repro.checker import CollectiveChecker
 from repro.graph import GraphBuilder
 from repro.harness import format_table

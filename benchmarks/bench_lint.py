@@ -1,0 +1,84 @@
+"""Static-analysis throughput and the zero-entropy scheduling win.
+
+Lints a suite per paper configuration and benchmarks ``lint_program``
+(the per-campaign gate cost, which must stay negligible next to an
+execution campaign).  A deterministic snapshot — finding counts by
+severity, zero-entropy test counts, and the fraction of a nominal
+iteration budget the ``lint="skip"`` gate saves — is written to
+``benchmarks/results/BENCH_lint.json`` so lint behaviour is diffable
+across PRs.  Wall-clock never enters the file.
+"""
+
+import json
+import pathlib
+
+from conftest import obs_off, record_table
+from repro.harness import format_table
+from repro.instrument import SignatureCodec
+from repro.lint import gate_iterations, lint_program
+from repro.testgen import PAPER_CONFIGS, TestConfig, generate_suite
+
+#: single-thread tests are statically zero-entropy: the gate's best case
+_DEGENERATE = TestConfig(isa="arm", threads=1, ops_per_thread=50,
+                         addresses=32, seed=0)
+
+_TESTS = 4
+#: nominal per-test iteration budget for the gate-savings column
+_BUDGET = 1000
+
+_RESULTS = pathlib.Path(__file__).parent / "results"
+
+
+def test_lint_suite_and_gate_savings(benchmark):
+    rows = []
+    snapshot = {}
+    for cfg in list(PAPER_CONFIGS) + [_DEGENERATE]:
+        programs = generate_suite(cfg, _TESTS)
+        errors = warnings = infos = zero_entropy = 0
+        run = skipped = 0
+        for program in programs:
+            report = lint_program(program, config=cfg)
+            errors += len(report.errors)
+            warnings += len(report.warnings)
+            infos += (len(report.findings) - len(report.errors)
+                      - len(report.warnings))
+            zero_entropy += int(report.zero_entropy)
+            decision = gate_iterations(report, "skip", _BUDGET)
+            run += decision.run_iterations
+            skipped += decision.skipped_iterations
+        saved = skipped / (_TESTS * _BUDGET)
+        rows.append([cfg.name, errors, warnings, infos, zero_entropy,
+                     "%.1f%%" % (100 * saved)])
+        snapshot[cfg.name] = {
+            "tests": _TESTS,
+            "errors": errors,
+            "warnings": warnings,
+            "infos": infos,
+            "zero_entropy_tests": zero_entropy,
+            "iterations_saved_fraction": round(saved, 4),
+        }
+        # healthy generated tests must never produce ERROR findings
+        assert errors == 0
+
+    record_table("lint_suite", format_table(
+        ["config", "errors", "warnings", "infos", "zero-entropy tests",
+         "iterations saved"], rows,
+        title="repro.lint over %d tests/config: findings by severity and "
+              "the fraction of a %d-iteration budget the skip gate saves"
+              % (_TESTS, _BUDGET)))
+
+    _RESULTS.mkdir(exist_ok=True)
+    (_RESULTS / "BENCH_lint.json").write_text(json.dumps(
+        {"schema": "repro.bench-lint", "version": 1, "tests": _TESTS,
+         "iteration_budget": _BUDGET, "configs": snapshot},
+        indent=2, sort_keys=True) + "\n")
+
+    # gate cost: one full lint (weight-table recomputation + verifier +
+    # graph closure) of a mid-size config, with the codec prebuilt the
+    # way Campaign.lint sees it
+    cfg = PAPER_CONFIGS[0]
+    program = generate_suite(cfg, 1)[0]
+    codec = SignatureCodec(program, 32)
+    report = benchmark(obs_off(lint_program), program,
+                       codec=codec, config=cfg)
+    assert not report.errors

@@ -30,12 +30,9 @@ import json
 import os
 import pathlib
 
-import pytest
-
 from repro import obs
 from repro.graph import GraphBuilder
 from repro.harness import Campaign
-from repro.sim import platform_for_isa
 
 #: iterations per test run (paper: 65,536)
 BENCH_ITERS = int(os.environ.get("REPRO_BENCH_ITERS", "192"))

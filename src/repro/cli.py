@@ -15,7 +15,14 @@ Commands mirror the paper's flow so each stage can run standalone:
 * ``merge`` — union saved campaign shard dumps into one dump (the host
   side of a manually distributed campaign),
 * ``litmus`` — run the litmus library against a memory model,
+* ``lint`` — statically lint test programs and verify their
+  instrumentation without running a single iteration; ``--fail-on``
+  selects the severity that flips the exit code to 1,
 * ``stats`` — render (and validate) a saved observability run report.
+
+``run`` and ``suite`` accept ``--lint {off,skip,fail}`` to gate every
+campaign on the same analyses (skip statically wasted iterations, or
+abort on lint errors).
 
 ``run``, ``check`` and ``litmus`` accept ``--metrics-out PATH`` to write
 a schema-versioned run report (metrics registry snapshot + phase span
@@ -35,7 +42,7 @@ from repro.errors import ReproError
 from repro.checker import describe_cycle
 from repro.harness import Campaign, SuiteRunner, check_campaign_result, format_table
 from repro.instrument import SignatureCodec, code_size, emit_listing, intrusiveness
-from repro.isa.assembler import disassemble
+from repro.isa.assembler import assemble, disassemble
 from repro.mcm import get_model
 from repro.sim import OperationalExecutor, platform_for_isa
 from repro.testgen import TestConfig, generate
@@ -120,7 +127,7 @@ def _cmd_run(args) -> int:
             config=config, iterations=args.iterations, jobs=args.jobs,
             seed=args.run_seed, block=args.block, os_model=bool(args.os),
             detailed=bool(args.detailed or args.bug), bug=args.bug,
-            l1_lines=args.l1_lines)
+            l1_lines=args.l1_lines, lint=args.lint)
         checker = lambda: check_campaign_result(result)
     else:
         extra = {}
@@ -136,20 +143,24 @@ def _cmd_run(args) -> int:
                 lambda *a, **kw: DetailedExecutor(*a, faults=faults, **kw))
         campaign = Campaign(config=config, seed=args.run_seed,
                             os_model=args.os or None, **extra)
-        result = campaign.run(args.iterations, block=args.block)
+        result = campaign.run(args.iterations, block=args.block,
+                              lint=args.lint)
         checker = lambda: campaign.check(result)
     summary = {"config": config.name, "iterations": result.iterations,
                "unique_signatures": result.unique_signatures,
-               "crashes": result.crashes, "jobs": args.jobs}
+               "crashes": result.crashes, "jobs": args.jobs,
+               "skipped_iterations": result.skipped_iterations}
     if handle is not None:
         # complete the pipeline so the report's span tree covers all four
         # phases and carries the checker counters for this very run
         outcome = checker()
         summary["violations"] = len(outcome.collective.violations)
     if not args.json:
-        print("%s: %d iterations, %d unique signatures, %d crashes"
+        skipped = (", %d statically skipped" % result.skipped_iterations
+                   if result.skipped_iterations else "")
+        print("%s: %d iterations, %d unique signatures, %d crashes%s"
               % (config.name, result.iterations, result.unique_signatures,
-                 result.crashes))
+                 result.crashes, skipped))
     if args.output:
         repro_io.save_campaign(result, args.output)
         if not args.json:
@@ -190,7 +201,8 @@ def _cmd_suite(args) -> int:
     config = _config_from(args)
     handle = repro_obs.enable() if _metrics_wanted(args) else None
     runner = SuiteRunner(config, tests=args.tests, iterations=args.iterations,
-                         jobs=args.jobs, os_model=args.os or None)
+                         jobs=args.jobs, os_model=args.os or None,
+                         lint=args.lint)
     stats = runner.run(seed=args.run_seed)
     rows = [
         ["tests", stats.tests],
@@ -200,13 +212,17 @@ def _cmd_suite(args) -> int:
         ["violating signatures", stats.violating_signatures],
         ["tests with violations", stats.tests_with_violations],
         ["crashes", stats.crashes],
+        ["lint-skipped tests", stats.skipped_tests],
+        ["lint-skipped iterations", stats.skipped_iterations],
         ["checking reduction", "%.1f%%" % (100 * stats.checking_reduction)],
     ]
     summary = {"config": config.name, "tests": stats.tests,
                "iterations_per_test": stats.iterations_per_test,
                "jobs": args.jobs, "mean_unique": stats.mean_unique,
                "violating_signatures": stats.violating_signatures,
-               "crashes": stats.crashes}
+               "crashes": stats.crashes,
+               "skipped_tests": stats.skipped_tests,
+               "skipped_iterations": stats.skipped_iterations}
     if not getattr(args, "json", False):
         print(format_table(["metric", "value"], rows,
                            title="suite results (%s)" % config.name))
@@ -270,6 +286,69 @@ def _cmd_litmus(args) -> int:
     return 1 if failures else 0
 
 
+def _lint_targets(args):
+    """Yield ``(program, config)`` pairs the lint command should analyze."""
+    if args.input:
+        with open(args.input) as handle:
+            yield assemble(handle.read(), name=args.input), None
+        return
+    if args.litmus:
+        for lt in all_litmus_tests():
+            yield lt.program, None
+        return
+    config = _config_from(args)
+    from repro.testgen import generate_suite
+
+    for program in generate_suite(config, args.tests):
+        yield program, config
+
+
+def _cmd_lint(args) -> int:
+    from repro.lint import LintConfig, fail_on_severity, lint_program, rules_markdown, rules_table
+
+    if args.rules:
+        print(rules_markdown() if args.markdown else rules_table())
+        return 0
+    # --json here selects the lint JSON document, not the obs report
+    handle = repro_obs.enable() if getattr(args, "metrics_out", None) else None
+    threshold = fail_on_severity(args.fail_on)
+    lint_config = LintConfig(exhaustive_limit=args.exhaustive_limit,
+                             samples=args.samples, seed=args.lint_seed)
+    reports = []
+    failing = 0
+    for program, config in _lint_targets(args):
+        report = lint_program(program, config=config, lint_config=lint_config)
+        reports.append(report)
+        if threshold is not None and report.at_least(threshold):
+            failing += 1
+        if not args.json:
+            if report.findings or args.verbose:
+                print(report.render())
+    zero_entropy = sum(1 for r in reports if r.zero_entropy)
+    if args.json:
+        json.dump({"programs": len(reports), "failing": failing,
+                   "fail_on": args.fail_on, "zero_entropy": zero_entropy,
+                   "reports": [r.to_json() for r in reports]},
+                  sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        findings = sum(len(r.findings) for r in reports)
+        errors = sum(len(r.errors) for r in reports)
+        print("linted %d program%s: %d findings (%d errors), "
+              "%d zero-entropy, %d failing at --fail-on %s"
+              % (len(reports), "s" if len(reports) != 1 else "", findings,
+                 errors, zero_entropy, failing, args.fail_on))
+    if handle is not None:
+        report = repro_obs.build_run_report(
+            handle, meta={"command": "lint", "fail_on": args.fail_on},
+            summary={"programs": len(reports), "failing": failing,
+                     "zero_entropy": zero_entropy})
+        repro_obs.write_report(report, args.metrics_out)
+        if not args.json:
+            print("run report written to %s" % args.metrics_out)
+    return 1 if failing else 0
+
+
 def _cmd_stats(args) -> int:
     report = repro_obs.read_report(args.report)
     if args.validate:
@@ -313,6 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--block", type=int, default=None,
                    help="seed-block size override (default 1024); smaller "
                         "blocks spread short campaigns over more workers")
+    _add_lint_argument(p)
     _add_report_arguments(p, json_flag=True)
     p.set_defaults(fn=_cmd_run)
 
@@ -325,6 +405,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--os", action="store_true", help="enable OS perturbation")
     p.add_argument("--jobs", type=int, default=1,
                    help="shard the suite's tests over N worker processes")
+    _add_lint_argument(p)
     _add_report_arguments(p, json_flag=True)
     p.set_defaults(fn=_cmd_suite)
 
@@ -351,12 +432,54 @@ def build_parser() -> argparse.ArgumentParser:
     _add_report_arguments(p, json_flag=False)
     p.set_defaults(fn=_cmd_litmus)
 
+    p = sub.add_parser(
+        "lint", help="statically lint test programs and instrumentation")
+    _add_config_arguments(p)
+    p.add_argument("--tests", type=int, default=1,
+                   help="lint a generated suite of N tests (default 1)")
+    p.add_argument("--input", "-i", metavar="PATH",
+                   help="lint an assembler-text program file instead "
+                        "(as emitted by 'repro generate')")
+    p.add_argument("--litmus", action="store_true",
+                   help="lint every program in the litmus library instead")
+    p.add_argument("--fail-on", choices=("error", "warning", "info", "never"),
+                   default="error",
+                   help="exit 1 when any program has a finding at or above "
+                        "this severity (default: error)")
+    p.add_argument("--exhaustive-limit", type=int, default=512,
+                   help="verify every rf assignment when the signature "
+                        "space is at most this large (default 512)")
+    p.add_argument("--samples", type=int, default=64,
+                   help="sampled assignments above the exhaustive limit")
+    p.add_argument("--lint-seed", type=int, default=0,
+                   help="verifier sampling seed")
+    p.add_argument("--verbose", "-v", action="store_true",
+                   help="also print per-program headers with no findings")
+    p.add_argument("--json", action="store_true",
+                   help="print reports as one JSON document")
+    p.add_argument("--rules", action="store_true",
+                   help="print the rule reference and exit")
+    p.add_argument("--markdown", action="store_true",
+                   help="with --rules, emit markdown (docs/LINT_RULES.md)")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="write a schema-versioned observability run report")
+    p.set_defaults(fn=_cmd_lint)
+
     p = sub.add_parser("stats", help="render a saved observability run report")
     p.add_argument("report", help="JSON report from '--metrics-out'")
     p.add_argument("--validate", action="store_true",
                    help="only check the report against the schema")
     p.set_defaults(fn=_cmd_stats)
     return parser
+
+
+def _add_lint_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--lint", choices=("off", "skip", "fail"),
+                        default="off",
+                        help="gate campaigns on the static linter: 'skip' "
+                             "drops lint-error tests and trims zero-entropy "
+                             "tests to one iteration; 'fail' aborts on lint "
+                             "errors")
 
 
 def _add_report_arguments(parser: argparse.ArgumentParser, json_flag: bool) -> None:

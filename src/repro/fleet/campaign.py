@@ -17,12 +17,13 @@ exactly like in-simulation crashes.
 from __future__ import annotations
 
 from repro.fleet.merge import merge_campaign_results
-from repro.fleet.sharding import DEFAULT_BLOCK, partition_blocks, plan_blocks
+from repro.fleet.sharding import partition_blocks, plan_blocks
 from repro.fleet.supervisor import FleetConfig, FleetSupervisor
 from repro.fleet.worker import WorkerTask
-from repro.harness.runner import Campaign, CampaignResult
+from repro.harness.runner import CampaignResult
 from repro.instrument.signature import SignatureCodec
 from repro.io import dump_program, load_campaign
+from repro.lint.engine import gate_iterations, lint_program, record_gate
 from repro.obs import get_obs
 from repro.testgen.generator import generate
 
@@ -56,7 +57,7 @@ def run_campaign_fleet(config=None, program=None, *, iterations: int,
                        os_model: bool = False, sync_barriers: bool = False,
                        detailed: bool = False, bug: int = None,
                        l1_lines: int = 4, die_on_crash: bool = False,
-                       include_ws: bool = True,
+                       include_ws: bool = True, lint: str = None,
                        fleet: FleetConfig = None) -> CampaignResult:
     """Run one campaign sharded over ``jobs`` worker processes.
 
@@ -72,6 +73,9 @@ def run_campaign_fleet(config=None, program=None, *, iterations: int,
         seed: campaign base seed; per-block seeds derive from it.
         block: seed-block size override (tests); default
             :data:`~repro.fleet.sharding.DEFAULT_BLOCK`.
+        lint: static-lint gate policy (``"skip"``/``"fail"``), applied
+            host-side *before* any shard is dispatched, so statically
+            wasted iterations never reach a worker.
         fleet: supervision knobs; ``jobs`` here overrides its field.
         (remaining knobs mirror the CLI ``run`` command.)
     """
@@ -86,6 +90,14 @@ def run_campaign_fleet(config=None, program=None, *, iterations: int,
     register_width = config.register_width if config is not None else 32
     with obs.span("instrument"):
         codec = SignatureCodec(program, register_width)
+
+    skipped_iterations = 0
+    if lint not in (None, "off"):
+        report = lint_program(program, codec=codec, config=config)
+        decision = gate_iterations(report, lint, iterations)
+        record_gate(decision)
+        iterations = decision.run_iterations
+        skipped_iterations = decision.skipped_iterations
 
     tasks = plan_campaign_tasks(
         program, config, iterations, jobs, seed=seed, block=block,
@@ -115,6 +127,7 @@ def run_campaign_fleet(config=None, program=None, *, iterations: int,
             if outcome.crashed:
                 merged.iterations += outcome.iterations
                 merged.crashes += outcome.iterations
+        merged.skipped_iterations += skipped_iterations
     obs.histogram("fleet.merge_seconds").observe(span.elapsed)
     if obs.enabled:
         obs.gauge("fleet.unique_signatures").set(merged.unique_signatures)

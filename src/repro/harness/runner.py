@@ -28,9 +28,15 @@ from repro.checker.results import CheckReport
 from repro.graph.builder import GraphBuilder
 from repro.instrument.signature import Signature, SignatureCodec
 from repro.isa.program import TestProgram
+from repro.lint.engine import (
+    GateDecision,
+    gate_iterations,
+    lint_program,
+    record_gate,
+)
+from repro.lint.findings import LintReport
 from repro.mcm.model import MemoryModel
 from repro.obs import get_obs
-from repro.sim.execution import Execution
 from repro.sim.executor import OperationalExecutor
 from repro.sim.os_model import OSModel
 from repro.sim.platform import Platform, platform_for_isa
@@ -56,6 +62,8 @@ class CampaignResult:
     test_accesses: int = 0
     extra_accesses: int = 0
     crashes: int = 0
+    #: iterations the lint gate statically proved redundant and skipped
+    skipped_iterations: int = 0
 
     @property
     def unique_signatures(self) -> int:
@@ -137,8 +145,8 @@ class Campaign:
             and (os_model is None or os_model is self._owned_os_model))
         self._sort_model = SortCostModel()
 
-    def run(self, iterations: int, jobs: int = 1,
-            block: int = None) -> CampaignResult:
+    def run(self, iterations: int, jobs: int = 1, block: int = None,
+            lint: str = None) -> CampaignResult:
         """Execute ``iterations`` runs, collecting signatures.
 
         Iterations are executed in deterministic *seed blocks* (see
@@ -154,12 +162,33 @@ class Campaign:
                 dispatches the seed blocks to a fleet of ``N`` workers
                 and merges their signature multisets.
             block: seed-block size override (mainly for tests).
+            lint: static-lint gate policy — ``None``/``"off"`` runs
+                unconditionally, ``"skip"`` skips tests with lint errors
+                and trims statically zero-entropy tests to a single
+                iteration, ``"fail"`` raises
+                :class:`~repro.lint.LintGateError` on lint errors.
         """
         if jobs < 1:
             raise ValueError("jobs must be positive; got %r" % (jobs,))
         if jobs > 1:
-            return self._run_fleet(iterations, jobs, block)
-        return self.run_blocks(plan_blocks(iterations, block))
+            return self._run_fleet(iterations, jobs, block, lint)
+        decision = self._lint_gate(lint, iterations)
+        result = self.run_blocks(plan_blocks(decision.run_iterations, block))
+        result.skipped_iterations = decision.skipped_iterations
+        return result
+
+    def lint(self, lint_config=None) -> LintReport:
+        """Statically lint this campaign's program and instrumentation."""
+        return lint_program(
+            self.program, codec=self.codec, config=self.config,
+            model=self.model, lint_config=lint_config)
+
+    def _lint_gate(self, policy: str, iterations: int) -> GateDecision:
+        if policy in (None, "off"):
+            return GateDecision("off", iterations, 0)
+        decision = gate_iterations(self.lint(), policy, iterations)
+        record_gate(decision)
+        return decision
 
     def run_blocks(self, blocks) -> CampaignResult:
         """Execute an explicit ``(block_index, count)`` seed-block list.
@@ -206,7 +235,8 @@ class Campaign:
                 result.signature_sort_cycles += self._sort_model.insert_cost(
                     len(counts), self.codec.total_words)
 
-    def _run_fleet(self, iterations: int, jobs: int, block) -> CampaignResult:
+    def _run_fleet(self, iterations: int, jobs: int, block,
+                   lint: str = None) -> CampaignResult:
         from repro.fleet.campaign import run_campaign_fleet
 
         if not self._fleet_ready:
@@ -218,7 +248,7 @@ class Campaign:
             jobs=jobs, seed=self.seed, block=block,
             instrumentation=self.instrumentation,
             os_model=self._owned_os_model is not None,
-            sync_barriers=self.sync_barriers)
+            sync_barriers=self.sync_barriers, lint=lint)
 
     def _record_run_metrics(self, obs, result: CampaignResult) -> None:
         metrics = obs.metrics

@@ -43,6 +43,9 @@ class SuiteStats:
     baseline_seconds: float = 0.0
     method_counts: dict = field(default_factory=lambda: {
         COMPLETE: 0, NO_RESORT: 0, INCREMENTAL: 0})
+    #: tests the lint gate trimmed or skipped, and the iterations saved
+    skipped_tests: int = 0
+    skipped_iterations: int = 0
 
     @property
     def mean_unique(self) -> float:
@@ -70,6 +73,10 @@ class SuiteRunner:
             checks each shipped signature multiset on the host.
         fleet: optional :class:`repro.fleet.FleetConfig` supervision
             knobs for ``jobs > 1``.
+        lint: static-lint gate policy applied to every generated test —
+            ``None``/``"off"``, ``"skip"`` (lint-error tests are skipped
+            outright, zero-entropy tests trimmed to one iteration) or
+            ``"fail"`` (lint errors abort the suite).
         campaign_kwargs: forwarded to every :class:`Campaign`
             (platform, instrumentation, executor_cls, os_model, ...);
             fleet mode accepts only the plain-data subset
@@ -78,7 +85,7 @@ class SuiteRunner:
 
     def __init__(self, config: TestConfig, tests: int = 10,
                  iterations: int = 1000, jobs: int = 1, fleet=None,
-                 **campaign_kwargs):
+                 lint: str = None, **campaign_kwargs):
         if jobs < 1:
             raise ValueError("jobs must be positive; got %r" % (jobs,))
         self.config = config
@@ -86,6 +93,7 @@ class SuiteRunner:
         self.iterations = iterations
         self.jobs = jobs
         self.fleet = fleet
+        self.lint = lint
         self.campaign_kwargs = campaign_kwargs
 
     def run(self, seed: int = 0, check: bool = True) -> SuiteStats:
@@ -97,9 +105,12 @@ class SuiteRunner:
         for index, program in enumerate(generate_suite(self.config, self.tests)):
             campaign = Campaign(program=program, config=self.config,
                                 seed=seed + index, **self.campaign_kwargs)
-            result = campaign.run(self.iterations)
+            result = campaign.run(self.iterations, lint=self.lint)
             stats.unique_signatures.append(result.unique_signatures)
             stats.crashes += result.crashes
+            if result.skipped_iterations:
+                stats.skipped_tests += 1
+                stats.skipped_iterations += result.skipped_iterations
             if not check:
                 continue
             outcome = campaign.check(result)
@@ -133,19 +144,21 @@ class SuiteRunner:
             raise ReproError("fleet suites support only os_model=True; "
                              "custom OS models need jobs=1")
         obs = get_obs()
-        blocks = tuple(plan_blocks(self.iterations))
-        tasks = [
-            WorkerTask(
-                program_doc=repro_io.dump_program(program), blocks=blocks,
+        tasks = []
+        skipped_per_task = []
+        for index, program in enumerate(
+                generate_suite(self.config, self.tests)):
+            run_iterations, skipped = self._gate_test(program)
+            skipped_per_task.append(skipped)
+            tasks.append(WorkerTask(
+                program_doc=repro_io.dump_program(program),
+                blocks=tuple(plan_blocks(run_iterations)),
                 seed=seed + index, config=self.config, isa=self.config.isa,
                 instrumentation=self.campaign_kwargs.get(
                     "instrumentation", "signature"),
                 os_model=bool(os_model),
                 sync_barriers=self.campaign_kwargs.get("sync_barriers", False),
-                collect_metrics=obs.enabled)
-            for index, program in enumerate(
-                generate_suite(self.config, self.tests))
-        ]
+                collect_metrics=obs.enabled))
         base = FleetConfig() if self.fleet is None else self.fleet
         supervisor = FleetSupervisor(
             FleetConfig(jobs=self.jobs, timeout_s=base.timeout_s,
@@ -158,7 +171,10 @@ class SuiteRunner:
         stats = SuiteStats(self.config, tests=self.tests,
                            iterations_per_test=self.iterations)
         model = platform_for_isa(self.config.isa).memory_model
-        for outcome in outcomes:
+        for outcome, skipped in zip(outcomes, skipped_per_task):
+            if skipped:
+                stats.skipped_tests += 1
+                stats.skipped_iterations += skipped
             if outcome.crashed:
                 stats.unique_signatures.append(0)
                 stats.crashes += outcome.iterations
@@ -171,6 +187,21 @@ class SuiteRunner:
             checked = check_campaign_result(result, model)
             self._absorb(stats, result, checked)
         return stats
+
+    def _gate_test(self, program):
+        """Apply the lint policy to one test; (run_iterations, skipped)."""
+        if self.lint in (None, "off"):
+            return self.iterations, 0
+        from repro.lint.engine import (
+            gate_iterations,
+            lint_program,
+            record_gate,
+        )
+
+        report = lint_program(program, config=self.config)
+        decision = gate_iterations(report, self.lint, self.iterations)
+        record_gate(decision)
+        return decision.run_iterations, decision.skipped_iterations
 
     @staticmethod
     def _absorb(stats: SuiteStats, result: CampaignResult,

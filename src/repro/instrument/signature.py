@@ -44,7 +44,7 @@ class Signature:
         other"); the paper found this layout yields *worse* similarity
         between adjacent constraint graphs.
         """
-        longest = max(len(tw) for tw in self.words)
+        longest = max((len(tw) for tw in self.words), default=0)
         key = []
         for i in range(longest):
             for thread_words in self.words:

@@ -20,16 +20,18 @@ deterministic.
 
 from __future__ import annotations
 
+from typing import Tuple, Union
+
 from repro.isa.instructions import INIT
 from repro.isa.program import TestProgram
 
-#: Type of a candidate source: a store uid, or the INIT sentinel.
-Source = object
+#: A candidate source: a store uid, or the ``("init",)`` INIT sentinel.
+Source = Union[int, Tuple[str, ...]]
 
 
-def candidate_sources(program: TestProgram) -> dict[int, list]:
+def candidate_sources(program: TestProgram) -> dict[int, list[Source]]:
     """Map each load uid to its ordered list of candidate sources."""
-    result: dict[int, list] = {}
+    result: dict[int, list[Source]] = {}
     for tp in program.threads:
         last_local_store: dict[int, int] = {}  # addr -> store uid
         for op in tp.ops:
@@ -46,7 +48,8 @@ def candidate_sources(program: TestProgram) -> dict[int, list]:
 
 
 def observable_values(program: TestProgram, load_uid: int,
-                      candidates: dict[int, list] | None = None) -> list[int]:
+                      candidates: dict[int, list[Source]] | None = None
+                      ) -> list[int]:
     """Concrete memory values a load could return (store IDs / INIT_VALUE).
 
     Convenience for code generation: translates candidate *sources* into

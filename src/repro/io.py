@@ -80,6 +80,8 @@ def dump_campaign(result: CampaignResult, include_ws: bool = True,
         "crashes": result.crashes,
         "signatures": signatures,
     }
+    if result.skipped_iterations:
+        doc["skipped_iterations"] = result.skipped_iterations
     if meta:
         doc["meta"] = dict(meta)
     return json.dumps(doc, indent=1)
@@ -114,6 +116,7 @@ def load_campaign(text: str) -> CampaignResult:
     codec = SignatureCodec(program, doc["register_width"])
     result = CampaignResult(program, codec, iterations=doc.get("iterations", 0))
     result.crashes = doc.get("crashes", 0)
+    result.skipped_iterations = doc.get("skipped_iterations", 0)
     counts = Counter()
     for entry in doc["signatures"]:
         signature = _signature_from_list(entry["words"])

@@ -47,3 +47,59 @@ class MemoryLayout:
         """Word addresses co-located in cache line ``line``."""
         lo = line * self.words_per_line
         return range(lo, min(lo + self.words_per_line, self.num_words))
+
+    def signature_region(self, num_words: int,
+                         base: int = None) -> "SignatureRegion":
+        """Placement of the instrumented code's signature stores.
+
+        Each iteration ends with one store per signature word (Figure 4's
+        ``finish`` block); those stores need word addresses of their own.
+        The default placement starts immediately after the shared test
+        words — the tightest layout, which the lint rules MTC005/MTC006
+        then vet for collisions and false sharing.
+
+        Args:
+            num_words: total signature words across all threads
+                (:attr:`~repro.instrument.SignatureCodec.total_words`).
+            base: first word address of the region; defaults to
+                ``self.num_words``.
+        """
+        return SignatureRegion(self.num_words if base is None else base,
+                               num_words)
+
+
+@dataclass(frozen=True)
+class SignatureRegion:
+    """Word addresses receiving the per-thread signature stores.
+
+    The region shares the :class:`MemoryLayout` word/line geometry with
+    the test data, so collision and false-sharing checks reduce to line
+    arithmetic.
+    """
+
+    base: int
+    num_words: int
+
+    def __post_init__(self):
+        if self.base < 0 or self.num_words < 0:
+            raise ValueError("signature region base and size must be non-negative")
+
+    @property
+    def words(self) -> range:
+        """Word addresses of the region."""
+        return range(self.base, self.base + self.num_words)
+
+    def colliding_words(self, layout: MemoryLayout) -> list[int]:
+        """Region words that alias shared *test* word addresses."""
+        return [w for w in self.words if w < layout.num_words]
+
+    def false_shared_lines(self, layout: MemoryLayout) -> list[int]:
+        """Cache lines holding both test words and signature words.
+
+        Collisions (same word) are excluded — they are the stronger
+        MTC005 condition; this reports pure line-level sharing.
+        """
+        test_lines = {layout.line_of(w) for w in range(layout.num_words)}
+        shared = {layout.line_of(w) for w in self.words
+                  if w >= layout.num_words and layout.line_of(w) in test_lines}
+        return sorted(shared)

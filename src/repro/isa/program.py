@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.errors import ProgramError
-from repro.isa.instructions import INIT_VALUE, Operation, OpKind
+from repro.isa.instructions import INIT_VALUE, Operation
 
 
 @dataclass

@@ -1,0 +1,62 @@
+"""repro.lint — static test-program linter and instrumentation verifier.
+
+Runs entirely without executing a test.  Four analyzer families:
+
+* **program** (``MTC00x``) — dead stores, zero-candidate loads,
+  duplicate/reserved store IDs, signature-region layout collisions and
+  false sharing, fence hygiene (:mod:`repro.lint.program_lints`);
+* **signature** (``MTC01x``) — independent recomputation of every
+  weight-table slot, register-width overflow, word spills, exact
+  mixed-radix cardinality and zero-entropy detection
+  (:mod:`repro.lint.signature_lints`);
+* **verifier** (``MTC02x``) — abstract interpretation of the emitted
+  compare/branch chains against ``WeightTable.encode`` over the
+  reads-from assignment space (:mod:`repro.lint.verifier`);
+* **graph** (``MTC03x``) — contradictions in the static po skeleton and
+  candidate sets, canonical-closure sanity
+  (:mod:`repro.lint.graph_lints`).
+
+Entry points: :func:`lint_program` for one report,
+:func:`gate_iterations` for the campaign ``lint=`` gate, and the
+``repro lint`` CLI subcommand.
+"""
+
+from repro.lint.engine import (
+    FAMILIES,
+    POLICIES,
+    GateDecision,
+    LintConfig,
+    LintGateError,
+    fail_on_severity,
+    gate_iterations,
+    lint_program,
+    record_gate,
+)
+from repro.lint.findings import Finding, LintReport, Severity
+from repro.lint.rules import (
+    Rule,
+    all_rules,
+    get_rule,
+    rules_markdown,
+    rules_table,
+)
+
+__all__ = [
+    "FAMILIES",
+    "POLICIES",
+    "Finding",
+    "GateDecision",
+    "LintConfig",
+    "LintGateError",
+    "LintReport",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "fail_on_severity",
+    "gate_iterations",
+    "get_rule",
+    "lint_program",
+    "record_gate",
+    "rules_markdown",
+    "rules_table",
+]

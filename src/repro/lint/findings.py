@@ -1,0 +1,165 @@
+"""Findings, severities and reports emitted by the static linter.
+
+Every analyzer in :mod:`repro.lint` reports problems as
+:class:`Finding` records — a stable rule ID (``MTC0xx``), a severity,
+a human-readable message and a source location inside the test program
+(thread / operation uid).  A :class:`LintReport` aggregates the findings
+of one program and implements the severity arithmetic behind the
+``--fail-on`` exit-code contract and the harness lint gate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; comparison follows escalation order."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise ValueError(
+                "unknown severity %r (expected %s)"
+                % (text, "/".join(s.name.lower() for s in cls))) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One problem reported by one lint rule.
+
+    Attributes:
+        rule: stable rule ID, e.g. ``"MTC001"``.
+        severity: escalation level of this occurrence.
+        message: human-readable description.
+        thread: thread index the finding points at (None = whole program).
+        uid: operation uid the finding points at (None = whole thread).
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    thread: int = None
+    uid: int = None
+
+    @property
+    def location(self) -> str:
+        """Compact source location, e.g. ``t1.op12`` or ``program``."""
+        if self.uid is not None:
+            prefix = "t%d." % self.thread if self.thread is not None else ""
+            return "%sop%d" % (prefix, self.uid)
+        if self.thread is not None:
+            return "t%d" % self.thread
+        return "program"
+
+    def to_json(self) -> dict:
+        doc = {"rule": self.rule, "severity": str(self.severity),
+               "message": self.message, "location": self.location}
+        if self.thread is not None:
+            doc["thread"] = self.thread
+        if self.uid is not None:
+            doc["uid"] = self.uid
+        return doc
+
+    def render(self) -> str:
+        return "%s %-7s %-10s %s" % (self.rule, self.severity,
+                                     self.location, self.message)
+
+
+class LintReport:
+    """All findings of one linted program, plus static summary facts."""
+
+    def __init__(self, program_name: str = ""):
+        self.program_name = program_name
+        self.findings: list[Finding] = []
+        #: exact signature-space size of the test (None until computed)
+        self.cardinality: int = None
+        #: rf assignments the instrumentation verifier actually checked
+        self.verified_assignments: int = 0
+        #: True when the verifier enumerated the whole assignment space
+        self.verified_exhaustive: bool = False
+
+    # -- accumulation ------------------------------------------------------
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings) -> None:
+        self.findings.extend(findings)
+
+    # -- queries -----------------------------------------------------------
+
+    def at_least(self, severity: Severity) -> list[Finding]:
+        return [f for f in self.findings if f.severity >= severity]
+
+    @property
+    def errors(self) -> list[Finding]:
+        return self.at_least(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def worst(self) -> Severity:
+        """Highest severity present, or None for a clean report."""
+        return max((f.severity for f in self.findings), default=None)
+
+    @property
+    def zero_entropy(self) -> bool:
+        """Statically proven to produce exactly one signature."""
+        return self.cardinality == 1
+
+    def count(self, rule: str) -> int:
+        return sum(1 for f in self.findings if f.rule == rule)
+
+    def by_rule(self) -> dict:
+        """Finding counts keyed by rule ID, sorted."""
+        counts: dict[str, int] = {}
+        for f in self.findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    # -- rendering ---------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "program": self.program_name,
+            "cardinality_bits": (self.cardinality.bit_length()
+                                 if self.cardinality is not None else None),
+            "zero_entropy": self.zero_entropy,
+            "verified_assignments": self.verified_assignments,
+            "verified_exhaustive": self.verified_exhaustive,
+            "counts": {str(s): len([f for f in self.findings
+                                    if f.severity is s])
+                       for s in Severity},
+            "findings": [f.to_json() for f in self.findings],
+        }
+
+    def render(self) -> str:
+        """Multi-line text listing: header plus one line per finding."""
+        head = "%s: %d findings (%d errors, %d warnings)" % (
+            self.program_name or "program", len(self.findings),
+            len(self.errors), len(self.warnings))
+        if self.zero_entropy:
+            head += " [zero-entropy]"
+        lines = [head]
+        for f in sorted(self.findings,
+                        key=lambda f: (-f.severity, f.rule,
+                                       f.uid if f.uid is not None else -1)):
+            lines.append("  " + f.render())
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "LintReport(%s: %d findings, worst=%s)" % (
+            self.program_name or "unnamed", len(self.findings), self.worst)

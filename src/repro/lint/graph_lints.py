@@ -1,0 +1,127 @@
+"""Constraint-graph lints: po skeleton and candidate sanity (MTC03x).
+
+Every constraint graph the collective checker sees is built on the same
+static skeleton — the memory model's preserved-program-order edges plus
+statically-known coherence chains.  A contradiction there (self-loop,
+mutual pair, cycle) poisons *every* execution's check, so it is caught
+here once, before a single iteration runs.
+
+The candidate lint closes the loop with the instrumentation: a load's
+candidate set naming a same-thread store that program order contradicts
+(a store *after* the load, or a stale store older than the latest
+preceding one) would, if ever observed, manufacture a guaranteed cycle —
+a false violation that wastes triage time.  Finally, the ws-inference
+closure (:mod:`repro.checker.ws_inference`) of the canonical all-local
+execution is checked: if even the least-concurrent outcome is cyclic
+under the configured model, every campaign result will be dominated by
+violations and the program/model pairing deserves a look before
+thousands of iterations are spent.
+"""
+
+from __future__ import annotations
+
+from repro.checker.ws_inference import infer_constraint_graph
+from repro.graph.toposort import topological_sort
+from repro.isa.program import TestProgram
+from repro.lint import rules
+from repro.lint.findings import Finding
+from repro.mcm.model import MemoryModel
+
+
+def lint_po_skeleton(program: TestProgram,
+                     model: MemoryModel) -> list[Finding]:
+    """Self-loops, mutual pairs and cycles in ppo (MTC030/MTC031)."""
+    findings = []
+    edges: set = set()
+    adjacency: dict[int, list[int]] = {}
+    for tp in program.threads:
+        for src, dst in model.ppo_edges(tp):
+            if src == dst:
+                findings.append(rules.finding(
+                    rules.PO_SELF_LOOP,
+                    "model %s orders op%d before itself"
+                    % (model.name, src),
+                    thread=tp.thread, uid=src))
+                continue
+            if (src, dst) not in edges:
+                edges.add((src, dst))
+                adjacency.setdefault(src, []).append(dst)
+    for src, dst in sorted(edges):
+        if src < dst and (dst, src) in edges:
+            findings.append(rules.finding(
+                rules.PO_CONTRADICTION,
+                "model %s orders op%d and op%d both ways"
+                % (model.name, src, dst), uid=src))
+    if not any(f.rule == rules.PO_CONTRADICTION for f in findings):
+        vertices = list(range(program.num_ops))
+        if topological_sort(vertices, adjacency) is None:
+            findings.append(rules.finding(
+                rules.PO_CONTRADICTION,
+                "the static po skeleton under model %s is cyclic"
+                % model.name))
+    return findings
+
+
+def lint_candidates_against_po(program: TestProgram,
+                               candidates: dict) -> list[Finding]:
+    """Same-thread candidates that contradict program order (MTC032)."""
+    findings = []
+    # latest same-thread store to each address before every load
+    latest_local: dict[int, object] = {}
+    for tp in program.threads:
+        last: dict[int, int] = {}
+        for op in tp.ops:
+            if op.is_store:
+                last[op.addr] = op.uid
+            elif op.is_load:
+                latest_local[op.uid] = last.get(op.addr)
+    for load_uid, cands in candidates.items():
+        load_op = program.op(load_uid)
+        expected = latest_local.get(load_uid)
+        for src in cands:
+            if not isinstance(src, int):
+                continue       # INIT sentinel
+            store_op = program.op(src)
+            if store_op.thread != load_op.thread:
+                continue
+            if store_op.index > load_op.index:
+                findings.append(rules.finding(
+                    rules.CANDIDATE_PO_CONTRADICTION,
+                    "load %s lists same-thread store op%d, which is "
+                    "program-order *after* it"
+                    % (load_op.describe(), src),
+                    thread=load_op.thread, uid=load_uid))
+            elif src != expected:
+                allowed = ("op%d" % expected if expected is not None
+                           else "the initial value")
+                findings.append(rules.finding(
+                    rules.CANDIDATE_PO_CONTRADICTION,
+                    "load %s lists stale same-thread store op%d; "
+                    "per-location coherence only allows the latest "
+                    "(%s)" % (load_op.describe(), src, allowed),
+                    thread=load_op.thread, uid=load_uid))
+    return findings
+
+
+def canonical_assignment(candidates: dict) -> dict:
+    """The all-local reads-from map: every load takes its first candidate.
+
+    By candidate canonical order the first entry is the load's own
+    program-order source (latest local store, or INIT) — the execution
+    with no cross-thread communication at all.
+    """
+    return {uid: cands[0] for uid, cands in candidates.items() if cands}
+
+
+def lint_canonical_closure(program: TestProgram, model: MemoryModel,
+                           candidates: dict) -> list[Finding]:
+    """ws-inference closure of the canonical execution (MTC033)."""
+    rf = canonical_assignment(candidates)
+    graph = infer_constraint_graph(program, model, rf)
+    order = topological_sort(list(range(program.num_ops)), graph.adjacency)
+    if order is None:
+        return [rules.finding(
+            rules.CANONICAL_CLOSURE_CONTRADICTION,
+            "the canonical all-local execution is already cyclic under "
+            "model %s" % model.name)]
+    return []

@@ -1,0 +1,111 @@
+"""Program-structure lints: stores, fences, layout (rules MTC001-MTC008).
+
+These analyzers consume a :class:`~repro.isa.program.TestProgram` (plus
+its static candidate analysis and, optionally, a memory layout) without
+executing anything.  They re-check invariants ``TestProgram`` enforces at
+construction — duplicate and reserved store IDs — so that programs
+deserialized or mutated through other paths are vetted too, and add the
+checks construction cannot know about: observability, fence hygiene and
+signature-region placement.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import INIT_VALUE
+from repro.isa.layout import LINE_BYTES, MemoryLayout
+from repro.isa.program import TestProgram
+from repro.lint import rules
+from repro.lint.findings import Finding
+
+
+def lint_stores(program: TestProgram,
+                candidates: dict) -> list[Finding]:
+    """Dead stores, duplicate IDs and reserved IDs (MTC001/003/004)."""
+    findings = []
+    observable = set()
+    for cands in candidates.values():
+        for src in cands:
+            if isinstance(src, int):
+                observable.add(src)
+    seen_ids: dict[int, int] = {}
+    for op in program.all_ops:
+        if not op.is_store:
+            continue
+        if op.value == INIT_VALUE:
+            findings.append(rules.finding(
+                rules.RESERVED_STORE_ID,
+                "store %s writes the reserved INIT value %d"
+                % (op.describe(), INIT_VALUE),
+                thread=op.thread, uid=op.uid))
+        elif op.value in seen_ids:
+            findings.append(rules.finding(
+                rules.DUPLICATE_STORE_ID,
+                "store ID %d already written by op%d"
+                % (op.value, seen_ids[op.value]),
+                thread=op.thread, uid=op.uid))
+        else:
+            seen_ids[op.value] = op.uid
+        if op.uid not in observable:
+            findings.append(rules.finding(
+                rules.DEAD_STORE,
+                "store %s is observable by no load" % op.describe(),
+                thread=op.thread, uid=op.uid))
+    return findings
+
+
+def lint_loads(program: TestProgram, candidates: dict) -> list[Finding]:
+    """Loads whose candidate set is empty (MTC002)."""
+    findings = []
+    for op in program.loads:
+        if not candidates.get(op.uid):
+            findings.append(rules.finding(
+                rules.ZERO_CANDIDATE_LOAD,
+                "load %s has an empty candidate set" % op.describe(),
+                thread=op.thread, uid=op.uid))
+    return findings
+
+
+def lint_fences(program: TestProgram) -> list[Finding]:
+    """Redundant back-to-back and boundary fences (MTC007/MTC008)."""
+    findings = []
+    for tp in program.threads:
+        previous = None
+        for op in tp.ops:
+            if op.is_barrier and previous is not None and previous.is_barrier:
+                findings.append(rules.finding(
+                    rules.REDUNDANT_FENCE,
+                    "barrier immediately follows another barrier",
+                    thread=tp.thread, uid=op.uid))
+            previous = op
+        if tp.ops and tp.ops[0].is_barrier:
+            findings.append(rules.finding(
+                rules.BOUNDARY_FENCE, "barrier opens the thread",
+                thread=tp.thread, uid=tp.ops[0].uid))
+        if len(tp.ops) > 1 and tp.ops[-1].is_barrier:
+            findings.append(rules.finding(
+                rules.BOUNDARY_FENCE, "barrier closes the thread",
+                thread=tp.thread, uid=tp.ops[-1].uid))
+    return findings
+
+
+def lint_signature_region(layout: MemoryLayout, total_words: int,
+                          base: int = None) -> list[Finding]:
+    """Signature-region collision and false sharing (MTC005/MTC006)."""
+    region = layout.signature_region(total_words, base=base)
+    findings = []
+    colliding = region.colliding_words(layout)
+    if colliding:
+        findings.append(rules.finding(
+            rules.SIGNATURE_REGION_COLLISION,
+            "signature words %s alias shared test addresses "
+            "(test pool is words [0, %d))"
+            % (colliding, layout.num_words)))
+    shared = region.false_shared_lines(layout)
+    if shared:
+        findings.append(rules.finding(
+            rules.SIGNATURE_REGION_FALSE_SHARING,
+            "signature stores share cache line%s %s with test words "
+            "(%d words per %d-byte line)"
+            % ("s" if len(shared) > 1 else "", shared,
+               layout.words_per_line, LINE_BYTES)))
+    return findings

@@ -1,0 +1,188 @@
+"""The lint rule registry: stable ``MTC0xx`` IDs and default severities.
+
+Rule numbering is grouped by analyzer family and append-only — IDs are
+part of the tool's contract (CI configurations and suppressions key on
+them), so a retired rule's number is never reused:
+
+* ``MTC00x`` — program lints (structure, layout, fences),
+* ``MTC01x`` — signature-space analysis (weight tables, cardinality),
+* ``MTC02x`` — instrumentation verification (compare/branch chains),
+* ``MTC03x`` — constraint-graph lints (po skeleton, candidates, closure).
+
+``repro lint --rules`` renders this table; ``docs/LINT_RULES.md`` is the
+committed markdown rendering (regenerate with
+``python -m repro lint --rules --markdown``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lint.findings import Finding, Severity
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: identity, default severity and rationale."""
+
+    id: str
+    name: str
+    severity: Severity
+    family: str
+    rationale: str
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def _rule(id: str, name: str, severity: Severity, family: str,
+          rationale: str) -> str:
+    if id in _RULES:
+        raise ValueError("duplicate rule ID %s" % id)
+    _RULES[id] = Rule(id, name, severity, family, rationale)
+    return id
+
+
+# -- program lints (MTC00x) -------------------------------------------------
+
+DEAD_STORE = _rule(
+    "MTC001", "dead-store", Severity.WARNING, "program",
+    "A store that no load can ever observe exercises coherence but adds "
+    "nothing to any signature — wasted test work.")
+ZERO_CANDIDATE_LOAD = _rule(
+    "MTC002", "zero-candidate-load", Severity.ERROR, "program",
+    "A load with an empty candidate set cannot be encoded; every "
+    "execution would trip the instrumentation's assertion tail.")
+DUPLICATE_STORE_ID = _rule(
+    "MTC003", "duplicate-store-id", Severity.ERROR, "program",
+    "Unique store IDs are what make load disambiguation perfect "
+    "(paper Section 2); a duplicate makes decoding ambiguous.")
+RESERVED_STORE_ID = _rule(
+    "MTC004", "reserved-store-id", Severity.ERROR, "program",
+    "A store writing INIT_VALUE is indistinguishable from the initial "
+    "memory contents, corrupting every candidate index.")
+SIGNATURE_REGION_COLLISION = _rule(
+    "MTC005", "signature-region-collision", Severity.ERROR, "layout",
+    "Signature words stored into test data addresses destroy the test's "
+    "store-ID invariant and the signatures themselves.")
+SIGNATURE_REGION_FALSE_SHARING = _rule(
+    "MTC006", "signature-region-false-sharing", Severity.WARNING, "layout",
+    "Signature stores false-sharing a cache line with test words add "
+    "coherence traffic the paper's intrusiveness budget excludes.")
+REDUNDANT_FENCE = _rule(
+    "MTC007", "redundant-fence", Severity.WARNING, "program",
+    "Back-to-back barriers order nothing new; they only inflate code "
+    "size and execution time.")
+BOUNDARY_FENCE = _rule(
+    "MTC008", "boundary-fence", Severity.INFO, "program",
+    "A barrier with no memory operation on one side orders nothing "
+    "within the test body.")
+
+# -- signature-space analysis (MTC01x) --------------------------------------
+
+ZERO_ENTROPY = _rule(
+    "MTC010", "zero-entropy-test", Severity.WARNING, "signature",
+    "The mixed-radix cardinality is 1: every iteration produces the "
+    "same signature, so N-1 of N iterations are statically wasted.")
+WEIGHT_TABLE_DESYNC = _rule(
+    "MTC011", "weight-table-desync", Severity.ERROR, "signature",
+    "A weight table whose multipliers, word splits or candidate order "
+    "disagree with an independent recomputation mis-encodes executions.")
+WORD_SPILL = _rule(
+    "MTC012", "signature-word-spill", Severity.INFO, "signature",
+    "The thread's signature spilled past its register width into "
+    "multiple words (Section 3.2); expected for large tests, but worth "
+    "surfacing since each extra word costs a store per iteration.")
+SINGLE_CANDIDATE_LOAD = _rule(
+    "MTC013", "single-candidate-load", Severity.INFO, "signature",
+    "A load with exactly one candidate is deterministic and contributes "
+    "no signature entropy.")
+
+# -- instrumentation verification (MTC02x) ----------------------------------
+
+ENCODE_MISMATCH = _rule(
+    "MTC020", "instrumentation-encode-mismatch", Severity.ERROR, "verifier",
+    "Abstract interpretation of the emitted compare/branch chain "
+    "computed a different signature than WeightTable.encode for some "
+    "reads-from assignment — codegen and weight tables are out of sync.")
+ASSERT_REACHABLE = _rule(
+    "MTC021", "assertion-tail-reachable", Severity.ERROR, "verifier",
+    "A statically-possible observed value falls through every compare "
+    "arm into the assertion tail; the chain is missing an arm.")
+AMBIGUOUS_CHAIN_ARM = _rule(
+    "MTC022", "ambiguous-chain-arm", Severity.ERROR, "verifier",
+    "Two arms of one compare chain test the same value; only the first "
+    "can ever fire, so one candidate is unreachable.")
+
+# -- constraint-graph lints (MTC03x) ----------------------------------------
+
+PO_SELF_LOOP = _rule(
+    "MTC030", "po-self-loop", Severity.ERROR, "graph",
+    "The memory model emitted a preserved-program-order edge from an "
+    "operation to itself; the model implementation is broken.")
+PO_CONTRADICTION = _rule(
+    "MTC031", "po-contradiction", Severity.ERROR, "graph",
+    "The static po skeleton is cyclic (or contains a mutual edge pair): "
+    "every constraint graph of the test would report a violation "
+    "regardless of execution.")
+CANDIDATE_PO_CONTRADICTION = _rule(
+    "MTC032", "candidate-po-contradiction", Severity.ERROR, "graph",
+    "A load's candidate set names a same-thread store that program "
+    "order contradicts (a later store, or a stale non-latest store); "
+    "observing it would be a guaranteed false violation.")
+CANONICAL_CLOSURE_CONTRADICTION = _rule(
+    "MTC033", "canonical-closure-contradiction", Severity.WARNING, "graph",
+    "The ws-inference closure of the canonical all-local execution is "
+    "already cyclic under the configured model — every campaign result "
+    "will be dominated by violations; the program/model pairing is "
+    "suspect.")
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up a rule by its stable ID."""
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        raise KeyError("unknown lint rule %r" % (rule_id,)) from None
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, in ID order."""
+    return [_RULES[k] for k in sorted(_RULES)]
+
+
+def finding(rule_id: str, message: str, thread: int = None,
+            uid: int = None, severity: Severity = None) -> Finding:
+    """Build a :class:`Finding` with the rule's registered severity."""
+    rule = get_rule(rule_id)
+    return Finding(rule_id, severity or rule.severity, message,
+                   thread=thread, uid=uid)
+
+
+def rules_table() -> str:
+    """Plain-text rule reference (``repro lint --rules``)."""
+    lines = ["%-8s %-9s %-10s %-32s %s"
+             % ("rule", "severity", "family", "name", "rationale")]
+    for rule in all_rules():
+        lines.append("%-8s %-9s %-10s %-32s %s"
+                     % (rule.id, rule.severity, rule.family, rule.name,
+                        rule.rationale))
+    return "\n".join(lines)
+
+
+def rules_markdown() -> str:
+    """Markdown rule reference (``docs/LINT_RULES.md``)."""
+    lines = [
+        "# `repro lint` rule reference",
+        "",
+        "Generated by `python -m repro lint --rules --markdown`; do not "
+        "edit by hand.",
+        "",
+        "| Rule | Name | Severity | Family | Rationale |",
+        "|---|---|---|---|---|",
+    ]
+    for rule in all_rules():
+        lines.append("| %s | `%s` | %s | %s | %s |"
+                     % (rule.id, rule.name, rule.severity, rule.family,
+                        rule.rationale))
+    return "\n".join(lines) + "\n"

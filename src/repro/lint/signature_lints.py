@@ -1,0 +1,129 @@
+"""Signature-space analysis: weight tables and cardinality (MTC01x).
+
+Validates the static encoding machinery *against an independent
+recomputation*: the expected multiplier/word assignment of every load
+slot is re-derived here from the candidate sets and the register width
+(the Section 3.2 mixed-radix construction), then compared slot-by-slot
+with the :class:`~repro.instrument.weights.ThreadWeightTable` the codec
+actually carries.  Any disagreement — a corrupted multiplier, a missed
+word split, a reordered candidate tuple, a register-width overflow —
+is a guaranteed mis-encoding and reports as an error.
+
+The same pass computes the exact mixed-radix cardinality and flags
+zero-entropy tests (cardinality 1), which the harness/fleet lint gate
+uses to skip statically wasted iterations.
+"""
+
+from __future__ import annotations
+
+from repro.instrument.signature import SignatureCodec
+from repro.isa.program import TestProgram
+from repro.lint import rules
+from repro.lint.findings import Finding
+
+
+def static_cardinality(codec: SignatureCodec) -> int:
+    """Exact signature-space size, recomputed from the candidate sets."""
+    total = 1
+    for table in codec.tables:
+        for slot in table.slots:
+            total *= len(slot.candidates)
+    return total
+
+
+def is_zero_entropy(codec: SignatureCodec) -> bool:
+    """Whether the test can produce only a single signature."""
+    return static_cardinality(codec) == 1
+
+
+def lint_weight_tables(program: TestProgram,
+                       codec: SignatureCodec) -> list[Finding]:
+    """Re-derive every slot and compare with the codec (MTC010-MTC013)."""
+    findings = []
+    limit = 1 << codec.register_width
+    for table in codec.tables:
+        tp = program.threads[table.thread]
+        expected_word = 0
+        product = 1
+        slots = iter(table.slots)
+        for op in tp.ops:
+            if not op.is_load:
+                continue
+            slot = next(slots, None)
+            if slot is None or slot.uid != op.uid:
+                findings.append(rules.finding(
+                    rules.WEIGHT_TABLE_DESYNC,
+                    "weight table for thread %d skips load %s"
+                    % (tp.thread, op.describe()),
+                    thread=tp.thread, uid=op.uid))
+                break
+            expected_cands = tuple(codec.candidates.get(op.uid, ()))
+            if slot.candidates != expected_cands:
+                findings.append(rules.finding(
+                    rules.WEIGHT_TABLE_DESYNC,
+                    "slot for load op%d carries candidates %r, static "
+                    "analysis says %r"
+                    % (op.uid, slot.candidates, expected_cands),
+                    thread=tp.thread, uid=op.uid))
+            n = len(slot.candidates)
+            if n > limit:
+                findings.append(rules.finding(
+                    rules.WEIGHT_TABLE_DESYNC,
+                    "load op%d has %d candidates, unrepresentable in a "
+                    "%d-bit register" % (op.uid, n, codec.register_width),
+                    thread=tp.thread, uid=op.uid))
+                break
+            if n and product * n > limit:
+                expected_word += 1
+                product = 1
+            if (slot.multiplier, slot.word) != (product, expected_word):
+                findings.append(rules.finding(
+                    rules.WEIGHT_TABLE_DESYNC,
+                    "slot for load op%d has (multiplier, word) (%d, %d); "
+                    "recomputation expects (%d, %d)"
+                    % (op.uid, slot.multiplier, slot.word,
+                       product, expected_word),
+                    thread=tp.thread, uid=op.uid))
+            product *= max(n, 1)
+            # the register must hold the word's accumulated maximum
+            if slot.multiplier * max(n - 1, 0) >= limit:
+                findings.append(rules.finding(
+                    rules.WEIGHT_TABLE_DESYNC,
+                    "slot for load op%d overflows its signature word: "
+                    "max weight %d exceeds the %d-bit register"
+                    % (op.uid, slot.multiplier * (n - 1),
+                       codec.register_width),
+                    thread=tp.thread, uid=op.uid))
+            if n == 1:
+                findings.append(rules.finding(
+                    rules.SINGLE_CANDIDATE_LOAD,
+                    "load %s is deterministic (single candidate)"
+                    % op.describe(),
+                    thread=tp.thread, uid=op.uid))
+        extra = next(slots, None)
+        if extra is not None:
+            findings.append(rules.finding(
+                rules.WEIGHT_TABLE_DESYNC,
+                "weight table for thread %d has a slot for op%d, which "
+                "is not one of the thread's loads"
+                % (table.thread, extra.uid), thread=table.thread))
+        expected_words = expected_word + 1 if table.slots else 1
+        if table.num_words != expected_words:
+            findings.append(rules.finding(
+                rules.WEIGHT_TABLE_DESYNC,
+                "thread %d claims %d signature words; recomputation "
+                "expects %d"
+                % (table.thread, table.num_words, expected_words),
+                thread=table.thread))
+        elif table.num_words > 1:
+            findings.append(rules.finding(
+                rules.WORD_SPILL,
+                "thread %d's signature spills into %d words of %d bits"
+                % (table.thread, table.num_words, codec.register_width),
+                thread=table.thread))
+    if is_zero_entropy(codec):
+        findings.append(rules.finding(
+            rules.ZERO_ENTROPY,
+            "test admits exactly one signature; all but one iteration "
+            "of any campaign are statically redundant"))
+    return findings

@@ -1,0 +1,271 @@
+"""Instrumentation verifier: prove the emitted chains compute encode().
+
+:func:`repro.instrument.codegen.emit_listing` renders the instrumented
+test as pseudo-assembly — per-load compare/branch chains, weight
+accumulations and an assertion tail (paper Figure 4).  This module goes
+the *other* way: it parses that listing back into an abstract chain
+model and interprets it, load by load, for every reads-from assignment
+(exhaustively when the mixed-radix cardinality is small, seeded-sampled
+otherwise), checking that the interpreted signature words equal
+``WeightTable.encode`` exactly.
+
+Because the listing is re-parsed from text rather than read out of the
+codec's tables, the check is end-to-end: a codegen bug, a tampered
+listing, or a codegen/pruning desync (listing emitted for one candidate
+analysis, encoding done with another) all surface as ``MTC020``
+findings without executing a single iteration.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import SignatureError
+from repro.instrument.codegen import emit_listing
+from repro.instrument.signature import SignatureCodec
+from repro.isa.instructions import INIT, INIT_VALUE
+from repro.isa.program import TestProgram
+from repro.lint import rules
+from repro.lint.findings import Finding
+
+_THREAD_RE = re.compile(r"^thread (\d+):$")
+_INIT_RE = re.compile(r"^  init: sig(\d+) = 0$")
+_ARM_RE = re.compile(r"^    (?:else )?if \(value==(\d+)\) sig(\d+) \+= (\d+)$")
+_ASSERT_RE = re.compile(r"^    else assert error$")
+_FINISH_RE = re.compile(r"^  finish: store sig(\d+) to memory$")
+_LOAD_RE = re.compile(r"^  ld \[0x[0-9a-f]+\]$")
+
+#: default bound under which the assignment space is swept exhaustively
+EXHAUSTIVE_LIMIT = 512
+#: default number of seeded-sampled assignments above the bound
+SAMPLES = 64
+
+
+@dataclass(frozen=True)
+class ChainArm:
+    """One ``if (value==V) sigW += A`` arm of a compare chain."""
+
+    value: int
+    word: int
+    add: int
+
+
+@dataclass
+class LoadChain:
+    """The parsed compare/branch chain guarding one load."""
+
+    arms: list = field(default_factory=list)
+    has_assert: bool = False
+
+    def interpret(self, observed: int):
+        """First matching arm for ``observed``, or None (assertion)."""
+        for arm in self.arms:
+            if arm.value == observed:
+                return arm
+        return None
+
+
+@dataclass
+class ThreadChains:
+    """All parsed chains of one thread, in program (load) order."""
+
+    thread: int
+    num_words: int = 0
+    chains: list = field(default_factory=list)
+    finish_words: int = 0
+
+
+def parse_listing(text: str) -> list[ThreadChains]:
+    """Parse ``emit_listing`` output into the abstract chain model."""
+    threads: list[ThreadChains] = []
+    current: ThreadChains = None
+    chain: LoadChain = None
+    for line in text.splitlines():
+        m = _THREAD_RE.match(line)
+        if m:
+            current = ThreadChains(int(m.group(1)))
+            threads.append(current)
+            chain = None
+            continue
+        if current is None:
+            continue
+        if _INIT_RE.match(line):
+            current.num_words += 1
+            continue
+        if _FINISH_RE.match(line):
+            current.finish_words += 1
+            continue
+        if _LOAD_RE.match(line):
+            chain = LoadChain()
+            current.chains.append(chain)
+            continue
+        m = _ARM_RE.match(line)
+        if m and chain is not None:
+            chain.arms.append(ChainArm(int(m.group(1)), int(m.group(2)),
+                                       int(m.group(3))))
+            continue
+        if _ASSERT_RE.match(line) and chain is not None:
+            chain.has_assert = True
+            chain = None
+    return threads
+
+
+def _observed_value(program: TestProgram, source) -> int:
+    if source is INIT or source == INIT:
+        return INIT_VALUE
+    return program.op(source).value
+
+
+def _assignments(radices: list, limit: int, samples: int, seed: int):
+    """Yield candidate-index tuples: exhaustive below ``limit``, sampled
+    (seeded, endpoints included) above.  Returns a (generator, exhaustive)
+    pair."""
+    cardinality = 1
+    for r in radices:
+        cardinality *= r
+    if cardinality <= limit:
+        def sweep():
+            indices = [0] * len(radices)
+            while True:
+                yield tuple(indices)
+                for pos in range(len(radices) - 1, -1, -1):
+                    indices[pos] += 1
+                    if indices[pos] < radices[pos]:
+                        break
+                    indices[pos] = 0
+                else:
+                    return
+                continue
+        # an empty load list still has the single empty assignment
+        return sweep(), True
+
+    def sample():
+        yield tuple(0 for _ in radices)
+        yield tuple(r - 1 for r in radices)
+        rng = random.Random(seed)
+        for _ in range(max(samples - 2, 0)):
+            yield tuple(rng.randrange(r) for r in radices)
+    return sample(), False
+
+
+def verify_instrumentation(program: TestProgram, codec: SignatureCodec,
+                           listing: str = None,
+                           exhaustive_limit: int = EXHAUSTIVE_LIMIT,
+                           samples: int = SAMPLES, seed: int = 0,
+                           max_reports: int = 5):
+    """Check the compare/branch chains against ``encode`` (MTC020-022).
+
+    Args:
+        program: the test under instrumentation.
+        codec: the signature codec whose ``encode`` is ground truth.
+        listing: instrumented pseudo-assembly; regenerated from the
+            codec when omitted (the self-consistency check).  Pass a
+            listing produced elsewhere to detect codegen/pruning desync.
+        exhaustive_limit: sweep every assignment when the mixed-radix
+            cardinality is at most this; otherwise sample.
+        samples: seeded sample count above the exhaustive bound.
+        seed: sampling seed.
+        max_reports: cap on MTC020 findings (the first mismatch proves
+            desync; thousands more add nothing).
+
+    Returns:
+        ``(findings, checked, exhaustive)`` — the findings list, the
+        number of assignments interpreted, and whether the sweep covered
+        the whole space.
+    """
+    if listing is None:
+        listing = emit_listing(program, codec)
+    findings: list[Finding] = []
+    threads = parse_listing(listing)
+    if len(threads) != program.num_threads:
+        findings.append(rules.finding(
+            rules.ENCODE_MISMATCH,
+            "listing describes %d threads, program has %d"
+            % (len(threads), program.num_threads)))
+        return findings, 0, False
+
+    # static chain checks: arm ambiguity, chain/load count agreement
+    for tc, tp in zip(threads, program.threads):
+        loads = tp.loads
+        if len(tc.chains) != len(loads):
+            findings.append(rules.finding(
+                rules.ENCODE_MISMATCH,
+                "thread %d listing has %d compare chains for %d loads"
+                % (tp.thread, len(tc.chains), len(loads)),
+                thread=tp.thread))
+        for chain, op in zip(tc.chains, loads):
+            values = [arm.value for arm in chain.arms]
+            duplicated = sorted({v for v in values if values.count(v) > 1})
+            if duplicated:
+                findings.append(rules.finding(
+                    rules.AMBIGUOUS_CHAIN_ARM,
+                    "chain for load %s compares value%s %s twice"
+                    % (op.describe(), "s" if len(duplicated) > 1 else "",
+                       duplicated),
+                    thread=op.thread, uid=op.uid))
+    if any(f.rule == rules.ENCODE_MISMATCH for f in findings):
+        return findings, 0, False
+
+    load_uids = sorted(codec.candidates)
+    radices = [len(codec.candidates[uid]) for uid in load_uids]
+    if 0 in radices:       # MTC002 territory; nothing to interpret
+        return findings, 0, False
+    assignments, exhaustive = _assignments(
+        radices, exhaustive_limit, samples, seed)
+
+    loads_by_thread = [tp.loads for tp in program.threads]
+    mismatches = 0
+    asserted: set[int] = set()
+    checked = 0
+    for indices in assignments:
+        rf = {uid: codec.candidates[uid][i]
+              for uid, i in zip(load_uids, indices)}
+        checked += 1
+        try:
+            expected = codec.encode(rf)
+        except SignatureError as exc:
+            mismatches += 1
+            if mismatches <= max_reports:
+                findings.append(rules.finding(
+                    rules.ENCODE_MISMATCH,
+                    "encode rejected a statically valid assignment: %s"
+                    % exc))
+            continue
+        for tc, loads in zip(threads, loads_by_thread):
+            words = [0] * max(tc.num_words, 1)
+            ok = True
+            for chain, op in zip(tc.chains, loads):
+                arm = chain.interpret(_observed_value(program, rf[op.uid]))
+                if arm is None:
+                    if op.uid not in asserted:
+                        asserted.add(op.uid)
+                        findings.append(rules.finding(
+                            rules.ASSERT_REACHABLE,
+                            "observed value %d of load %s falls through "
+                            "to the assertion tail"
+                            % (_observed_value(program, rf[op.uid]),
+                               op.describe()),
+                            thread=op.thread, uid=op.uid))
+                    ok = False
+                    continue
+                if arm.word >= len(words):
+                    words.extend([0] * (arm.word + 1 - len(words)))
+                words[arm.word] += arm.add
+            if ok and tuple(words) != expected.words[tc.thread]:
+                mismatches += 1
+                if mismatches <= max_reports:
+                    findings.append(rules.finding(
+                        rules.ENCODE_MISMATCH,
+                        "thread %d: interpreted chain computes %r, "
+                        "encode says %r (assignment %r)"
+                        % (tc.thread, tuple(words),
+                           expected.words[tc.thread], indices),
+                        thread=tc.thread))
+    if mismatches > max_reports:
+        findings.append(rules.finding(
+            rules.ENCODE_MISMATCH,
+            "%d further assignment mismatches suppressed"
+            % (mismatches - max_reports)))
+    return findings, checked, exhaustive

@@ -13,8 +13,7 @@ from repro.checker import (
     CollectiveChecker,
 )
 from repro.graph import PO, ConstraintGraph, Edge, GraphBuilder
-from repro.instrument import SignatureCodec, candidate_sources
-from repro.mcm import WEAK, get_model
+from repro.instrument import SignatureCodec
 from repro.sim import OperationalExecutor, platform_for_isa
 from repro.testgen import TestConfig, generate
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.checker import infer_constraint_graph
 from repro.graph import WS, topological_sort
-from repro.isa import INIT, TestProgram, load, store
+from repro.isa import TestProgram, load, store
 from repro.mcm import SC, TSO, WEAK
 from repro.sim import OperationalExecutor
 from repro.testgen import TestConfig, generate

@@ -92,8 +92,6 @@ class TestFleetCLI:
                read_campaign(serial).signature_counts
 
     def test_merge_subcommand_unions_shards(self, capsys, tmp_path):
-        import json as _json
-
         from repro.io import read_campaign, save_campaign
         from repro.harness import Campaign
         from repro.testgen import TestConfig

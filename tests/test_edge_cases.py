@@ -1,0 +1,103 @@
+"""Degenerate-input audit: empty programs, load-free threads, zero
+iterations, empty signature streams.  Regression tests so these keep
+working as the pipeline grows."""
+
+from repro.analysis.coverage import (
+    coverage_summary,
+    discovery_rate,
+    saturation_curve,
+)
+from repro.harness import Campaign
+from repro.instrument import SignatureCodec, candidate_sources
+from repro.instrument.signature import Signature
+from repro.isa import TestProgram, load, store
+from repro.lint import gate_iterations, lint_program
+from repro.testgen import TestConfig
+
+
+def _empty_program():
+    return TestProgram.from_ops([[]], num_addresses=1)
+
+
+def _load_free_program():
+    """One storing thread, one loading thread; the storer has no loads."""
+    return TestProgram.from_ops(
+        [[store(0, 0, 0, 1)], [load(1, 0, 0)]], num_addresses=1)
+
+
+class TestEmptyProgram:
+    def test_codec_is_degenerate_but_valid(self):
+        codec = SignatureCodec(_empty_program(), 32)
+        assert codec.cardinality == 1
+        assert codec.total_words == 1
+
+    def test_candidate_sources_is_empty(self):
+        assert candidate_sources(_empty_program()) == {}
+
+    def test_lint_flags_zero_entropy_without_errors(self):
+        report = lint_program(_empty_program(), register_width=32)
+        assert not report.errors
+        assert report.zero_entropy
+        assert {f.rule for f in report.findings} == {"MTC010"}
+
+    def test_campaign_runs_and_collapses_to_one_signature(self):
+        result = Campaign(program=_empty_program(), config=None,
+                          seed=0).run(3)
+        assert result.iterations == 3
+        assert result.unique_signatures == 1
+
+    def test_gate_skips_all_but_one_iteration(self):
+        report = lint_program(_empty_program(), register_width=32)
+        decision = gate_iterations(report, "skip", 10)
+        assert decision.run_iterations == 1
+        assert decision.skipped_iterations == 9
+
+
+class TestLoadFreeThread:
+    def test_storer_thread_has_single_word_table(self):
+        codec = SignatureCodec(_load_free_program(), 32)
+        assert [t.num_words for t in codec.tables] == [1, 1]
+        assert codec.cardinality == 2
+
+    def test_lint_is_clean(self):
+        report = lint_program(_load_free_program(), register_width=32)
+        assert not report.errors
+        assert not report.zero_entropy
+
+    def test_campaign_observes_both_outcomes(self):
+        result = Campaign(program=_load_free_program(), config=None,
+                          seed=0).run(30)
+        assert result.unique_signatures == 2
+
+
+class TestZeroIterationRun:
+    def test_campaign_result_is_empty(self):
+        config = TestConfig(threads=2, ops_per_thread=6, addresses=2,
+                            seed=0)
+        result = Campaign(config=config, seed=0).run(0)
+        assert result.iterations == 0
+        assert result.unique_signatures == 0
+        assert result.signature_counts == {}
+
+    def test_coverage_summary_handles_empty_campaign(self):
+        config = TestConfig(threads=2, ops_per_thread=6, addresses=2,
+                            seed=0)
+        summary = coverage_summary(Campaign(config=config, seed=0).run(0))
+        assert summary.unique_fraction == 0.0
+        assert summary.space_fraction == 0.0
+        assert summary.next_new_probability == 1.0
+        assert not summary.saturated
+
+
+class TestEmptySignatureStream:
+    def test_saturation_curve_of_nothing(self):
+        assert saturation_curve([]) == []
+
+    def test_discovery_rate_of_nothing(self):
+        assert discovery_rate([]) == 0.0
+        assert discovery_rate([1]) == 1.0
+
+    def test_wordless_signature_key(self):
+        # regression: max() over an empty generator used to raise
+        signature = Signature(words=())
+        assert signature.interleaved_key() == ()

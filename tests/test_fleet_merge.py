@@ -7,7 +7,7 @@ from repro.fleet import merge_campaign_results
 from repro.harness import Campaign
 from repro.harness.runner import CampaignResult
 from repro.instrument import SignatureCodec
-from repro.testgen import TestConfig, generate
+from repro.testgen import TestConfig
 
 
 @pytest.fixture

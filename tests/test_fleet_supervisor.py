@@ -8,8 +8,6 @@ campaigns in every test.
 import os
 import time
 
-import pytest
-
 from repro import obs
 from repro.fleet import FleetConfig, FleetSupervisor, WorkerTask
 from repro.fleet.supervisor import ShardOutcome

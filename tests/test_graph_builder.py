@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import CheckerError
-from repro.graph import FR, PO, RF, WS, GraphBuilder, topological_sort
+from repro.graph import FR, RF, GraphBuilder, topological_sort
 from repro.isa import INIT, TestProgram, load, store
 from repro.mcm import SC, TSO, WEAK
 from repro.sim import OperationalExecutor

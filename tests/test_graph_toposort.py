@@ -1,7 +1,6 @@
 """Unit + property tests for topological sorting and cycle extraction."""
 
 import networkx as nx
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graph import find_cycle, topological_sort

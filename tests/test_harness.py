@@ -10,7 +10,7 @@ from repro.harness import (
     run_and_check,
 )
 from repro.sim.detailed import DetailedExecutor
-from repro.testgen import TestConfig, generate
+from repro.testgen import TestConfig
 
 
 @pytest.fixture

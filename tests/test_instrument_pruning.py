@@ -10,7 +10,6 @@ from repro.instrument import (
     regularize,
 )
 from repro.instrument.weights import build_weight_tables
-from repro.isa import INIT
 from repro.sim import OperationalExecutor
 from repro.mcm import WEAK
 from repro.testgen import TestConfig, generate

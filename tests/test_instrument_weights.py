@@ -5,7 +5,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import SignatureError
 from repro.instrument import SignatureCodec, build_weight_tables, candidate_sources
-from repro.isa import INIT
 from repro.testgen import TestConfig, generate
 
 

@@ -7,7 +7,7 @@ from repro.analysis import uniqueness
 from repro.harness import Campaign, run_and_check
 from repro.instrument import intrusiveness
 from repro.checker.results import describe_cycle
-from repro.graph import GraphBuilder, find_cycle
+from repro.graph import GraphBuilder
 from repro.mcm import TSO
 from repro.sim.detailed import DetailedExecutor
 from repro.sim.faults import Bug, FaultConfig

@@ -1,0 +1,201 @@
+"""The lint gate end-to-end: harness, suite, fleet, io, obs, CLI."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.harness import Campaign, SuiteRunner
+from repro.io import dump_campaign, load_campaign
+from repro.isa import TestProgram, load, store
+from repro.lint import LintGateError, LintReport, gate_iterations
+from repro.lint.rules import finding
+from repro.testgen import TestConfig
+
+
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    yield
+    obs.disable()
+
+
+#: single-thread config — every generated test is statically zero-entropy
+ZERO_ENTROPY = TestConfig(threads=1, ops_per_thread=6, addresses=2, seed=1)
+NORMAL = TestConfig(threads=2, ops_per_thread=10, addresses=4, seed=7)
+
+
+def _error_report():
+    report = LintReport("bad")
+    report.cardinality = 4
+    report.add(finding("MTC003", "duplicate"))
+    return report
+
+
+def _zero_entropy_report():
+    report = LintReport("flat")
+    report.cardinality = 1
+    return report
+
+
+class TestGateIterations:
+    def test_off_policy_never_lints(self):
+        decision = gate_iterations(_error_report(), None, 100)
+        assert (decision.run_iterations, decision.skipped_iterations) \
+            == (100, 0)
+        decision = gate_iterations(_error_report(), "off", 100)
+        assert decision.run_iterations == 100
+
+    def test_skip_on_errors_skips_everything(self):
+        decision = gate_iterations(_error_report(), "skip", 100)
+        assert (decision.run_iterations, decision.skipped_iterations) \
+            == (0, 100)
+        assert "MTC003" in decision.reason
+
+    def test_fail_on_errors_raises(self):
+        with pytest.raises(LintGateError, match="MTC003"):
+            gate_iterations(_error_report(), "fail", 100)
+
+    def test_zero_entropy_runs_once(self):
+        for policy in ("skip", "fail"):
+            decision = gate_iterations(_zero_entropy_report(), policy, 100)
+            assert (decision.run_iterations, decision.skipped_iterations) \
+                == (1, 99)
+
+    def test_clean_report_runs_everything(self):
+        report = LintReport("ok")
+        report.cardinality = 8
+        decision = gate_iterations(report, "skip", 100)
+        assert not decision.skipped
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown lint policy"):
+            gate_iterations(_zero_entropy_report(), "maybe", 10)
+
+
+class TestCampaignGate:
+    def test_zero_entropy_campaign_trimmed(self):
+        result = Campaign(config=ZERO_ENTROPY, seed=0).run(50, lint="skip")
+        assert result.iterations == 1
+        assert result.skipped_iterations == 49
+        assert result.unique_signatures == 1
+
+    def test_multiset_unchanged_for_healthy_test(self):
+        plain = Campaign(config=NORMAL, seed=0).run(40)
+        gated = Campaign(config=NORMAL, seed=0).run(40, lint="skip")
+        assert plain.signature_counts == gated.signature_counts
+        assert gated.skipped_iterations == 0
+
+    def test_fail_policy_raises_on_corrupt_program(self):
+        program = TestProgram.from_ops(
+            [[store(0, 0, 0, 1), load(0, 1, 0)],
+             [store(1, 0, 0, 2)]], num_addresses=1)
+        # corrupt after construction: duplicate store ID
+        from repro.isa.instructions import Operation
+        tp = program.threads[1]
+        tp.ops = [Operation(op.kind, op.thread, op.index, addr=op.addr,
+                            value=1, uid=op.uid) for op in tp.ops]
+        program._index()
+        campaign = Campaign(program=program, config=None, seed=0)
+        with pytest.raises(LintGateError, match="MTC003"):
+            campaign.run(10, lint="fail")
+        # skip policy runs zero iterations instead
+        result = campaign.run(10, lint="skip")
+        assert result.iterations == 0
+        assert result.skipped_iterations == 10
+
+    def test_skip_counts_in_obs_report(self):
+        with obs.enabled_obs() as handle:
+            Campaign(config=ZERO_ENTROPY, seed=0).run(50, lint="skip")
+            snap = handle.metrics.snapshot()
+        assert snap["lint.skipped_iterations"]["value"] == 49
+        assert snap["lint.zero_entropy_tests"]["value"] == 1
+        assert snap["lint.skipped_tests"]["value"] == 1
+
+    def test_fleet_gate_matches_serial(self):
+        serial = Campaign(config=ZERO_ENTROPY, seed=0).run(30, lint="skip")
+        fleet = Campaign(config=ZERO_ENTROPY, seed=0).run(
+            30, jobs=2, lint="skip")
+        assert fleet.skipped_iterations == serial.skipped_iterations == 29
+        assert fleet.signature_counts == serial.signature_counts
+
+
+class TestSuiteGate:
+    def test_serial_suite_skips_zero_entropy_tests(self):
+        stats = SuiteRunner(ZERO_ENTROPY, tests=3, iterations=20,
+                            lint="skip").run(seed=0)
+        assert stats.skipped_tests == 3
+        assert stats.skipped_iterations == 3 * 19
+
+    def test_fleet_suite_skips_zero_entropy_tests(self):
+        stats = SuiteRunner(ZERO_ENTROPY, tests=2, iterations=20, jobs=2,
+                            lint="skip").run(seed=0)
+        assert stats.skipped_tests == 2
+        assert stats.skipped_iterations == 2 * 19
+
+    def test_unlinted_suite_reports_no_skips(self):
+        stats = SuiteRunner(NORMAL, tests=2, iterations=10).run(seed=0)
+        assert stats.skipped_tests == 0
+        assert stats.skipped_iterations == 0
+
+
+class TestIoRoundTrip:
+    def test_skipped_iterations_survive_dump_load(self):
+        result = Campaign(config=ZERO_ENTROPY, seed=0).run(50, lint="skip")
+        assert load_campaign(dump_campaign(result)).skipped_iterations == 49
+
+    def test_unskipped_dump_is_unchanged(self):
+        result = Campaign(config=NORMAL, seed=0).run(10)
+        assert "skipped_iterations" not in dump_campaign(result)
+
+
+class TestLintCli:
+    def test_lint_clean_suite_exits_zero(self, capsys):
+        assert main(["lint", "--threads", "2", "--ops", "10",
+                     "--addresses", "4", "--seed", "3"]) == 0
+        assert "linted 1 program" in capsys.readouterr().out
+
+    def test_lint_fail_on_info_flags_findings(self, capsys):
+        # healthy generated programs still have info findings (MTC013)
+        code = main(["lint", "--threads", "2", "--ops", "10",
+                     "--addresses", "4", "--seed", "3",
+                     "--fail-on", "info"])
+        assert code == 1
+
+    def test_lint_fail_on_never_always_passes(self):
+        assert main(["lint", "--threads", "2", "--ops", "10",
+                     "--addresses", "4", "--seed", "3",
+                     "--fail-on", "never"]) == 0
+
+    def test_lint_json_document(self, capsys):
+        assert main(["lint", "--tests", "2", "--threads", "2", "--ops",
+                     "10", "--addresses", "4", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["programs"] == 2
+        assert len(doc["reports"]) == 2
+        assert all("findings" in r for r in doc["reports"])
+
+    def test_lint_rules_reference(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        assert "MTC001" in out and "MTC033" in out
+
+    def test_lint_input_file(self, capsys, tmp_path):
+        main(["generate", "--threads", "2", "--ops", "8",
+              "--addresses", "4", "--seed", "5"])
+        path = tmp_path / "prog.s"
+        path.write_text(capsys.readouterr().out)
+        assert main(["lint", "--input", str(path)]) == 0
+
+    def test_run_with_lint_skip(self, capsys):
+        assert main(["run", "--threads", "1", "--ops", "6",
+                     "--addresses", "2", "--seed", "1",
+                     "--iterations", "50", "--lint", "skip"]) == 0
+        assert "49 statically skipped" in capsys.readouterr().out
+
+    def test_suite_with_lint_skip_reports_skips(self, capsys):
+        assert main(["suite", "--threads", "1", "--ops", "6",
+                     "--addresses", "2", "--seed", "1", "--tests", "2",
+                     "--iterations", "20", "--lint", "skip"]) == 0
+        out = capsys.readouterr().out
+        assert "lint-skipped tests" in out

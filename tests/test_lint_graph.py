@@ -1,0 +1,87 @@
+"""Constraint-graph lints: po skeleton, candidates, closure (MTC03x)."""
+
+from repro.instrument import candidate_sources
+from repro.isa import TestProgram, load, store
+from repro.lint.graph_lints import (
+    canonical_assignment,
+    lint_candidates_against_po,
+    lint_canonical_closure,
+    lint_po_skeleton,
+)
+from repro.mcm import SC, TSO, WEAK, get_model
+from repro.mcm.model import MemoryModel
+
+
+class _SelfLoopModel(MemoryModel):
+    """A deliberately broken model emitting a self edge."""
+
+    name = "selfloop"
+
+    def orders(self, earlier, later):
+        return False
+
+    def ppo_edges(self, thread_program):
+        for op in thread_program.ops:
+            yield op.uid, op.uid
+
+
+class TestPoSkeleton:
+    def test_real_models_are_clean(self, figure3_program):
+        for model in (SC, TSO, WEAK):
+            assert not lint_po_skeleton(figure3_program, model)
+
+    def test_self_loop_is_mtc030(self, figure3_program):
+        findings = lint_po_skeleton(figure3_program, _SelfLoopModel())
+        assert findings
+        assert all(f.rule == "MTC030" for f in findings)
+
+
+class TestCandidatesAgainstPo:
+    def test_healthy_candidates_are_clean(self, figure3_program):
+        candidates = candidate_sources(figure3_program)
+        assert not lint_candidates_against_po(figure3_program, candidates)
+
+    def test_later_local_store_is_mtc032(self, figure3_program):
+        candidates = candidate_sources(figure3_program)
+        # t0: op1 is a load of addr 0, op3 a *later* local store to it
+        candidates[1].append(3)
+        findings = lint_candidates_against_po(figure3_program, candidates)
+        assert [f for f in findings if f.rule == "MTC032"
+                and "after" in f.message]
+
+    def test_stale_local_store_is_mtc032(self):
+        program = TestProgram.from_ops(
+            [[store(0, 0, 0, 1), store(0, 1, 0, 2), load(0, 2, 0)],
+             [load(1, 0, 0)]], num_addresses=1)
+        candidates = candidate_sources(program)
+        # the load's only legal local source is op1; op0 is stale
+        candidates[2].append(0)
+        findings = lint_candidates_against_po(program, candidates)
+        assert [f for f in findings if f.rule == "MTC032"
+                and "stale" in f.message]
+
+
+class TestCanonicalClosure:
+    def test_canonical_assignment_takes_local_sources(self, figure3_program):
+        candidates = candidate_sources(figure3_program)
+        rf = canonical_assignment(candidates)
+        for uid, source in rf.items():
+            assert source == candidates[uid][0]
+
+    def test_figure3_is_acyclic_under_all_models(self, figure3_program):
+        candidates = candidate_sources(figure3_program)
+        for name in ("sc", "tso", "weak"):
+            assert not lint_canonical_closure(
+                figure3_program, get_model(name), candidates)
+
+    def test_store_buffering_fires_under_sc(self):
+        # the classic SB pattern: canonical (all-INIT loads) execution is
+        # exactly the outcome SC forbids
+        program = TestProgram.from_ops(
+            [[store(0, 0, 0, 1), load(0, 1, 1)],
+             [store(1, 0, 1, 2), load(1, 1, 0)]], num_addresses=2)
+        candidates = candidate_sources(program)
+        findings = lint_canonical_closure(program, SC, candidates)
+        assert [f.rule for f in findings] == ["MTC033"]
+        # ... and is perfectly legal under TSO
+        assert not lint_canonical_closure(program, TSO, candidates)

@@ -1,0 +1,134 @@
+"""Program-structure lints: stores, loads, fences, layout (MTC00x)."""
+
+from repro.instrument import candidate_sources
+from repro.isa import MemoryLayout, TestProgram, barrier, load, store
+from repro.isa.instructions import INIT_VALUE, Operation
+from repro.isa.layout import LINE_BYTES
+from repro.lint import lint_program
+from repro.lint.program_lints import (
+    lint_fences,
+    lint_loads,
+    lint_signature_region,
+    lint_stores,
+)
+
+
+def _mutate_store_value(program: TestProgram, uid: int, value: int) -> None:
+    """Corrupt a store's ID the way a buggy deserializer might."""
+    for tp in program.threads:
+        tp.ops = [
+            Operation(op.kind, op.thread, op.index, addr=op.addr,
+                      value=value, uid=op.uid)
+            if op.uid == uid else op
+            for op in tp.ops
+        ]
+    program._index()
+
+
+class TestStores:
+    def test_figure3_has_no_dead_stores(self, figure3_program):
+        candidates = candidate_sources(figure3_program)
+        findings = lint_stores(figure3_program, candidates)
+        assert not [f for f in findings if f.rule == "MTC001"]
+
+    def test_unobservable_store_is_dead(self):
+        # t0 stores to addr 1 which no thread ever loads
+        program = TestProgram.from_ops(
+            [[store(0, 0, 0, 1), store(0, 1, 1, 2)],
+             [load(1, 0, 0)]], num_addresses=2)
+        findings = lint_stores(program, candidate_sources(program))
+        dead = [f for f in findings if f.rule == "MTC001"]
+        assert [f.uid for f in dead] == [1]
+
+    def test_local_shadowed_store_is_dead(self):
+        # t0's first store to addr 0 is shadowed by its second before the
+        # only load; no other thread loads addr 0
+        program = TestProgram.from_ops(
+            [[store(0, 0, 0, 1), store(0, 1, 0, 2), load(0, 2, 0)]],
+            num_addresses=1)
+        findings = lint_stores(program, candidate_sources(program))
+        assert [f.uid for f in findings if f.rule == "MTC001"] == [0]
+
+    def test_duplicate_store_id_detected(self, figure3_program):
+        _mutate_store_value(figure3_program, 4, 1)   # same ID as op0
+        findings = lint_stores(figure3_program,
+                               candidate_sources(figure3_program))
+        assert [f for f in findings if f.rule == "MTC003"]
+
+    def test_reserved_store_id_detected(self, figure3_program):
+        _mutate_store_value(figure3_program, 0, INIT_VALUE)
+        findings = lint_stores(figure3_program,
+                               candidate_sources(figure3_program))
+        assert [f for f in findings if f.rule == "MTC004"]
+
+
+class TestLoads:
+    def test_healthy_loads_have_candidates(self, figure3_program):
+        assert not lint_loads(figure3_program,
+                              candidate_sources(figure3_program))
+
+    def test_missing_candidate_entry_flags_load(self, figure3_program):
+        candidates = candidate_sources(figure3_program)
+        first_load = figure3_program.loads[0]
+        candidates[first_load.uid] = []
+        findings = lint_loads(figure3_program, candidates)
+        assert [f.uid for f in findings if f.rule == "MTC002"] \
+            == [first_load.uid]
+
+
+class TestFences:
+    def test_back_to_back_barriers(self):
+        program = TestProgram.from_ops(
+            [[store(0, 0, 0, 1), barrier(0, 1), barrier(0, 2),
+              load(0, 3, 0)]], num_addresses=1)
+        findings = lint_fences(program)
+        assert [f for f in findings if f.rule == "MTC007"]
+
+    def test_boundary_barriers_are_info(self):
+        program = TestProgram.from_ops(
+            [[barrier(0, 0), store(0, 1, 0, 1), load(0, 2, 0),
+              barrier(0, 3)]], num_addresses=1)
+        findings = lint_fences(program)
+        assert len([f for f in findings if f.rule == "MTC008"]) == 2
+
+    def test_interior_single_barrier_is_clean(self):
+        program = TestProgram.from_ops(
+            [[store(0, 0, 0, 1), barrier(0, 1), load(0, 2, 0)]],
+            num_addresses=1)
+        assert not lint_fences(program)
+
+
+class TestSignatureRegion:
+    def test_default_placement_is_clean_without_false_sharing(self):
+        layout = MemoryLayout(8, words_per_line=1)
+        assert not lint_signature_region(layout, total_words=4)
+
+    def test_collision_when_region_overlaps_test_words(self):
+        layout = MemoryLayout(8, words_per_line=1)
+        findings = lint_signature_region(layout, total_words=4, base=6)
+        assert [f for f in findings if f.rule == "MTC005"]
+
+    def test_false_sharing_when_lines_span_the_boundary(self):
+        # 4 words per line, 6 test words: line 1 holds words 4..7, so
+        # signature words starting at 6 share it
+        layout = MemoryLayout(6, words_per_line=4)
+        findings = lint_signature_region(layout, total_words=2)
+        shared = [f for f in findings if f.rule == "MTC006"]
+        assert shared and str(LINE_BYTES) in shared[0].message
+
+    def test_aligned_region_avoids_false_sharing(self):
+        layout = MemoryLayout(8, words_per_line=4)   # 2 full lines
+        assert not lint_signature_region(layout, total_words=4)
+
+
+class TestEndToEnd:
+    def test_generated_program_reports_no_errors(self, small_program,
+                                                 small_config):
+        report = lint_program(small_program, config=small_config)
+        assert not report.errors
+
+    def test_corrupted_program_fails_lint(self, figure3_program):
+        _mutate_store_value(figure3_program, 4, 1)
+        report = lint_program(figure3_program, register_width=32)
+        assert report.count("MTC003") >= 1
+        assert report.errors

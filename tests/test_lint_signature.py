@@ -1,0 +1,95 @@
+"""Signature-space analysis: weight-table recomputation (MTC01x)."""
+
+import dataclasses
+
+from repro.instrument import SignatureCodec
+from repro.isa import TestProgram, load, store
+from repro.lint.signature_lints import (
+    is_zero_entropy,
+    lint_weight_tables,
+    static_cardinality,
+)
+
+
+def _corrupt_slot(codec, table_index=0, slot_index=0, **changes):
+    table = codec.tables[table_index]
+    table.slots[slot_index] = dataclasses.replace(
+        table.slots[slot_index], **changes)
+
+
+class TestCardinality:
+    def test_matches_codec_product(self, figure3_program):
+        codec = SignatureCodec(figure3_program, 32)
+        assert static_cardinality(codec) == codec.cardinality
+
+    def test_zero_entropy_single_thread(self):
+        program = TestProgram.from_ops(
+            [[store(0, 0, 0, 1), load(0, 1, 0)]], num_addresses=1)
+        codec = SignatureCodec(program, 32)
+        assert static_cardinality(codec) == 1
+        assert is_zero_entropy(codec)
+
+    def test_figure3_is_not_zero_entropy(self, figure3_program):
+        assert not is_zero_entropy(SignatureCodec(figure3_program, 32))
+
+
+class TestWeightTableRecomputation:
+    def test_healthy_tables_pass(self, figure3_program, small_codec,
+                                 small_program):
+        codec = SignatureCodec(figure3_program, 32)
+        findings = lint_weight_tables(figure3_program, codec)
+        assert not [f for f in findings if f.severity >= 30]
+        findings = lint_weight_tables(small_program, small_codec)
+        assert not [f for f in findings if f.severity >= 30]
+
+    def test_corrupted_multiplier_is_mtc011(self, figure3_program):
+        codec = SignatureCodec(figure3_program, 32)
+        original = codec.tables[1].slots[0].multiplier
+        _corrupt_slot(codec, 1, 0, multiplier=original * 3 + 1)
+        findings = lint_weight_tables(figure3_program, codec)
+        assert [f for f in findings if f.rule == "MTC011"]
+
+    def test_corrupted_word_is_mtc011(self, figure3_program):
+        codec = SignatureCodec(figure3_program, 32)
+        _corrupt_slot(codec, 0, 0, word=5)
+        findings = lint_weight_tables(figure3_program, codec)
+        assert [f for f in findings if f.rule == "MTC011"]
+
+    def test_reordered_candidates_are_mtc011(self, figure3_program):
+        codec = SignatureCodec(figure3_program, 32)
+        slot = codec.tables[0].slots[0]
+        _corrupt_slot(codec, 0, 0,
+                      candidates=tuple(reversed(slot.candidates)))
+        findings = lint_weight_tables(figure3_program, codec)
+        assert [f for f in findings if f.rule == "MTC011"]
+
+    def test_dropped_slot_is_mtc011(self, figure3_program):
+        codec = SignatureCodec(figure3_program, 32)
+        del codec.tables[0].slots[0]
+        findings = lint_weight_tables(figure3_program, codec)
+        assert [f for f in findings if f.rule == "MTC011"]
+
+    def test_word_spill_is_flagged_info(self):
+        # 4 candidates per load, 2-bit register: every load spills
+        program = TestProgram.from_ops(
+            [[load(0, 0, 0), load(0, 1, 0)],
+             [store(1, 0, 0, 1), store(1, 1, 0, 2), store(1, 2, 0, 3)]],
+            num_addresses=1)
+        codec = SignatureCodec(program, 2)
+        findings = lint_weight_tables(program, codec)
+        assert [f for f in findings if f.rule == "MTC012"]
+        assert not [f for f in findings if f.rule == "MTC011"]
+
+    def test_single_candidate_load_is_mtc013(self):
+        program = TestProgram.from_ops(
+            [[store(0, 0, 0, 1), load(0, 1, 0)]], num_addresses=1)
+        codec = SignatureCodec(program, 32)
+        findings = lint_weight_tables(program, codec)
+        assert [f for f in findings if f.rule == "MTC013"]
+
+    def test_zero_entropy_is_mtc010(self):
+        program = TestProgram.from_ops(
+            [[store(0, 0, 0, 1), load(0, 1, 0)]], num_addresses=1)
+        codec = SignatureCodec(program, 32)
+        findings = lint_weight_tables(program, codec)
+        assert [f for f in findings if f.rule == "MTC010"]

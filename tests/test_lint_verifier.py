@@ -1,0 +1,118 @@
+"""Instrumentation verifier: abstract chain interpretation (MTC02x)."""
+
+import re
+
+from repro.instrument import SignatureCodec, emit_listing
+from repro.lint.verifier import parse_listing, verify_instrumentation
+
+
+class TestParseListing:
+    def test_round_trips_figure3_structure(self, figure3_program):
+        codec = SignatureCodec(figure3_program, 32)
+        threads = parse_listing(emit_listing(figure3_program, codec))
+        assert len(threads) == figure3_program.num_threads
+        for tc, tp in zip(threads, figure3_program.threads):
+            assert len(tc.chains) == len(tp.loads)
+            assert tc.num_words == codec.tables[tc.thread].num_words
+            assert all(chain.has_assert for chain in tc.chains)
+
+    def test_arm_values_match_candidate_count(self, figure3_program):
+        codec = SignatureCodec(figure3_program, 32)
+        threads = parse_listing(emit_listing(figure3_program, codec))
+        for tc, tp in zip(threads, figure3_program.threads):
+            for chain, op in zip(tc.chains, tp.loads):
+                assert len(chain.arms) == len(codec.candidates[op.uid])
+
+
+class TestVerify:
+    def test_healthy_program_verifies_exhaustively(self, figure3_program):
+        codec = SignatureCodec(figure3_program, 32)
+        findings, checked, exhaustive = verify_instrumentation(
+            figure3_program, codec)
+        assert not findings
+        assert exhaustive
+        assert checked == codec.cardinality
+
+    def test_large_program_falls_back_to_sampling(self, small_program,
+                                                  small_codec):
+        findings, checked, exhaustive = verify_instrumentation(
+            small_program, small_codec, exhaustive_limit=16, samples=10)
+        assert not [f for f in findings if f.rule == "MTC020"]
+        assert not exhaustive
+        assert checked == 10
+
+    def test_sampling_is_seed_deterministic(self, small_program,
+                                            small_codec):
+        runs = [verify_instrumentation(small_program, small_codec,
+                                       exhaustive_limit=1, samples=8,
+                                       seed=42)[1] for _ in range(2)]
+        assert runs[0] == runs[1]
+
+    def test_tampered_weight_is_mtc020(self, figure3_program):
+        codec = SignatureCodec(figure3_program, 32)
+        listing = emit_listing(figure3_program, codec)
+        tampered = re.sub(r"\+= 2\b", "+= 9", listing, count=1)
+        assert tampered != listing
+        findings, _, _ = verify_instrumentation(
+            figure3_program, codec, listing=tampered)
+        assert [f for f in findings if f.rule == "MTC020"]
+
+    def test_missing_arm_is_mtc021(self, figure3_program):
+        codec = SignatureCodec(figure3_program, 32)
+        lines = emit_listing(figure3_program, codec).splitlines()
+        # drop the first compare arm; the next line's 'else if' keeps the
+        # chain parseable but the dropped value now falls to the assert
+        for i, line in enumerate(lines):
+            if re.match(r"^    if \(value==", line):
+                del lines[i]
+                lines[i] = lines[i].replace("else if", "if", 1)
+                break
+        findings, _, _ = verify_instrumentation(
+            figure3_program, codec, listing="\n".join(lines))
+        assert [f for f in findings if f.rule == "MTC021"]
+
+    def test_duplicate_arm_is_mtc022(self, figure3_program):
+        codec = SignatureCodec(figure3_program, 32)
+        lines = emit_listing(figure3_program, codec).splitlines()
+        for i, line in enumerate(lines):
+            m = re.match(r"^    if \(value==(\d+)\)", line)
+            if m:
+                dup = line.replace("if (value==%s)" % m.group(1),
+                                   "else if (value==%s)" % m.group(1))
+                lines.insert(i + 1, dup)
+                break
+        findings, _, _ = verify_instrumentation(
+            figure3_program, codec, listing="\n".join(lines))
+        assert [f for f in findings if f.rule == "MTC022"]
+
+    def test_wrong_thread_count_is_mtc020(self, figure3_program):
+        codec = SignatureCodec(figure3_program, 32)
+        listing = emit_listing(figure3_program, codec)
+        truncated = listing.split("thread 2:")[0]
+        findings, checked, _ = verify_instrumentation(
+            figure3_program, codec, listing=truncated)
+        assert [f for f in findings if f.rule == "MTC020"]
+        assert checked == 0
+
+    def test_desync_against_foreign_codec_listing(self, figure3_program):
+        """A listing emitted for a different codec (here: a 2-bit register
+        whose word splits differ) must not verify against this codec."""
+        codec = SignatureCodec(figure3_program, 32)
+        foreign = SignatureCodec(figure3_program, 2)
+        assert foreign.total_words != codec.total_words
+        findings, _, _ = verify_instrumentation(
+            figure3_program, codec,
+            listing=emit_listing(figure3_program, foreign))
+        assert [f for f in findings if f.rule == "MTC020"]
+
+    def test_mismatch_reports_are_capped(self, figure3_program):
+        codec = SignatureCodec(figure3_program, 32)
+        listing = emit_listing(figure3_program, codec)
+        tampered = re.sub(r"\+= (\d+)\b",
+                          lambda m: "+= %d" % (int(m.group(1)) + 100),
+                          listing)
+        findings, _, _ = verify_instrumentation(
+            figure3_program, codec, listing=tampered, max_reports=3)
+        mismatches = [f for f in findings if f.rule == "MTC020"]
+        assert len(mismatches) <= 4     # 3 + the suppression summary
+        assert any("suppressed" in f.message for f in mismatches)

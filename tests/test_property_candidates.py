@@ -1,0 +1,98 @@
+"""Randomized property tests for candidate analysis and weight tables.
+
+Two invariants the paper's correctness rests on:
+
+* static pruning may only *remove* candidates — every pruned candidate
+  set is a subset of the unpruned one, in the same canonical order;
+* pruned weight tables still round-trip: any reads-from assignment drawn
+  from the pruned candidate sets encodes to signature words that decode
+  back to the same assignment.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.instrument import (
+    build_weight_tables,
+    candidate_sources,
+    pruned_candidate_sources,
+    regularize,
+)
+from repro.testgen import TestConfig, generate
+
+
+@st.composite
+def regularized_program(draw):
+    config = TestConfig(
+        threads=draw(st.integers(min_value=1, max_value=4)),
+        ops_per_thread=draw(st.integers(min_value=2, max_value=24)),
+        addresses=draw(st.integers(min_value=1, max_value=6)),
+        seed=draw(st.integers(min_value=0, max_value=2**16)),
+    )
+    epoch = draw(st.integers(min_value=1, max_value=8))
+    return regularize(generate(config), epoch)
+
+
+class TestPruningIsSubset:
+    @given(regularized_program())
+    @settings(max_examples=60, deadline=None)
+    def test_pruned_candidates_subset_of_unpruned(self, program):
+        full = candidate_sources(program)
+        pruned = pruned_candidate_sources(program)
+        assert set(pruned) == set(full)    # same loads analyzed
+        for uid, sources in pruned.items():
+            assert set(sources) <= set(full[uid])
+
+    @given(regularized_program())
+    @settings(max_examples=60, deadline=None)
+    def test_pruned_candidates_keep_canonical_order(self, program):
+        full = candidate_sources(program)
+        pruned = pruned_candidate_sources(program)
+        for uid, sources in pruned.items():
+            # no duplicates, and the surviving candidates appear in the
+            # same relative order as the unpruned canonical list
+            assert len(sources) == len(set(sources))
+            positions = [full[uid].index(s) for s in sources]
+            assert positions == sorted(positions)
+
+    @given(regularized_program())
+    @settings(max_examples=60, deadline=None)
+    def test_every_load_keeps_at_least_one_candidate(self, program):
+        for sources in pruned_candidate_sources(program).values():
+            assert sources
+
+
+class TestPrunedTablesRoundTrip:
+    # width 8 is the floor: a 2-bit register cannot represent loads with
+    # more than 4 candidates and build_weight_tables rejects them
+    @given(regularized_program(),
+           st.integers(min_value=0, max_value=2**16),
+           st.sampled_from([8, 32, 64]))
+    @settings(max_examples=40, deadline=None)
+    def test_encode_decode_round_trip(self, program, seed, width):
+        pruned = pruned_candidate_sources(program)
+        tables = build_weight_tables(program, width, pruned)
+        rng = random.Random(seed)
+        for _ in range(4):
+            rf = {uid: rng.choice(sources)
+                  for uid, sources in pruned.items()}
+            for table in tables:
+                words = table.encode(rf)
+                decoded = table.decode(words)
+                expected = {uid: rf[uid] for uid in decoded}
+                assert decoded == expected
+
+    @given(regularized_program(), st.sampled_from([8, 32, 64]))
+    @settings(max_examples=40, deadline=None)
+    def test_cardinality_shrinks_or_holds(self, program, width):
+        full_tables = build_weight_tables(program, width)
+        pruned_tables = build_weight_tables(
+            program, width, pruned_candidate_sources(program))
+        full = 1
+        for t in full_tables:
+            full *= t.cardinality
+        pruned = 1
+        for t in pruned_tables:
+            pruned *= t.cardinality
+        assert 1 <= pruned <= full

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ExecutionError
 from repro.instrument import SignatureCodec
-from repro.isa import INIT, MemoryLayout, TestProgram, barrier, load, store
+from repro.isa import INIT, TestProgram, barrier, load, store
 from repro.mcm import SC, TSO, WEAK
 from repro.sim import ARM_BIG_LITTLE, OperationalExecutor, X86_DESKTOP
 from repro.testgen import TestConfig, generate

@@ -1,7 +1,5 @@
 """Unit tests for the constrained-random generator."""
 
-from collections import Counter
-
 from repro.testgen import TestConfig, generate, generate_suite
 
 
