@@ -7,12 +7,30 @@ per-graph topological sort.  Reports normalized time and the absolute
 milliseconds (the in-bar numbers of Figure 9), plus the computation proxy
 (vertices fed to Kahn's algorithm).
 
+The delta column times the streaming pipeline over the same campaigns:
+``CollectiveChecker.check_deltas`` over a :class:`SignatureDeltaSource`
+never materializes more than one full graph — signatures are decoded
+incrementally (changed digits only) and edge deltas come from the
+builder's per-load tables.  Verdicts are asserted byte-identical to the
+legacy column; the deterministic work counts land in
+``benchmarks/results/BENCH_delta.json``.
+
 The paper reports an 81% average reduction (9.4%-44.9% of conventional).
 """
 
+import json
+import pathlib
+import time
+
 from conftest import campaign_graphs, obs_off, record_table
 from repro import obs
-from repro.checker import BaselineChecker, CollectiveChecker
+from repro.checker import (
+    BaselineChecker,
+    CollectiveChecker,
+    SignatureDeltaSource,
+)
+from repro.graph import GraphBuilder
+from repro.graph.toposort import topological_sort
 from repro.harness import format_table
 from repro.testgen import paper_config
 
@@ -23,47 +41,177 @@ _CONFIGS = [
     "x86-4-50-64", "x86-4-100-64",
 ]
 _ITERS = 600
+_DELTA_SNAPSHOT = pathlib.Path(__file__).parent / "results" / "BENCH_delta.json"
+
+
+def _delta_source(campaign, result):
+    builder = GraphBuilder(campaign.program, campaign.model, ws_mode="static")
+    return SignatureDeltaSource(campaign.codec, builder,
+                                result.sorted_signatures())
+
+
+def _best_of(fn, *args, repeats=3):
+    """Re-run a checker a few times; keep the fastest report.
+
+    Counters are recorded separately (one obs-enabled run); wall-clock
+    rows use the minimum so sub-millisecond configs are not noise-bound.
+    """
+    best = None
+    for _ in range(repeats):
+        report = obs_off(fn)(*args)
+        if best is None or report.elapsed < best.elapsed:
+            best = report
+    return best
 
 
 def _checking_rows():
     rows = []
+    snapshot = {}
     sample = None
     for name in _CONFIGS:
         cfg = paper_config(name)
-        _, result, graphs = campaign_graphs(cfg, iterations=_ITERS, seed=31)
+        campaign, result, graphs = campaign_graphs(cfg, iterations=_ITERS,
+                                                   seed=31)
+        source = _delta_source(campaign, result)
+        # one obs-enabled pass records the deterministic counters (and
+        # warms the per-load edge table exactly once)
         with obs.enabled_obs() as handle:
             collective = CollectiveChecker().check(graphs)
+            delta = CollectiveChecker().check_deltas(source)
             baseline = BaselineChecker().check(graphs)
+        assert delta.summary() == collective.summary()
         assert [v.violation for v in collective.verdicts] == \
                [v.violation for v in baseline.verdicts]
-        # the computation proxy comes from the checkers' registry counters
+        # the computation proxy comes from the checkers' registry counters;
+        # both collective pipelines recorded under checker.collective, so
+        # halve the shared counter and cross-check the delta-only one
         metrics = handle.metrics
-        collective_vertices = metrics.counter("checker.collective.sorted_vertices").value
+        collective_vertices = \
+            metrics.counter("checker.collective.sorted_vertices").value // 2
         baseline_vertices = metrics.counter("checker.baseline.sorted_vertices").value
+        assert collective_vertices == collective.sorted_vertices
+        assert metrics.counter("checker.delta.digits_changed").value == \
+            delta.digits_changed
+
+        collective = _best_of(CollectiveChecker().check, graphs)
+        delta = _best_of(CollectiveChecker().check_deltas, source)
+        baseline = _best_of(BaselineChecker().check, graphs)
         rows.append([
             name, len(graphs),
-            collective.elapsed * 1e3, baseline.elapsed * 1e3,
+            collective.elapsed * 1e3, delta.elapsed * 1e3, baseline.elapsed * 1e3,
             100.0 * collective.elapsed / baseline.elapsed if baseline.elapsed else 0,
+            100.0 * delta.elapsed / baseline.elapsed if baseline.elapsed else 0,
             100.0 * collective_vertices / baseline_vertices
             if baseline_vertices else 0,
         ])
+        snapshot[name] = {
+            "graphs": delta.num_graphs,
+            "violations": len(delta.violations),
+            "sorted_vertices": delta.sorted_vertices,
+            "baseline_sorted_vertices": baseline.sorted_vertices,
+            "digits_changed": delta.digits_changed,
+            "edges_added": delta.edges_added,
+            "edges_removed": delta.edges_removed,
+            "info_ms": {"collective": round(collective.elapsed * 1e3, 3),
+                        "delta": round(delta.elapsed * 1e3, 3),
+                        "conventional": round(baseline.elapsed * 1e3, 3)},
+        }
         if name == "ARM-2-100-32":
-            sample = graphs
-    return rows, sample
+            sample = source
+    return rows, snapshot, sample
 
 
 def test_fig09_collective_checking_speedup(benchmark):
-    rows, sample = _checking_rows()
+    rows, snapshot, sample = _checking_rows()
     record_table("fig09_checking", format_table(
-        ["config", "unique graphs", "collective ms", "conventional ms",
-         "normalized time %", "normalized sorted vertices %"], rows,
+        ["config", "unique graphs", "collective ms", "delta ms",
+         "conventional ms", "normalized time %", "delta normalized %",
+         "normalized sorted vertices %"], rows,
         title="Figure 9: collective vs conventional topological sorting "
               "(%d iterations per test; paper avg: 19%% of conventional)" % _ITERS))
+    _DELTA_SNAPSHOT.parent.mkdir(exist_ok=True)
+    _DELTA_SNAPSHOT.write_text(json.dumps(
+        {"schema": "repro.bench-delta", "version": 1,
+         "iterations": _ITERS, "seed": 31, "configs": snapshot},
+        indent=2, sort_keys=True) + "\n")
 
-    mean_vertices = sum(r[5] for r in rows) / len(rows)
+    mean_vertices = sum(r[7] for r in rows) / len(rows)
     assert mean_vertices < 55.0          # a clear majority of sorting saved
-    slower = [r for r in rows if r[2] > r[3] * 1.2]
+    slower = [r for r in rows if r[2] > r[4] * 1.2]
     assert len(slower) <= 2              # wall-clock wins almost everywhere
+    # the streaming pipeline must improve on the legacy collective
+    # checker everywhere (the whole point of the delta refactor)
+    assert all(r[3] < r[2] for r in rows)
 
     checker = CollectiveChecker()
-    benchmark(obs_off(checker.check), sample)
+    benchmark(obs_off(checker.check_deltas), sample)
+
+
+def _membership_workload():
+    """Windowed re-sorts of one mid-campaign graph, as the checker issues
+    them: contiguous slices of a valid base order, sorted against the
+    full adjacency with positions as tie-breakers."""
+    campaign, result, graphs = campaign_graphs(
+        paper_config("ARM-2-100-32"), iterations=_ITERS, seed=31)
+    graph = graphs[len(graphs) // 2]
+    n = graph.num_vertices
+    order = topological_sort(range(n), graph.adjacency)
+    position = [0] * n
+    for pos, v in enumerate(order):
+        position[v] = pos
+    size = max(8, n // 4)
+    windows = [order[start:start + size]
+               for start in range(0, n - size, max(1, size // 3))]
+    return graph.adjacency, windows, position, n
+
+
+def _time_windows(adjacency, windows, position, member_for, repeats=40):
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for window in windows:
+            topological_sort(window, adjacency, key=position.__getitem__,
+                             membership=member_for(window))
+    return time.perf_counter() - start
+
+
+def test_fig09_membership_microbench(benchmark):
+    """Satellite measurement: precomputed membership vs per-call set()."""
+    adjacency, windows, position, n = _membership_workload()
+    flags = bytearray(n)
+
+    def reset(window):
+        for v in window:
+            flags[v] = 0
+
+    def flagged_run():
+        for window in windows:
+            for v in window:
+                flags[v] = 1
+            topological_sort(window, adjacency, key=position.__getitem__,
+                             membership=flags.__getitem__)
+            reset(window)
+
+    baseline_s = _time_windows(adjacency, windows, position, lambda w: None)
+    start = time.perf_counter()
+    for _ in range(40):
+        flagged_run()
+    flagged_s = time.perf_counter() - start
+    record_table("fig09_membership", format_table(
+        ["variant", "windows", "window size", "total ms"],
+        [["set(vertices) per sort", len(windows), len(windows[0]),
+          baseline_s * 1e3],
+         ["precomputed flags", len(windows), len(windows[0]),
+          flagged_s * 1e3]],
+        title="Figure 9 satellite: windowed re-sort membership test "
+              "(40 repeats over one ARM-2-100-32 graph)"))
+    # sanity: results stay identical either way
+    for window in windows:
+        for v in window:
+            flags[v] = 1
+        fast = topological_sort(window, adjacency, key=position.__getitem__,
+                                membership=flags.__getitem__)
+        reset(window)
+        assert fast == topological_sort(window, adjacency,
+                                        key=position.__getitem__)
+
+    benchmark(obs_off(flagged_run))

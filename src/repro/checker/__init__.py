@@ -2,6 +2,7 @@
 
 from repro.checker.baseline import BaselineChecker
 from repro.checker.collective import CollectiveChecker
+from repro.checker.delta import SignatureDeltaSource
 from repro.checker.minimize import MinimizedViolation, minimize_violation
 from repro.checker.results import (
     COMPLETE,
@@ -21,6 +22,7 @@ __all__ = [
     "CheckReport",
     "CollectiveChecker",
     "MinimizedViolation",
+    "SignatureDeltaSource",
     "minimize_violation",
     "Verdict",
     "describe_cycle",

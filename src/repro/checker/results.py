@@ -41,6 +41,12 @@ class CheckReport:
     #: total vertices fed to Kahn's algorithm (computation proxy)
     sorted_vertices: int = 0
     num_vertices_per_graph: int = 0
+    #: delta-pipeline accounting (zero under the legacy graphs pipeline);
+    #: deliberately excluded from summary() so the two pipelines stay
+    #: digest-comparable
+    digits_changed: int = 0
+    edges_added: int = 0
+    edges_removed: int = 0
 
     @property
     def num_graphs(self) -> int:

@@ -9,7 +9,10 @@ Commands mirror the paper's flow so each stage can run standalone:
   dump the collected signatures to JSON (the device side); ``--jobs N``
   shards the iterations over N worker processes,
 * ``check`` — load a signature dump, decode, build graphs, and run the
-  collective checker (the host side),
+  collective checker (the host side); ``--check-pipeline`` selects the
+  streaming ``delta`` pipeline (default) or the legacy ``graphs`` path
+  (``run`` and ``suite`` accept the same switch for their checking
+  stage),
 * ``suite`` — run a multi-test suite (the paper's per-configuration
   campaign), optionally sharded over ``--jobs`` workers,
 * ``merge`` — union saved campaign shard dumps into one dump (the host
@@ -128,7 +131,8 @@ def _cmd_run(args) -> int:
             seed=args.run_seed, block=args.block, os_model=bool(args.os),
             detailed=bool(args.detailed or args.bug), bug=args.bug,
             l1_lines=args.l1_lines, lint=args.lint)
-        checker = lambda: check_campaign_result(result)
+        checker = lambda: check_campaign_result(result,
+                                                pipeline=args.check_pipeline)
     else:
         extra = {}
         if args.detailed or args.bug:
@@ -145,7 +149,7 @@ def _cmd_run(args) -> int:
                             os_model=args.os or None, **extra)
         result = campaign.run(args.iterations, block=args.block,
                               lint=args.lint)
-        checker = lambda: campaign.check(result)
+        checker = lambda: campaign.check(result, pipeline=args.check_pipeline)
     summary = {"config": config.name, "iterations": result.iterations,
                "unique_signatures": result.unique_signatures,
                "crashes": result.crashes, "jobs": args.jobs,
@@ -179,7 +183,8 @@ def _cmd_check(args) -> int:
     config_model = get_model(args.model) if args.model else \
         platform_for_isa("x86" if result.codec.register_width == 64 else "arm").memory_model
     outcome = check_campaign_result(result, config_model, ws_mode=args.ws_mode,
-                                    baseline=False)
+                                    baseline=False,
+                                    pipeline=args.check_pipeline)
     report = outcome.collective
     if not args.json:
         print("checked %d unique executions under %s (%s ws): %d violations"
@@ -187,7 +192,7 @@ def _cmd_check(args) -> int:
                  len(report.violations)))
         for verdict in report.violations:
             print()
-            print(describe_cycle(result.program, outcome.graphs[verdict.index],
+            print(describe_cycle(result.program, outcome.graph_at(verdict.index),
                                  verdict.cycle))
     _emit_report(args, handle,
                  meta={"command": "check", "dump": args.dump,
@@ -202,7 +207,7 @@ def _cmd_suite(args) -> int:
     handle = repro_obs.enable() if _metrics_wanted(args) else None
     runner = SuiteRunner(config, tests=args.tests, iterations=args.iterations,
                          jobs=args.jobs, os_model=args.os or None,
-                         lint=args.lint)
+                         lint=args.lint, pipeline=args.check_pipeline)
     stats = runner.run(seed=args.run_seed)
     rows = [
         ["tests", stats.tests],
@@ -393,6 +398,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seed-block size override (default 1024); smaller "
                         "blocks spread short campaigns over more workers")
     _add_lint_argument(p)
+    _add_pipeline_argument(p)
     _add_report_arguments(p, json_flag=True)
     p.set_defaults(fn=_cmd_run)
 
@@ -406,6 +412,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="shard the suite's tests over N worker processes")
     _add_lint_argument(p)
+    _add_pipeline_argument(p)
     _add_report_arguments(p, json_flag=True)
     p.set_defaults(fn=_cmd_suite)
 
@@ -420,6 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", choices=("sc", "tso", "weak"),
                    help="memory model (default: inferred from the dump)")
     p.add_argument("--ws-mode", choices=("static", "observed"), default="static")
+    _add_pipeline_argument(p)
     _add_report_arguments(p, json_flag=True)
     p.set_defaults(fn=_cmd_check)
 
@@ -471,6 +479,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="only check the report against the schema")
     p.set_defaults(fn=_cmd_stats)
     return parser
+
+
+def _add_pipeline_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--check-pipeline", choices=("graphs", "delta"),
+                        default="delta",
+                        help="collective-checking pipeline: 'delta' "
+                             "(default) streams incremental signature "
+                             "decodes and edge deltas, never holding more "
+                             "than one full graph; 'graphs' materializes "
+                             "every constraint graph first (legacy path; "
+                             "--ws-mode observed always uses it)")
 
 
 def _add_lint_argument(parser: argparse.ArgumentParser) -> None:

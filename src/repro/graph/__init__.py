@@ -1,6 +1,7 @@
 """Constraint graphs, builders and topological sorting."""
 
 from repro.graph.builder import GraphBuilder
+from repro.graph.delta import DeltaGraphState, GraphDelta
 from repro.graph.export import to_dot, to_networkx
 from repro.graph.constraint_graph import FR, PO, RF, WS, ConstraintGraph, Edge
 from repro.graph.toposort import find_cycle, topological_sort
@@ -11,8 +12,10 @@ __all__ = [
     "RF",
     "WS",
     "ConstraintGraph",
+    "DeltaGraphState",
     "Edge",
     "GraphBuilder",
+    "GraphDelta",
     "find_cycle",
     "to_dot",
     "to_networkx",

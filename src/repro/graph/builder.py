@@ -71,6 +71,11 @@ class GraphBuilder:
                     self._first_stores.setdefault(op.addr, []).append(op.uid)
                 last_store[op.addr] = op.uid
         self.static_edges: tuple[Edge, ...] = tuple(static_edges)
+        self._static_pairs: tuple[tuple[int, int], ...] = tuple(
+            (e.src, e.dst) for e in static_edges if e.src != e.dst)
+        #: (load uid, source) -> dynamic pair tuple; filled by dynamic_edge_pairs
+        self._edge_table: dict[tuple[int, object],
+                               tuple[tuple[int, int], ...]] = {}
 
     def build(self, rf: dict[int, object], ws: dict[int, list[int]] = None) -> ConstraintGraph:
         """Build the constraint graph of one execution.
@@ -109,6 +114,61 @@ class GraphBuilder:
             successor = self._po_next_store.get(source)
             if successor is not None:
                 graph.add_edge(Edge(load_uid, successor, FR))
+
+    # -- per-load edge table (delta pipeline) -----------------------------------
+
+    def dynamic_edge_pairs(self, load_uid: int, source) -> tuple:
+        """The exact dynamic (src, dst) pairs one ``(load, rf source)``
+        choice contributes.
+
+        Static-ws mode factors the per-execution edges of :meth:`build`
+        into independent per-load contributions (each load's rf/fr edges
+        depend only on its own observed source), so the edge delta
+        between two signature-adjacent graphs is a table lookup over the
+        changed digits.  Entries are memoized per (load, candidate) —
+        over a checking stream the table converges to the full static
+        (load, rf-candidate) edge table with each entry computed once.
+        Bare pairs, not typed :class:`Edge` objects: the delta pipeline
+        tracks presence only (witness rendering rebuilds the one
+        violating graph, types intact).
+        """
+        if self.ws_mode != "static":
+            raise CheckerError("per-load edge tables exist only in static "
+                               "ws_mode (observed graphs are not a function "
+                               "of the signature alone)")
+        key = (load_uid, source)
+        pairs = self._edge_table.get(key)
+        if pairs is None:
+            pairs = self._dynamic_pairs_uncached(load_uid, source)
+            self._edge_table[key] = pairs
+        return pairs
+
+    def _dynamic_pairs_uncached(self, load_uid: int, source) -> tuple:
+        load_op = self.program.op(load_uid)
+        if source is INIT or source == INIT:
+            return tuple((load_uid, st_uid)
+                         for st_uid in self._first_stores.get(load_op.addr, ()))
+        pairs = []
+        store_op = self.program.op(source)
+        if store_op.thread != load_op.thread:
+            pairs.append((source, load_uid))
+        successor = self._po_next_store.get(source)
+        if successor is not None:
+            pairs.append((load_uid, successor))
+        return tuple(pairs)
+
+    def iter_execution_pairs(self, rf: dict[int, object]):
+        """All (src, dst) pairs of one static-ws execution *with
+        multiplicity*.
+
+        Unlike :meth:`build` this does not deduplicate pairs — a dynamic
+        edge that coincides with a static one appears twice — which is
+        exactly what a refcounted delta graph state needs as its base
+        (the static contributor must survive the dynamic one's removal).
+        """
+        yield from self._static_pairs
+        for load_uid, source in rf.items():
+            yield from self.dynamic_edge_pairs(load_uid, source)
 
     # -- observed mode ------------------------------------------------------------
 

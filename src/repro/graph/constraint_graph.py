@@ -49,6 +49,7 @@ class ConstraintGraph:
         self.num_vertices = num_vertices
         self._pairs: set[tuple[int, int]] = set()
         self._kinds: dict[tuple[int, int], str] = {}
+        self._edge_pairs: frozenset | None = None
         self.adjacency: dict[int, list[int]] = {}
         for edge in edges:
             self.add_edge(edge)
@@ -61,12 +62,19 @@ class ConstraintGraph:
             return
         self._pairs.add(pair)
         self._kinds[pair] = edge.kind
+        self._edge_pairs = None
         self.adjacency.setdefault(edge.src, []).append(edge.dst)
 
     @property
     def edge_pairs(self) -> frozenset:
-        """Immutable (src, dst) pair set — the unit of graph diffing."""
-        return frozenset(self._pairs)
+        """Immutable (src, dst) pair set — the unit of graph diffing.
+
+        Cached after the first access (the collective checker reads it
+        several times per graph); invalidated by :meth:`add_edge`.
+        """
+        if self._edge_pairs is None:
+            self._edge_pairs = frozenset(self._pairs)
+        return self._edge_pairs
 
     def edge_kind(self, src: int, dst: int) -> str:
         """Dependency type recorded for an edge pair."""

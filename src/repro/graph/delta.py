@@ -1,0 +1,146 @@
+"""Refcounted graph state for the delta checking pipeline (paper §4.2).
+
+The collective checker's insight is that signature-adjacent constraint
+graphs are nearly identical.  The legacy pipeline still pays full price
+for that similarity — every graph is materialized and set-diffed whole.
+This module holds the streaming alternative: one mutable
+:class:`DeltaGraphState` built from the base execution's (src, dst)
+pairs (with multiplicity), updated in place by :class:`GraphDelta`
+records whose cost is proportional to the *changed* reads-from digits,
+not the graph size.
+
+Refcounting is what makes in-place edits sound: a dynamic rf/fr edge may
+coincide with a static po/ws edge on the same (src, dst) pair, and a
+plain pair-set would drop the pair entirely when the dynamic contributor
+goes away.  Counting contributors keeps presence exact, so the state's
+pair set always equals the freshly built graph's ``edge_pairs``.
+
+Everything here works on bare pairs, not typed
+:class:`~repro.graph.constraint_graph.Edge` objects — the checker only
+needs presence and adjacency; dependency types are recovered by
+rebuilding the single violating graph when a witness must be rendered.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """Edge difference between two signature-adjacent executions.
+
+    Attributes:
+        index: position of the *target* graph in the checked sequence.
+        removed: (src, dst) pairs of the changed loads' old sources.
+        added: (src, dst) pairs of the changed loads' new sources.
+        digits_changed: mixed-radix digits that differ between the two
+            signatures (the paper's structural-similarity measure).
+    """
+
+    index: int
+    removed: tuple
+    added: tuple
+    digits_changed: int
+
+
+class DeltaGraphState:
+    """One mutable constraint graph, updated by edge-contributor deltas.
+
+    Args:
+        num_vertices: operation count of the test program.
+        pairs: base execution's (src, dst) pairs *with multiplicity*
+            (see :meth:`repro.graph.GraphBuilder.iter_execution_pairs`)
+            — every contributor counts, so a later removal of a dynamic
+            edge that shadows a static one leaves the pair present.
+
+    ``adjacency`` keeps the plain ``{vertex: [succ, ...]}`` shape the
+    topological-sort helpers consume, so windowed re-sorts run directly
+    on the live state without materializing subgraphs.
+    """
+
+    def __init__(self, num_vertices: int, pairs=()):
+        self.num_vertices = num_vertices
+        # Counter over a concrete sequence counts at C speed; peeling
+        # self-loops (no ordering information) afterwards keeps that.
+        counts = Counter(pairs if isinstance(pairs, (list, tuple)) else
+                         list(pairs))
+        for pair in [p for p in counts if p[0] == p[1]]:
+            del counts[pair]
+        self._counts: dict[tuple[int, int], int] = dict(counts)
+        self.adjacency: dict[int, list[int]] = {}
+        adjacency = self.adjacency
+        for src, dst in self._counts:
+            adjacency.setdefault(src, []).append(dst)
+
+    def clone(self) -> "DeltaGraphState":
+        """A mutable copy sharing nothing with this state.
+
+        Lets a source hand out fresh checkable states from one pristine
+        template without re-counting the base pairs each time.
+        """
+        new = DeltaGraphState.__new__(DeltaGraphState)
+        new.num_vertices = self.num_vertices
+        new._counts = self._counts.copy()
+        new.adjacency = {src: dsts.copy() for src, dsts in self.adjacency.items()}
+        return new
+
+    @property
+    def num_edges(self) -> int:
+        """Distinct (src, dst) pairs currently present."""
+        return len(self._counts)
+
+    def __contains__(self, pair: tuple[int, int]) -> bool:
+        return pair in self._counts
+
+    def edge_pairs(self) -> frozenset:
+        """Snapshot of the present pair set (testing/diagnostics only —
+        the checker never calls this on the hot path)."""
+        return frozenset(self._counts)
+
+    def apply(self, delta: GraphDelta):
+        """Apply one delta in place; report *presence* transitions.
+
+        Returns:
+            ``(appeared, vanished)`` — the (src, dst) pairs that went
+            absent->present and present->absent.  Pure refcount moves
+            (a contributor added or removed under a still-covered pair)
+            are not reported; the checker only cares about pairs whose
+            existence changed relative to its base order.
+        """
+        return self.apply_pairs(delta.removed, delta.added)
+
+    def apply_pairs(self, removed, added):
+        """The :meth:`apply` core on bare pair sequences.
+
+        The checker's hot path — it feeds
+        :meth:`~repro.checker.delta.SignatureDeltaSource.delta_pairs`
+        output straight in, with no :class:`GraphDelta` wrapper.
+        """
+        appeared: list[tuple[int, int]] = []
+        vanished: list[tuple[int, int]] = []
+        counts = self._counts
+        adjacency = self.adjacency
+        for pair in removed:
+            count = counts.get(pair)
+            if count is None:
+                raise KeyError("delta removes absent edge %r" % (pair,))
+            if count > 1:
+                counts[pair] = count - 1
+            else:
+                del counts[pair]
+                adjacency[pair[0]].remove(pair[1])
+                vanished.append(pair)
+        for pair in added:
+            if pair[0] == pair[1]:
+                continue
+            count = counts.get(pair, 0)
+            counts[pair] = count + 1
+            if not count:
+                adjacency.setdefault(pair[0], []).append(pair[1])
+                appeared.append(pair)
+        return appeared, vanished
+
+    def __repr__(self):
+        return "DeltaGraphState(V=%d, E=%d)" % (self.num_vertices, self.num_edges)

@@ -18,7 +18,8 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 def topological_sort(vertices: Sequence[int],
                      adjacency: Mapping[int, Iterable[int]],
-                     key: Callable[[int], object] = None) -> list[int] | None:
+                     key: Callable[[int], object] = None,
+                     membership: Callable[[int], bool] = None) -> list[int] | None:
     """Topologically sort ``vertices`` under ``adjacency``.
 
     Edges with an endpoint outside ``vertices`` are ignored, which is what
@@ -31,12 +32,23 @@ def topological_sort(vertices: Sequence[int],
             checker uses this to seed orders that stay valid across
             signature-adjacent graphs (fewer re-sorts).  Without a key,
             ties break in FIFO order over the (deterministic) input order.
+        membership: optional precomputed test for "is this vertex in the
+            window"; must agree with ``vertices`` (which must then hold no
+            duplicates).  Callers that re-sort many windows (the delta
+            checker) pass a flag-array lookup here so each call stops
+            paying the ``set(vertices)`` construction.
     """
-    vset = set(vertices)
+    if membership is None:
+        vset = set(vertices)
+        member = vset.__contains__
+        total = len(vset)
+    else:
+        member = membership
+        total = len(vertices)
     indegree = {v: 0 for v in vertices}
     for v in vertices:
         for w in adjacency.get(v, ()):
-            if w in vset:
+            if member(w):
                 indegree[w] += 1
     order = []
     if key is None:
@@ -56,23 +68,25 @@ def topological_sort(vertices: Sequence[int],
         v = pop()
         order.append(v)
         for w in adjacency.get(v, ()):
-            if w in vset:
+            if member(w):
                 indegree[w] -= 1
                 if indegree[w] == 0:
                     push(w)
-    if len(order) != len(vset):
+    if len(order) != total:
         return None
     return order
 
 
 def find_cycle(vertices: Sequence[int],
-               adjacency: Mapping[int, Iterable[int]]) -> list[int] | None:
+               adjacency: Mapping[int, Iterable[int]],
+               membership: Callable[[int], bool] = None) -> list[int] | None:
     """Return one cycle (as a vertex list, first == last) or ``None``.
 
     Iterative DFS with colouring; used only on graphs already known to be
-    cyclic, to produce violation reports.
+    cyclic, to produce violation reports.  ``membership`` mirrors
+    :func:`topological_sort`'s parameter.
     """
-    vset = set(vertices)
+    member = set(vertices).__contains__ if membership is None else membership
     WHITE, GREY, BLACK = 0, 1, 2
     colour = {v: WHITE for v in vertices}
     parent: dict[int, int] = {}
@@ -86,7 +100,7 @@ def find_cycle(vertices: Sequence[int],
             v, successors = stack[-1]
             advanced = False
             for w in successors:
-                if w not in vset:
+                if not member(w):
                     continue
                 if colour[w] == WHITE:
                     colour[w] = GREY

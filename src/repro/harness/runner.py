@@ -24,6 +24,7 @@ from repro.fleet.sharding import derive_os_seed, derive_seed, plan_blocks
 from repro.harness.sortmodel import SortCostModel
 from repro.checker.baseline import BaselineChecker
 from repro.checker.collective import CollectiveChecker
+from repro.checker.delta import SignatureDeltaSource
 from repro.checker.results import CheckReport
 from repro.graph.builder import GraphBuilder
 from repro.instrument.signature import Signature, SignatureCodec
@@ -83,12 +84,32 @@ class CheckOutcome:
     baseline: CheckReport = None
     #: signatures, in the checked (ascending) order
     signatures: list = field(default_factory=list)
-    #: constraint graphs, aligned with ``signatures``
+    #: constraint graphs, aligned with ``signatures``; empty under the
+    #: delta pipeline, which never materializes the full list — use
+    #: :meth:`graph_at` for uniform access
     graphs: list = field(default_factory=list)
+    #: which checking pipeline produced this outcome
+    pipeline: str = "graphs"
+    #: delta source kept for on-demand graph rebuilds (delta pipeline)
+    source: object = None
 
     @property
     def violating_signatures(self) -> list:
         return [self.signatures[v.index] for v in self.collective.violations]
+
+    def graph_at(self, index: int):
+        """Constraint graph of checked execution ``index``.
+
+        Returns the materialized graph when the ``graphs`` pipeline
+        built one, else rebuilds it from the delta source (identical by
+        construction) — callers rendering violation witnesses don't care
+        which pipeline ran.
+        """
+        if self.graphs:
+            return self.graphs[index]
+        if self.source is not None:
+            return self.source.full_graph(index)
+        raise IndexError("no graphs materialized and no delta source kept")
 
 
 class Campaign:
@@ -263,7 +284,8 @@ class Campaign:
         metrics.histogram("harness.signature_sort_cycles").observe(
             result.signature_sort_cycles)
 
-    def check(self, result: CampaignResult, ws_mode: str = "static") -> CheckOutcome:
+    def check(self, result: CampaignResult, ws_mode: str = "static",
+              pipeline: str = "delta") -> CheckOutcome:
         """Decode, build and check all unique executions of a campaign.
 
         Args:
@@ -272,13 +294,17 @@ class Campaign:
                 default; graphs depend on signatures alone) or
                 ``"observed"`` (use each representative execution's
                 coherence order for strictly stronger checking).
+            pipeline: ``"delta"`` (default) streams graph deltas through
+                the checker; ``"graphs"`` materializes every graph
+                first.  See :func:`check_campaign_result`.
         """
-        return check_campaign_result(result, self.model, ws_mode=ws_mode)
+        return check_campaign_result(result, self.model, ws_mode=ws_mode,
+                                     pipeline=pipeline)
 
 
 def check_campaign_result(result: CampaignResult, model: MemoryModel = None,
-                          ws_mode: str = "static",
-                          baseline: bool = True) -> CheckOutcome:
+                          ws_mode: str = "static", baseline: bool = True,
+                          pipeline: str = "delta") -> CheckOutcome:
     """Host-side checking of any campaign result — live, loaded or merged.
 
     The campaign's origin is irrelevant: a serial run, a fleet-merged
@@ -292,14 +318,38 @@ def check_campaign_result(result: CampaignResult, model: MemoryModel = None,
         ws_mode: ``"static"`` (paper default) or ``"observed"``.
         baseline: also run the conventional per-execution checker;
             skipped (``outcome.baseline is None``) when False.
+        pipeline: ``"delta"`` (default) never materializes more than one
+            full graph — signatures are decoded incrementally (changed
+            digits only) and the collective checker consumes the edge-
+            delta stream; ``"graphs"`` is the legacy path that builds
+            the whole graph list first.  Verdicts are identical either
+            way.  ``ws_mode="observed"`` graphs depend on per-execution
+            coherence order, not the signature alone, so they always
+            fall back to ``"graphs"``.
     """
+    if pipeline not in ("graphs", "delta"):
+        raise ValueError("pipeline must be 'graphs' or 'delta'; got %r"
+                         % (pipeline,))
     if model is None:
         model = platform_for_isa(
             "x86" if result.codec.register_width == 64 else "arm").memory_model
+    if ws_mode == "observed":
+        pipeline = "graphs"  # observed graphs are not signature-pure
     obs = get_obs()
     with obs.span("check"):
         builder = GraphBuilder(result.program, model, ws_mode=ws_mode)
         signatures = result.sorted_signatures()
+        if pipeline == "delta":
+            source = SignatureDeltaSource(result.codec, builder, signatures)
+            outcome = CheckOutcome(
+                collective=CollectiveChecker().check_deltas(source),
+                baseline=BaselineChecker().check_stream(source)
+                if baseline else None,
+                signatures=signatures,
+                pipeline="delta",
+                source=source,
+            )
+            return outcome
         graphs = []
         with obs.span("check.build_graphs"):
             for signature in signatures:

@@ -77,6 +77,10 @@ class SuiteRunner:
             ``None``/``"off"``, ``"skip"`` (lint-error tests are skipped
             outright, zero-entropy tests trimmed to one iteration) or
             ``"fail"`` (lint errors abort the suite).
+        pipeline: checking pipeline for every campaign — ``"delta"``
+            (default, streaming graph deltas) or ``"graphs"`` (legacy
+            full-graph path); see
+            :func:`repro.harness.check_campaign_result`.
         campaign_kwargs: forwarded to every :class:`Campaign`
             (platform, instrumentation, executor_cls, os_model, ...);
             fleet mode accepts only the plain-data subset
@@ -85,7 +89,7 @@ class SuiteRunner:
 
     def __init__(self, config: TestConfig, tests: int = 10,
                  iterations: int = 1000, jobs: int = 1, fleet=None,
-                 lint: str = None, **campaign_kwargs):
+                 lint: str = None, pipeline: str = "delta", **campaign_kwargs):
         if jobs < 1:
             raise ValueError("jobs must be positive; got %r" % (jobs,))
         self.config = config
@@ -94,6 +98,7 @@ class SuiteRunner:
         self.jobs = jobs
         self.fleet = fleet
         self.lint = lint
+        self.pipeline = pipeline
         self.campaign_kwargs = campaign_kwargs
 
     def run(self, seed: int = 0, check: bool = True) -> SuiteStats:
@@ -113,7 +118,7 @@ class SuiteRunner:
                 stats.skipped_iterations += result.skipped_iterations
             if not check:
                 continue
-            outcome = campaign.check(result)
+            outcome = campaign.check(result, pipeline=self.pipeline)
             self._absorb(stats, result, outcome)
         return stats
 
@@ -184,7 +189,8 @@ class SuiteRunner:
             stats.crashes += result.crashes
             if not check:
                 continue
-            checked = check_campaign_result(result, model)
+            checked = check_campaign_result(result, model,
+                                            pipeline=self.pipeline)
             self._absorb(stats, result, checked)
         return stats
 

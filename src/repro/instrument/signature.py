@@ -99,6 +99,35 @@ class SignatureCodec:
             rf.update(table.decode(words))
         return rf
 
+    def decode_delta(self, old: Signature, new: Signature) -> list:
+        """Decode only the loads whose reads-from choice differs.
+
+        The incremental form of Algorithm 1 the delta checking pipeline
+        is built on: given two signatures of the *same* test, returns
+        ``[(load_uid, old_source, new_source), ...]`` for exactly the
+        loads whose mixed-radix digit changed.  Unchanged signature words
+        are skipped by integer comparison and changed words are peeled
+        most-significant-digit-first with early exit, so the cost is
+        O(changed digits) rather than O(loads) — for adjacent *sorted*
+        signatures usually a handful of entries.
+        """
+        if len(old.words) != len(self.tables) or len(new.words) != len(self.tables):
+            raise SignatureError(
+                "signature has %d/%d thread sections, test has %d threads"
+                % (len(old.words), len(new.words), len(self.tables)))
+        changes: list = []
+        for table, old_words, new_words in zip(self.tables, old.words, new.words):
+            if old_words == new_words:
+                continue
+            if len(old_words) != len(new_words):
+                raise SignatureError(
+                    "thread %d signatures have %d vs %d words"
+                    % (table.thread, len(old_words), len(new_words)))
+            for word_index, (ow, nw) in enumerate(zip(old_words, new_words)):
+                if ow != nw:
+                    changes.extend(table.word_changes(word_index, ow, nw))
+        return changes
+
     # -- statistics -------------------------------------------------------------
 
     @property

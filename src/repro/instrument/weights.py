@@ -67,6 +67,18 @@ class ThreadWeightTable:
             self.slots.append(LoadSlot(op.uid, cands, multiplier=product, word=word))
             product *= n
         self.num_words = word + 1 if self.slots else 1
+        # Per-word peel tables for the incremental decoder: compact
+        # (uid, multiplier, candidates) rows, most significant (largest
+        # multiplier) first.  Single-candidate slots are dropped — their
+        # digit is always 0, and the multiplier-based peel extracts any
+        # lower slot's digit directly, so skipping them is exact.
+        by_word: list[list[tuple]] = [[] for _ in range(self.num_words)]
+        for slot in self.slots:
+            if len(slot.candidates) > 1:
+                by_word[slot.word].append(
+                    (slot.uid, slot.multiplier, slot.candidates))
+        self._word_peel_desc: tuple[tuple[tuple, ...], ...] = tuple(
+            tuple(reversed(word_rows)) for word_rows in by_word)
 
     # -- encoding ------------------------------------------------------------
 
@@ -117,6 +129,42 @@ class ThreadWeightTable:
         if any(remaining):
             raise SignatureError("signature has residue %r after decoding" % (remaining,))
         return rf
+
+    # -- incremental decoding (delta pipeline) ----------------------------------
+
+    def word_changes(self, word_index: int, old: int, new: int) -> list:
+        """Return ``(uid, old_source, new_source)`` for digits that differ.
+
+        The incremental counterpart of :meth:`decode` for one signature
+        word: instead of reconstructing every load's choice, only the
+        loads whose mixed-radix digit differs between ``old`` and ``new``
+        are reported.  Digits are peeled most-significant-first; as soon
+        as the two remainders coincide every remaining (less significant)
+        digit is shared, so the walk stops — for adjacent *sorted*
+        signatures, which share long digit prefixes, this touches only a
+        handful of slots.
+        """
+        if word_index >= self.num_words:
+            raise SignatureError("word index %d out of range (thread has %d words)"
+                                 % (word_index, self.num_words))
+        changes: list = []
+        append = changes.append
+        for uid, multiplier, candidates in self._word_peel_desc[word_index]:
+            if old == new:
+                return changes
+            index_old, old = divmod(old, multiplier)
+            index_new, new = divmod(new, multiplier)
+            if index_old != index_new:
+                if index_old >= len(candidates) or index_new >= len(candidates):
+                    raise SignatureError(
+                        "signature word %d digit %d out of range for load uid %d"
+                        % (word_index, max(index_old, index_new), uid))
+                append((uid, candidates[index_old], candidates[index_new]))
+        if old != new:
+            raise SignatureError(
+                "signature word %d has differing residues %r/%r after decoding"
+                % (word_index, old, new))
+        return changes
 
     # -- statistics ------------------------------------------------------------
 

@@ -1,0 +1,198 @@
+"""Unit + property tests for the streaming graph-delta machinery.
+
+Covers the three delta-pipeline building blocks below the checker:
+refcounted :class:`DeltaGraphState` updates, the builder's per-load
+dynamic edge-pair table, and the codec's incremental ``decode_delta``.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CheckerError, SignatureError
+from repro.graph import DeltaGraphState, GraphBuilder, GraphDelta
+from repro.instrument import Signature, SignatureCodec
+from repro.mcm import WEAK
+from repro.testgen import TestConfig, generate
+
+
+def delta(removed=(), added=(), index=1):
+    return GraphDelta(index, tuple(removed), tuple(added), len(added))
+
+
+class TestDeltaGraphState:
+    def test_base_pairs_populate_counts_and_adjacency(self):
+        state = DeltaGraphState(4, [(0, 1), (1, 2)])
+        assert state.num_edges == 2
+        assert (0, 1) in state and (1, 2) in state
+        assert state.adjacency == {0: [1], 1: [2]}
+
+    def test_duplicate_base_pairs_refcount_single_pair(self):
+        state = DeltaGraphState(3, [(0, 1), (0, 1)])
+        assert state.num_edges == 1
+        assert state.adjacency == {0: [1]}
+
+    def test_self_loops_are_dropped(self):
+        state = DeltaGraphState(3, [(1, 1)])
+        assert state.num_edges == 0
+        assert state.adjacency == {}
+
+    def test_apply_reports_presence_transitions_only(self):
+        state = DeltaGraphState(4, [(0, 1), (0, 1), (1, 2)])
+        appeared, vanished = state.apply(
+            delta(removed=[(0, 1), (1, 2)], added=[(2, 3)]))
+        # (0, 1) had two contributors: still present, not a transition
+        assert appeared == [(2, 3)]
+        assert vanished == [(1, 2)]
+        assert (0, 1) in state
+        assert state.adjacency[1] == []
+        assert state.adjacency[2] == [3]
+
+    def test_refcounted_pair_survives_one_removal(self):
+        state = DeltaGraphState(3, [(0, 1), (0, 1)])
+        state.apply(delta(removed=[(0, 1)]))
+        assert (0, 1) in state
+        state.apply(delta(removed=[(0, 1)]))
+        assert (0, 1) not in state
+
+    def test_removing_absent_edge_raises(self):
+        state = DeltaGraphState(3, [(0, 1)])
+        with pytest.raises(KeyError):
+            state.apply(delta(removed=[(1, 2)]))
+
+    def test_added_self_loop_is_ignored(self):
+        state = DeltaGraphState(3)
+        appeared, _ = state.apply(delta(added=[(2, 2)]))
+        assert appeared == []
+        assert state.num_edges == 0
+
+    def test_edge_pairs_snapshot(self):
+        state = DeltaGraphState(4, [(0, 1), (2, 3)])
+        assert state.edge_pairs() == frozenset({(0, 1), (2, 3)})
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_random_walk_matches_pair_multiset(self, seed):
+        """State presence always equals the reference contributor multiset."""
+        rng = random.Random(seed)
+        n = rng.randrange(3, 10)
+        contributors: list = []
+        state = DeltaGraphState(n)
+        for _ in range(rng.randrange(1, 30)):
+            if contributors and rng.random() < 0.4:
+                pair = contributors.pop(rng.randrange(len(contributors)))
+                state.apply(delta(removed=[pair]))
+            else:
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u == v:
+                    continue
+                contributors.append((u, v))
+                state.apply(delta(added=[(u, v)]))
+            expected = set(contributors)
+            assert state.edge_pairs() == frozenset(expected)
+            for u in state.adjacency:
+                assert set(state.adjacency[u]) == \
+                    {v for (s, v) in expected if s == u}
+
+
+@pytest.fixture
+def small_builder(small_program):
+    return GraphBuilder(small_program, WEAK, ws_mode="static")
+
+
+def random_rf(codec, rng):
+    return {uid: rng.choice(cands) for uid, cands in codec.candidates.items()}
+
+
+class TestPerLoadEdgeTable:
+    def test_observed_mode_has_no_edge_table(self, small_program):
+        builder = GraphBuilder(small_program, WEAK, ws_mode="observed")
+        load_uid = next(iter(SignatureCodec(small_program, 32).candidates))
+        with pytest.raises(CheckerError):
+            builder.dynamic_edge_pairs(load_uid, None)
+
+    def test_entries_are_memoized(self, small_builder, small_codec):
+        load_uid, cands = next(iter(small_codec.candidates.items()))
+        first = small_builder.dynamic_edge_pairs(load_uid, cands[0])
+        assert small_builder.dynamic_edge_pairs(load_uid, cands[0]) is first
+
+    def test_sum_of_contributions_equals_built_graph(self, small_builder,
+                                                     small_codec):
+        """static pairs + per-load dynamic pairs == build(rf), as pair sets."""
+        rng = random.Random(5)
+        for _ in range(10):
+            rf = random_rf(small_codec, rng)
+            pairs = {(e.src, e.dst) for e in small_builder.static_edges
+                     if e.src != e.dst}
+            for load_uid, source in rf.items():
+                pairs.update(small_builder.dynamic_edge_pairs(load_uid, source))
+            assert pairs == set(small_builder.build(rf).edge_pairs)
+
+    def test_iter_execution_pairs_seeds_exact_state(self, small_builder,
+                                                    small_codec):
+        rng = random.Random(11)
+        rf = random_rf(small_codec, rng)
+        state = DeltaGraphState(small_builder.program.num_ops,
+                                small_builder.iter_execution_pairs(rf))
+        graph = small_builder.build(rf)
+        assert state.edge_pairs() == graph.edge_pairs
+        for u, succs in graph.adjacency.items():
+            assert set(state.adjacency.get(u, ())) == set(succs)
+
+
+class TestDecodeDelta:
+    def test_identical_signatures_have_empty_delta(self, small_codec):
+        rf = random_rf(small_codec, random.Random(0))
+        sig = small_codec.encode(rf)
+        assert small_codec.decode_delta(sig, sig) == []
+
+    def test_reports_exactly_the_changed_loads(self, small_codec):
+        rng = random.Random(1)
+        old = random_rf(small_codec, rng)
+        new = dict(old)
+        load_uid, cands = next((uid, c) for uid, c in
+                               small_codec.candidates.items() if len(c) > 1)
+        new[load_uid] = next(c for c in cands if c != old[load_uid])
+        changes = small_codec.decode_delta(small_codec.encode(old),
+                                           small_codec.encode(new))
+        assert changes == [(load_uid, old[load_uid], new[load_uid])]
+
+    def test_rejects_wrong_thread_count(self, small_codec):
+        rf = random_rf(small_codec, random.Random(2))
+        with pytest.raises(SignatureError):
+            small_codec.decode_delta(small_codec.encode(rf), Signature(((0,),)))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_delta_applied_to_old_rf_yields_new_rf(self, seed):
+        cfg = TestConfig(isa="arm", threads=2, ops_per_thread=14,
+                         addresses=4, seed=17)
+        codec = SignatureCodec(generate(cfg), 32)
+        rng = random.Random(seed)
+        old, new = random_rf(codec, rng), random_rf(codec, rng)
+        changes = codec.decode_delta(codec.encode(old), codec.encode(new))
+        patched = dict(old)
+        for load_uid, old_source, new_source in changes:
+            assert patched[load_uid] == old_source
+            patched[load_uid] = new_source
+        assert patched == new
+        # and the change list is minimal: only genuinely differing loads
+        assert all(old[uid] != new[uid] for uid, _, _ in changes)
+        assert len(changes) == sum(1 for uid in old if old[uid] != new[uid])
+
+
+class TestDeltaWalkOverCampaignSignatures:
+    def test_walk_reconstructs_every_graph(self, small_builder, small_codec):
+        """Applying the delta stream reproduces each fully built graph."""
+        from repro.checker import SignatureDeltaSource
+
+        rng = random.Random(23)
+        signatures = sorted({small_codec.encode(random_rf(small_codec, rng))
+                             for _ in range(40)})
+        source = SignatureDeltaSource(small_codec, small_builder, signatures)
+        state = source.base_state(0)
+        assert state.edge_pairs() == source.full_graph(0).edge_pairs
+        for index in range(1, len(source)):
+            state.apply(source.delta(index))
+            assert state.edge_pairs() == source.full_graph(index).edge_pairs

@@ -85,6 +85,61 @@ def random_digraph(draw):
     return n, adj
 
 
+class TestPrecomputedMembership:
+    """The optional ``membership`` fast path must never change results."""
+
+    def member_fn(self, vertices, universe=128):
+        # sized over the whole vertex universe, as the delta checker's
+        # window flags are: membership must answer for any vertex the
+        # adjacency map can reach, not just the sorted subset
+        flags = bytearray(universe)
+        for v in vertices:
+            flags[v] = 1
+        return flags.__getitem__
+
+    def test_sort_matches_default_membership(self):
+        adj = {0: [1], 1: [99], 2: [3], 3: [2]}   # 99 external, 2-3 cyclic
+        window = [0, 1]
+        assert topological_sort(window, adj, membership=self.member_fn(window)) \
+            == topological_sort(window, adj)
+
+    def test_sort_detects_cycle_with_membership(self):
+        adj = {0: [1], 1: [0]}
+        window = [0, 1]
+        assert topological_sort(window, adj,
+                                membership=self.member_fn(window)) is None
+
+    def test_sort_key_composes_with_membership(self):
+        adj = {2: [1]}
+        window = [1, 2, 3]
+        order = topological_sort(window, adj, key=lambda v: v,
+                                 membership=self.member_fn(window))
+        assert order == topological_sort(window, adj, key=lambda v: v)
+        assert is_topological(order, adj)
+
+    def test_find_cycle_matches_default_membership(self):
+        adj = {0: [1], 1: [2, 3], 3: [1], 2: []}
+        window = list(range(4))
+        assert find_cycle(window, adj, membership=self.member_fn(window)) \
+            == find_cycle(window, adj)
+
+    def test_find_cycle_respects_membership_restriction(self):
+        adj = {0: [1], 1: [0], 2: [3]}
+        assert find_cycle([2, 3], adj, membership=self.member_fn([2, 3])) is None
+
+    @given(random_digraph())
+    @settings(max_examples=60, deadline=None)
+    def test_property_membership_equivalence(self, case):
+        n, adj = case
+        member = self.member_fn(list(range(n)))
+        default = topological_sort(range(n), adj)
+        fast = topological_sort(range(n), adj, membership=member)
+        assert fast == default
+        if default is None:
+            assert find_cycle(range(n), adj, membership=member) == \
+                find_cycle(range(n), adj)
+
+
 class TestAgainstNetworkx:
     @given(random_digraph())
     @settings(max_examples=120, deadline=None)
