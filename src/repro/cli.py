@@ -21,7 +21,15 @@ Commands mirror the paper's flow so each stage can run standalone:
 * ``lint`` — statically lint test programs and verify their
   instrumentation without running a single iteration; ``--fail-on``
   selects the severity that flips the exit code to 1,
-* ``stats`` — render (and validate) a saved observability run report.
+* ``stats`` — render (and validate) a saved observability run report,
+* ``mutate`` — checker-sensitivity campaigns: list the fault-injection
+  registry (``--list``) or run detection campaigns (all operational
+  mutations by default, ``--detailed`` to add the gem5 bugs,
+  ``--mutation NAME`` to select); exits 1 when any selected mutation
+  goes undetected within its budget.
+
+``run`` also accepts ``--mutation NAME`` to arm a registered mutation's
+fault plane (or detailed-simulator bug) on the campaign being run.
 
 ``run`` and ``suite`` accept ``--lint {off,skip,fail}`` to gate every
 campaign on the same analyses (skip statically wasted iterations, or
@@ -120,6 +128,9 @@ def _cmd_run(args) -> int:
     if (args.detailed or args.bug) and config.isa != "x86":
         raise ValueError("the detailed MESI simulator models x86 only; "
                          "use --isa x86 with --detailed/--bug")
+    if args.mutation and (args.detailed or args.bug):
+        raise ValueError("--mutation picks its own executor; it cannot be "
+                         "combined with --detailed/--bug")
     # enable before the Campaign is built so the generate/instrument
     # phases land in the span tree
     handle = repro_obs.enable() if _metrics_wanted(args) else None
@@ -130,7 +141,7 @@ def _cmd_run(args) -> int:
             config=config, iterations=args.iterations, jobs=args.jobs,
             seed=args.run_seed, block=args.block, os_model=bool(args.os),
             detailed=bool(args.detailed or args.bug), bug=args.bug,
-            l1_lines=args.l1_lines, lint=args.lint)
+            l1_lines=args.l1_lines, lint=args.lint, mutation=args.mutation)
         checker = lambda: check_campaign_result(result,
                                                 pipeline=args.check_pipeline)
     else:
@@ -146,14 +157,16 @@ def _cmd_run(args) -> int:
             extra["executor_cls"] = (
                 lambda *a, **kw: DetailedExecutor(*a, faults=faults, **kw))
         campaign = Campaign(config=config, seed=args.run_seed,
-                            os_model=args.os or None, **extra)
+                            os_model=args.os or None,
+                            mutation=args.mutation, **extra)
         result = campaign.run(args.iterations, block=args.block,
                               lint=args.lint)
         checker = lambda: campaign.check(result, pipeline=args.check_pipeline)
     summary = {"config": config.name, "iterations": result.iterations,
                "unique_signatures": result.unique_signatures,
                "crashes": result.crashes, "jobs": args.jobs,
-               "skipped_iterations": result.skipped_iterations}
+               "skipped_iterations": result.skipped_iterations,
+               "signature_asserts": result.signature_asserts}
     if handle is not None:
         # complete the pipeline so the report's span tree covers all four
         # phases and carries the checker counters for this very run
@@ -162,9 +175,11 @@ def _cmd_run(args) -> int:
     if not args.json:
         skipped = (", %d statically skipped" % result.skipped_iterations
                    if result.skipped_iterations else "")
-        print("%s: %d iterations, %d unique signatures, %d crashes%s"
+        asserts = (", %d signature asserts" % result.signature_asserts
+                   if result.signature_asserts else "")
+        print("%s: %d iterations, %d unique signatures, %d crashes%s%s"
               % (config.name, result.iterations, result.unique_signatures,
-                 result.crashes, skipped))
+                 result.crashes, asserts, skipped))
     if args.output:
         repro_io.save_campaign(result, args.output)
         if not args.json:
@@ -354,6 +369,69 @@ def _cmd_lint(args) -> int:
     return 1 if failing else 0
 
 
+def _cmd_mutate(args) -> int:
+    from repro.mutate import all_mutations, get_mutation, operational_mutations
+    from repro.mutate.campaign import run_sensitivity_suite
+
+    if args.list:
+        rows = [[m.name, m.executor, m.fault_class, m.trigger.describe(),
+                 m.spec.config.name, m.spec.budget, m.spec.seeds]
+                for m in all_mutations()]
+        print(format_table(
+            ["mutation", "executor", "class", "trigger", "config", "budget",
+             "seeds"], rows,
+            title="fault-injection registry (%d mutations)" % len(rows)))
+        return 0
+    if args.mutation:
+        selected = [get_mutation(name) for name in args.mutation]
+    else:
+        selected = all_mutations() if args.detailed else \
+            operational_mutations()
+    # --json here selects the sensitivity JSON document, not the obs report
+    handle = repro_obs.enable() if getattr(args, "metrics_out", None) else None
+    outcomes = run_sensitivity_suite(
+        selected, base_seed=args.base_seed, budget=args.budget,
+        seeds=args.seeds, jobs=args.jobs, control=not args.no_control)
+    undetected = [o.mutation.name for o in outcomes if not o.detected]
+    if args.json:
+        json.dump({"mutations": [o.to_json() for o in outcomes],
+                   "undetected": undetected},
+                  sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        rows = []
+        for o in outcomes:
+            diversity = "-"
+            if o.clean_unique_signatures is not None:
+                mutated = max(s.unique_signatures for s in o.seeds)
+                diversity = "%d vs %d clean" % (mutated,
+                                                o.clean_unique_signatures)
+            rows.append([o.mutation.name,
+                         "yes" if o.detected else "NO",
+                         "%.2f" % o.detection_rate,
+                         o.max_executions_to_detection
+                         if o.max_executions_to_detection is not None else "-",
+                         ",".join(o.channels) or "-", diversity])
+        print(format_table(
+            ["mutation", "detected", "rate", "execs-to-detect", "channels",
+             "unique signatures"], rows,
+            title="checker-sensitivity campaign (%d mutations)"
+                  % len(outcomes)))
+        if undetected:
+            print("UNDETECTED: %s" % ", ".join(undetected))
+    if handle is not None:
+        report = repro_obs.build_run_report(
+            handle,
+            meta={"command": "mutate",
+                  "mutations": [o.mutation.name for o in outcomes]},
+            summary={"mutations": len(outcomes),
+                     "undetected": len(undetected)})
+        repro_obs.write_report(report, args.metrics_out)
+        if not args.json:
+            print("run report written to %s" % args.metrics_out)
+    return 1 if undetected else 0
+
+
 def _cmd_stats(args) -> int:
     report = repro_obs.read_report(args.report)
     if args.validate:
@@ -391,6 +469,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="inject a paper Section-7 bug (implies --detailed)")
     p.add_argument("--l1-lines", type=int, default=4,
                    help="detailed simulator L1 capacity in lines")
+    p.add_argument("--mutation", metavar="NAME",
+                   help="arm a registered mutation's fault plane on this "
+                        "campaign (see 'repro mutate --list')")
     p.add_argument("--output", "-o", help="write a JSON signature dump")
     p.add_argument("--jobs", type=int, default=1,
                    help="shard the campaign over N worker processes")
@@ -472,6 +553,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", metavar="PATH",
                    help="write a schema-versioned observability run report")
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
+        "mutate", help="checker-sensitivity campaigns over injected faults")
+    p.add_argument("--list", action="store_true",
+                   help="print the fault-injection registry and exit")
+    p.add_argument("--mutation", metavar="NAME", action="append",
+                   help="run only this mutation (repeatable)")
+    p.add_argument("--detailed", action="store_true",
+                   help="also run the detailed-simulator gem5 bugs "
+                        "(an order of magnitude slower)")
+    p.add_argument("--budget", type=int, default=None,
+                   help="override every spec's executions-to-detection "
+                        "ceiling per seed")
+    p.add_argument("--seeds", type=int, default=None,
+                   help="override every spec's independent campaign seeds")
+    p.add_argument("--base-seed", type=int, default=0,
+                   help="offset added to each campaign seed")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="fleet worker processes per campaign")
+    p.add_argument("--no-control", action="store_true",
+                   help="skip the unmutated control runs (faster; drops "
+                        "the signature-diversity comparison)")
+    p.add_argument("--json", action="store_true",
+                   help="print detection outcomes as one JSON document")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="write a schema-versioned observability run report")
+    p.set_defaults(fn=_cmd_mutate)
 
     p = sub.add_parser("stats", help="render a saved observability run report")
     p.add_argument("report", help="JSON report from '--metrics-out'")

@@ -35,7 +35,8 @@ def plan_campaign_tasks(program, config, iterations: int, jobs: int, *,
                         detailed: bool = False, bug: int = None,
                         l1_lines: int = 4, die_on_crash: bool = False,
                         collect_metrics: bool = False,
-                        include_ws: bool = True) -> list[WorkerTask]:
+                        include_ws: bool = True,
+                        mutation: str = None) -> list[WorkerTask]:
     """Deal a campaign's seed blocks into per-worker shard tasks."""
     doc = dump_program(program)
     isa = config.isa if config is not None else "arm"
@@ -45,6 +46,7 @@ def plan_campaign_tasks(program, config, iterations: int, jobs: int, *,
                    isa=isa, instrumentation=instrumentation,
                    os_model=os_model, sync_barriers=sync_barriers,
                    detailed=detailed, bug=bug, l1_lines=l1_lines,
+                   mutation=mutation,
                    die_on_crash=die_on_crash, collect_metrics=collect_metrics,
                    include_ws=include_ws)
         for shard in shards
@@ -58,6 +60,7 @@ def run_campaign_fleet(config=None, program=None, *, iterations: int,
                        detailed: bool = False, bug: int = None,
                        l1_lines: int = 4, die_on_crash: bool = False,
                        include_ws: bool = True, lint: str = None,
+                       mutation: str = None,
                        fleet: FleetConfig = None) -> CampaignResult:
     """Run one campaign sharded over ``jobs`` worker processes.
 
@@ -103,7 +106,7 @@ def run_campaign_fleet(config=None, program=None, *, iterations: int,
         program, config, iterations, jobs, seed=seed, block=block,
         instrumentation=instrumentation, os_model=os_model,
         sync_barriers=sync_barriers, detailed=detailed, bug=bug,
-        l1_lines=l1_lines, die_on_crash=die_on_crash,
+        l1_lines=l1_lines, mutation=mutation, die_on_crash=die_on_crash,
         collect_metrics=obs.enabled, include_ws=include_ws)
     base = FleetConfig() if fleet is None else fleet
     supervisor = FleetSupervisor(

@@ -48,6 +48,7 @@ def merge_campaign_results(results) -> CampaignResult:
         merged.iterations += result.iterations
         merged.crashes += result.crashes
         merged.skipped_iterations += result.skipped_iterations
+        merged.signature_asserts += result.signature_asserts
         merged.signature_counts.update(result.signature_counts)
         for signature, representative in result.representatives.items():
             merged.representatives.setdefault(signature, representative)

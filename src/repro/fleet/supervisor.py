@@ -130,8 +130,8 @@ class FleetSupervisor:
                               daemon=True)
         process.start()
         sender.close()          # keep only the child's write end open
-        process.join(self.config.timeout_s)
-        if process.is_alive():
+        message, timed_out = self._await_handoff(process, receiver)
+        if timed_out:
             process.terminate()
             process.join(5.0)
             if process.is_alive():
@@ -139,19 +139,44 @@ class FleetSupervisor:
                 process.join(5.0)
             receiver.close()
             return False, "timed out after %.3gs" % self.config.timeout_s, None
-        message = None
-        try:
-            if receiver.poll():
-                message = receiver.recv()
-        except (EOFError, OSError):
-            message = None
-        finally:
-            receiver.close()
+        process.join(5.0)
+        if process.is_alive():       # sent its hand-off but won't exit
+            process.terminate()
+            process.join(5.0)
+        receiver.close()
         if message is not None and message[0] == "ok":
             return True, message[1], message[2]
         if message is not None and message[0] == "error":
             return False, message[1], None
         return False, "worker died with exit code %s" % process.exitcode, None
+
+    def _await_handoff(self, process, receiver):
+        """Wait for the child's message, draining the pipe while it runs.
+
+        Returns ``(message_or_None, timed_out)``.  Receiving *during*
+        the child's lifetime is load-bearing: a hand-off larger than
+        the OS pipe buffer blocks the child's ``send`` until the host
+        reads it, so a join-before-recv supervisor would deadlock every
+        large shard straight into the timeout path.
+        """
+        deadline = (None if self.config.timeout_s is None
+                    else time.monotonic() + self.config.timeout_s)
+        while True:
+            try:
+                if receiver.poll(0.05):
+                    return receiver.recv(), False
+            except (EOFError, OSError):
+                return None, False
+            if not process.is_alive():
+                # exited; pick up a hand-off raced just before death
+                try:
+                    if receiver.poll():
+                        return receiver.recv(), False
+                except (EOFError, OSError):
+                    pass
+                return None, False
+            if deadline is not None and time.monotonic() >= deadline:
+                return None, True
 
     def _context(self):
         method = self.config.start_method

@@ -50,6 +50,9 @@ class WorkerTask:
     #: paper Section-7 bug number to inject (implies ``detailed``)
     bug: int = None
     l1_lines: int = 4
+    #: registered :mod:`repro.mutate` mutation name to inject (workers
+    #: rebuild the fault plane / detailed fault config from the registry)
+    mutation: str = None
     #: emulate device death: exit non-zero if any iteration crashes
     die_on_crash: bool = False
     #: ship the worker's metric state home for host-side absorption
@@ -77,7 +80,15 @@ def execute_task(task: WorkerTask):
 
     program = load_program(task.program_doc)
     extra = {}
-    if task.detailed or task.bug:
+    if task.mutation:
+        from repro.mutate.registry import get_mutation
+
+        mutation = get_mutation(task.mutation)
+        extra["mutation"] = mutation
+        if mutation.executor == "operational":
+            extra["platform"] = platform_for_isa(
+                task.config.isa if task.config else task.isa)
+    elif task.detailed or task.bug:
         from repro.sim.detailed import DetailedExecutor
         from repro.sim.faults import Bug, FaultConfig
 

@@ -19,7 +19,7 @@ import random
 from collections import Counter
 from dataclasses import dataclass, field
 
-from repro.errors import ReproError
+from repro.errors import ReproError, SignatureError
 from repro.fleet.sharding import derive_os_seed, derive_seed, plan_blocks
 from repro.harness.sortmodel import SortCostModel
 from repro.checker.baseline import BaselineChecker
@@ -65,6 +65,11 @@ class CampaignResult:
     crashes: int = 0
     #: iterations the lint gate statically proved redundant and skipped
     skipped_iterations: int = 0
+    #: iterations whose observed rf fell outside the instrumented
+    #: candidate sets — the signature chain's assertion tail fired
+    #: (paper Figure 4 "assert error"); a detection outcome on its own,
+    #: these executions have no encodable signature
+    signature_asserts: int = 0
 
     @property
     def unique_signatures(self) -> int:
@@ -127,12 +132,19 @@ class Campaign:
         os_model: pass True for the Linux-perturbation variant, or an
             :class:`OSModel` instance for custom interference.
         seed: executor RNG seed.
+        mutation: a registered :class:`repro.mutate.Mutation` (or its
+            name) to inject — operational mutations arm a seeded
+            :class:`repro.mutate.FaultPlane` on the executor, detailed
+            ones swap in the MESI simulator with the matching
+            :class:`repro.sim.faults.FaultConfig`.  ``None`` (default)
+            runs the unmutated, byte-identical machine.
     """
 
     def __init__(self, program: TestProgram = None, config: TestConfig = None,
                  platform: Platform = None, model: MemoryModel = None, *,
                  instrumentation: str = "signature", os_model=None, seed: int = 0,
-                 executor_cls=OperationalExecutor, sync_barriers: bool = False):
+                 executor_cls=OperationalExecutor, sync_barriers: bool = False,
+                 mutation=None):
         obs = get_obs()
         if program is None:
             if config is None:
@@ -141,6 +153,13 @@ class Campaign:
                 program = generate(config)
         self.program = program
         self.config = config
+        #: dispatchable to fleet workers only when every knob is plain data
+        self._fleet_ready = executor_cls is OperationalExecutor
+        self.mutation = None
+        plane = None
+        if mutation is not None:
+            plane, executor_cls, platform = self._resolve_mutation(
+                mutation, executor_cls, platform, seed)
         if platform is None:
             platform = platform_for_isa(config.isa if config else "arm")
         self.platform = platform
@@ -153,18 +172,54 @@ class Campaign:
             os_model = OSModel(random.Random(derive_os_seed(seed)),
                                program.num_threads, platform.num_cores)
             self._owned_os_model = os_model
+        extra = {"plane": plane} if plane is not None else {}
         self.executor = executor_cls(
             program, self.model, platform, seed=seed,
             instrumentation=instrumentation, codec=self.codec,
-            layout=layout, os_model=os_model, sync_barriers=sync_barriers)
+            layout=layout, os_model=os_model, sync_barriers=sync_barriers,
+            **extra)
         self.instrumentation = instrumentation
         self.seed = seed
         self.sync_barriers = sync_barriers
-        #: dispatchable to fleet workers only when every knob is plain data
         self._fleet_ready = (
-            executor_cls is OperationalExecutor
+            self._fleet_ready
             and (os_model is None or os_model is self._owned_os_model))
         self._sort_model = SortCostModel()
+
+    def _resolve_mutation(self, mutation, executor_cls, platform, seed):
+        """Turn a mutation (or its name) into executor wiring.
+
+        Operational mutations get a fresh :class:`FaultPlane`; detailed
+        ones swap the executor class for the MESI simulator carrying the
+        bug's :class:`FaultConfig` (mirroring the CLI ``--bug`` path).
+        Mutated campaigns stay fleet-dispatchable — workers rebuild the
+        same wiring from the mutation's registered name.
+        """
+        from repro.mutate.plane import FaultPlane
+        from repro.mutate.registry import Mutation, get_mutation
+
+        resolved = mutation if isinstance(mutation, Mutation) \
+            else get_mutation(mutation)
+        if not self._fleet_ready:
+            raise ReproError(
+                "mutation %r cannot be combined with a custom executor class"
+                % resolved.name)
+        self.mutation = resolved
+        if resolved.executor == "detailed":
+            from repro.sim.detailed import DetailedExecutor
+            from repro.sim.platform import GEM5_X86_8CORE
+
+            isa = self.config.isa if self.config else "x86"
+            if isa != "x86":
+                raise ReproError(
+                    "mutation %r runs on the detailed MESI simulator, "
+                    "which models x86 only (config is %s)"
+                    % (resolved.name, isa))
+            faults = resolved.fault_config()
+            executor_cls = (
+                lambda *a, **kw: DetailedExecutor(*a, faults=faults, **kw))
+            return None, executor_cls, platform or GEM5_X86_8CORE
+        return FaultPlane(resolved, seed), executor_cls, platform
 
     def run(self, iterations: int, jobs: int = 1, block: int = None,
             lint: str = None) -> CampaignResult:
@@ -243,7 +298,14 @@ class Campaign:
             if execution.crashed:
                 result.crashes += 1
                 continue
-            signature = encode(execution.rf)
+            try:
+                signature = encode(execution.rf)
+            except SignatureError:
+                # the instrumented chain's assertion tail fired on the
+                # device: there is no signature to collect, only the
+                # detection outcome itself
+                result.signature_asserts += 1
+                continue
             counts[signature] += 1
             if signature not in reps:
                 reps[signature] = execution
@@ -269,12 +331,16 @@ class Campaign:
             jobs=jobs, seed=self.seed, block=block,
             instrumentation=self.instrumentation,
             os_model=self._owned_os_model is not None,
-            sync_barriers=self.sync_barriers, lint=lint)
+            sync_barriers=self.sync_barriers, lint=lint,
+            mutation=self.mutation.name if self.mutation else None)
 
     def _record_run_metrics(self, obs, result: CampaignResult) -> None:
         metrics = obs.metrics
         metrics.counter("harness.iterations").inc(result.iterations)
         metrics.counter("harness.crashes").inc(result.crashes)
+        if result.signature_asserts:
+            metrics.counter("harness.signature_asserts").inc(
+                result.signature_asserts)
         metrics.counter("harness.test_accesses").inc(result.test_accesses)
         metrics.counter("harness.extra_accesses").inc(result.extra_accesses)
         metrics.gauge("harness.unique_signatures").set(result.unique_signatures)

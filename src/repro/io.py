@@ -82,6 +82,8 @@ def dump_campaign(result: CampaignResult, include_ws: bool = True,
     }
     if result.skipped_iterations:
         doc["skipped_iterations"] = result.skipped_iterations
+    if result.signature_asserts:
+        doc["signature_asserts"] = result.signature_asserts
     if meta:
         doc["meta"] = dict(meta)
     return json.dumps(doc, indent=1)
@@ -117,6 +119,7 @@ def load_campaign(text: str) -> CampaignResult:
     result = CampaignResult(program, codec, iterations=doc.get("iterations", 0))
     result.crashes = doc.get("crashes", 0)
     result.skipped_iterations = doc.get("skipped_iterations", 0)
+    result.signature_asserts = doc.get("signature_asserts", 0)
     counts = Counter()
     for entry in doc["signatures"]:
         signature = _signature_from_list(entry["words"])

@@ -1,0 +1,157 @@
+"""Seeded fault-injection plane for the operational executor.
+
+The paper's validation argument (Section 7) rests on deliberately broken
+machines: real gem5 bugs are re-injected and MTraceCheck must catch the
+resulting memory-ordering violations.  This module provides the
+machinery half of that argument for the *operational* executor —
+:class:`FaultPlane` arms named fault points inside
+:class:`repro.sim.executor.OperationalExecutor` and decides, with its
+own deterministic RNG stream, when each armed point actually misbehaves.
+
+Design constraints (both load-bearing):
+
+* **No-fault transparency.**  An executor constructed without a plane
+  (``plane=None``) takes exactly the pre-mutation code paths and draws
+  exactly the same random numbers, so clean campaigns remain
+  byte-identical to an unmutated build — the differential guarantee the
+  sensitivity suite's control arm asserts.
+* **Own RNG stream.**  The plane never draws from the executor's RNG.
+  Trigger decisions come from a private :class:`random.Random` seeded
+  from ``(mutation name, seed)``, so arming a probabilistic mutation
+  perturbs only the faulted behaviour, not the baseline interleaving
+  schedule, and ``reseed`` restores the fleet's serial/sharded parity.
+
+Fault points are plain string names (``"tso.sb_reorder"``,
+``"fence.drop"``, ...); the registry (:mod:`repro.mutate.registry`)
+binds each :class:`~repro.mutate.registry.Mutation` to the points it
+arms and the :class:`Trigger` that paces it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import random
+
+from repro.errors import ReproError
+
+#: trigger pacing modes
+ALWAYS, PROB, NTH = "always", "prob", "nth"
+
+
+@dataclass(frozen=True)
+class Trigger:
+    """When an armed fault point actually fires.
+
+    The paper's bugs are *conditional* — bug 1 needs an invalidation to
+    race an S->M upgrade, bug 2 any invalidation, bug 3 a writeback
+    race — so a useful injection plane must express faults that are
+    rarer than their structural opportunity.  Three pacing modes cover
+    the matrix:
+
+    * ``always`` — fire at every opportunity (structural faults);
+    * ``prob`` — fire with probability ``p`` per opportunity, drawn
+      from the plane's private RNG;
+    * ``nth`` — fire at every ``n``-th opportunity (deterministic
+      sparse faults; opportunity counts persist across iterations of a
+      seed block and reset on :meth:`FaultPlane.reseed`).
+    """
+
+    mode: str = ALWAYS
+    p: float = 1.0
+    n: int = 1
+
+    def __post_init__(self):
+        if self.mode not in (ALWAYS, PROB, NTH):
+            raise ReproError("unknown trigger mode %r" % (self.mode,))
+        if self.mode == PROB and not (0.0 < self.p <= 1.0):
+            raise ReproError("trigger probability must be in (0, 1]; got %r"
+                             % (self.p,))
+        if self.mode == NTH and self.n < 1:
+            raise ReproError("trigger period must be >= 1; got %r" % (self.n,))
+
+    @classmethod
+    def always(cls) -> "Trigger":
+        return cls(ALWAYS)
+
+    @classmethod
+    def prob(cls, p: float) -> "Trigger":
+        return cls(PROB, p=p)
+
+    @classmethod
+    def nth(cls, n: int) -> "Trigger":
+        return cls(NTH, n=n)
+
+    def describe(self) -> str:
+        if self.mode == PROB:
+            return "p=%g" % self.p
+        if self.mode == NTH:
+            return "every %dth" % self.n
+        return "always"
+
+
+class FaultPlane:
+    """Arms a mutation's fault points and paces their firing.
+
+    The executor consults the plane at each opportunity:
+
+    * :meth:`arms` — cheap membership test; lets the executor skip a
+      point's (possibly costly) opportunity detection entirely when the
+      active mutation does not arm it.
+    * :meth:`fires` — counts the opportunity and evaluates the
+      mutation's trigger; ``True`` means "misbehave now".
+    * :meth:`pick_index` — deterministic choice among several possible
+      faulty outcomes (e.g. which younger store-buffer entry to drain),
+      from the plane's own stream.
+
+    Per-point opportunity and firing totals are kept for the
+    sensitivity campaign's ``mutate.*`` metrics.
+    """
+
+    def __init__(self, mutation, seed: int = 0):
+        self.mutation = mutation
+        self._points = frozenset(mutation.points)
+        self._trigger = mutation.trigger
+        self.opportunities: Counter = Counter()
+        self.fired: Counter = Counter()
+        self.rng = random.Random()
+        self.reseed(seed)
+
+    def reseed(self, seed: int) -> None:
+        """Reset the plane to the state of a fresh construction.
+
+        String seeding keeps the stream independent of the executor's
+        integer-seeded stream and deterministic across processes (the
+        fleet's serial/sharded parity depends on both).
+        """
+        self.rng.seed("repro.mutate:%s:%d" % (self.mutation.name, seed))
+        self.opportunities.clear()
+        self.fired.clear()
+
+    def arms(self, point: str) -> bool:
+        """Whether the active mutation injects faults at ``point``."""
+        return point in self._points
+
+    def fires(self, point: str) -> bool:
+        """Count one opportunity at ``point``; True when the fault fires."""
+        if point not in self._points:
+            return False
+        self.opportunities[point] += 1
+        trigger = self._trigger
+        if trigger.mode == ALWAYS:
+            hit = True
+        elif trigger.mode == PROB:
+            hit = self.rng.random() < trigger.p
+        else:
+            hit = self.opportunities[point] % trigger.n == 0
+        if hit:
+            self.fired[point] += 1
+        return hit
+
+    def pick_index(self, n: int) -> int:
+        """Choose one of ``n`` faulty outcomes from the plane's stream."""
+        return self.rng.randrange(n)
+
+    def total_fired(self) -> int:
+        return sum(self.fired.values())

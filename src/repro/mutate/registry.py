@@ -1,0 +1,332 @@
+"""The mutation registry: every injectable fault the suite must catch.
+
+Paper provenance (Section 7, "Bug-injection studies"): MTraceCheck's
+evaluation injects three historically-reported gem5 bugs and shows the
+constraint-graph checker flags the resulting executions.  TriCheck and
+QED (see PAPERS.md) generalize the lesson — an MCM validator is only
+trustworthy when exercised against a *systematic matrix* of injected
+violations.  This registry is that matrix: each :class:`Mutation` names
+one way a machine can break its memory-consistency contract, the fault
+points that implement it, the :class:`~repro.mutate.plane.Trigger` that
+paces it, and a pinned :class:`CampaignSpec` under which the CI
+sensitivity suite must detect it.
+
+Two executor families are covered by the *same* registry:
+
+* ``operational`` mutations arm :class:`~repro.mutate.plane.FaultPlane`
+  points inside :class:`repro.sim.executor.OperationalExecutor`;
+* ``detailed`` mutations are the paper's three gem5 bugs, realized as
+  :class:`repro.sim.faults.FaultConfig` knobs of the MESI simulator —
+  refactored here so both families run through one campaign driver and
+  one CI gate.
+
+Detection channels (``Mutation.fault_class``):
+
+* ``"ordering"`` — the mutation produces memory-ordering violations;
+  the campaign must observe a constraint-graph cycle *or* a signature
+  assert (an rf source outside the instrumented candidate set — the
+  paper's Figure 4 "assert error" arm).
+* ``"crash"`` — the mutation kills the device (paper bug 3: every run
+  crashed); the campaign must observe crash outcomes instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.mutate.plane import Trigger
+from repro.sim.faults import Bug, FaultConfig
+from repro.testgen.config import TestConfig
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Pinned sensitivity-campaign recipe for one mutation.
+
+    The CI gate runs exactly this recipe; ``budget`` is the
+    executions-to-detection ceiling — a checker regression that makes
+    the mutation need more executions than its budget fails the build.
+    """
+
+    config: TestConfig
+    #: iteration ceiling per seed
+    budget: int = 256
+    #: independent campaign seeds (detection must succeed in every one)
+    seeds: int = 3
+    #: checking cadence: check cumulatively after each chunk
+    chunk: int = 64
+    #: write-serialization mode for the checking stage
+    ws_mode: str = "static"
+    #: detailed-simulator L1 capacity (lines); the paper's tiny 1 kB L1
+    l1_lines: int = 4
+    #: run with global barrier rendezvous — threads align at fences, so
+    #: a dropped fence's ordering loss races against *synchronized*
+    #: cross-thread accesses (the rendezvous itself survives the drop)
+    sync_barriers: bool = False
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One named way a machine can violate its MCM contract."""
+
+    name: str
+    #: one-line human description
+    title: str
+    #: where the fault class comes from in the literature
+    provenance: str
+    #: ``"operational"`` (fault-plane points) or ``"detailed"`` (gem5 bug)
+    executor: str
+    #: fault-plane point names this mutation arms (operational only)
+    points: tuple = ()
+    trigger: Trigger = field(default_factory=Trigger.always)
+    #: ``"ordering"`` (expect violation/assert) or ``"crash"``
+    fault_class: str = "ordering"
+    #: paper Section-7 bug (detailed mutations only)
+    bug: Bug = None
+    spec: CampaignSpec = None
+
+    def __post_init__(self):
+        if self.executor not in ("operational", "detailed"):
+            raise ReproError("mutation executor must be 'operational' or "
+                             "'detailed'; got %r" % (self.executor,))
+        if self.fault_class not in ("ordering", "crash"):
+            raise ReproError("mutation fault_class must be 'ordering' or "
+                             "'crash'; got %r" % (self.fault_class,))
+        if self.executor == "detailed" and self.bug is None:
+            raise ReproError("detailed mutation %r needs a Bug" % self.name)
+        if self.executor == "operational" and not self.points:
+            raise ReproError("operational mutation %r arms no fault points"
+                             % self.name)
+
+    def fault_config(self) -> FaultConfig:
+        """The detailed simulator's knobs for this mutation."""
+        if self.executor != "detailed":
+            raise ReproError("mutation %r is not a detailed-simulator bug"
+                             % self.name)
+        return FaultConfig(bug=self.bug, l1_lines=self.spec.l1_lines)
+
+
+_REGISTRY: dict[str, Mutation] = {}
+
+
+def register(mutation: Mutation) -> Mutation:
+    if mutation.name in _REGISTRY:
+        raise ReproError("duplicate mutation name %r" % mutation.name)
+    _REGISTRY[mutation.name] = mutation
+    return mutation
+
+
+def get_mutation(name: str) -> Mutation:
+    """Look up a registered mutation; :class:`ReproError` on unknown names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ReproError(
+            "unknown mutation %r; known: %s"
+            % (name, ", ".join(sorted(_REGISTRY)))) from None
+
+
+def all_mutations() -> list[Mutation]:
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def operational_mutations() -> list[Mutation]:
+    return [m for m in all_mutations() if m.executor == "operational"]
+
+
+def detailed_mutations() -> list[Mutation]:
+    return [m for m in all_mutations() if m.executor == "detailed"]
+
+
+# -- operational-executor mutations ------------------------------------------
+#
+# Campaign specs are calibrated: every (config, budget, seeds) triple
+# below detects its mutation in every seed with plenty of margin (see
+# EXPERIMENTS.md, "Validating the validator"), which is what lets the CI
+# gate treat a budget overrun as a checker regression rather than bad
+# luck.
+
+register(Mutation(
+    name="tso-sb-reorder",
+    title="TSO store buffer drains out of FIFO order",
+    provenance=(
+        "x86-TSO requires program-order store commitment (store->store "
+        "ordering); a non-FIFO drain is the classic message-passing "
+        "failure TSO forbids — cf. the paper's Section 2 ordering "
+        "discussion and the mp litmus family."),
+    executor="operational",
+    points=("tso.sb_reorder",),
+    trigger=Trigger.prob(0.5),
+    spec=CampaignSpec(
+        config=TestConfig(isa="x86", threads=4, ops_per_thread=30,
+                          addresses=8, seed=11),
+        budget=512),
+))
+
+register(Mutation(
+    name="tso-fence-drop",
+    title="TSO fence retires without draining the store buffer",
+    provenance=(
+        "Dropping an mfence re-allows the store->load reordering the "
+        "fence exists to forbid (paper footnote 4 / the sb litmus "
+        "family with fences); equivalent to gem5-class fence decode "
+        "bugs where a barrier micro-op is dropped."),
+    executor="operational",
+    points=("fence.drop",),
+    trigger=Trigger.always(),
+    # Detection is strongly program-shape-dependent (the paper's bug 1
+    # was exposed by 1 of 101 tests): the violating cycle needs matched
+    # store->fence->load patterns racing in one iteration, so the spec
+    # pins a short, barrier-dense program with rendezvous-aligned
+    # threads that detects reliably across executor seeds.
+    spec=CampaignSpec(
+        config=TestConfig(isa="x86", threads=4, ops_per_thread=16,
+                          addresses=4, barrier_fraction=0.3, seed=12),
+        budget=384, sync_barriers=True),
+))
+
+register(Mutation(
+    name="weak-fence-drop",
+    title="weak-model barrier neither blocks nor orders the window",
+    provenance=(
+        "On a weakly-ordered machine the dmb/sync barrier is the *only* "
+        "cross-address ordering tool; ignoring it erases the MCM "
+        "entirely (ARM errata of the 'barrier ignored under "
+        "speculation' class)."),
+    executor="operational",
+    points=("fence.drop",),
+    trigger=Trigger.always(),
+    spec=CampaignSpec(
+        config=TestConfig(isa="arm", threads=4, ops_per_thread=40,
+                          addresses=4, load_fraction=0.6,
+                          barrier_fraction=0.3, seed=13),
+        budget=256),
+))
+
+register(Mutation(
+    name="tso-stale-read",
+    title="TSO load returns the previous write (stale coherence read)",
+    provenance=(
+        "A lost invalidation leaves a core reading a stale cached copy "
+        "— the coherence failure underlying the paper's bug 1/2 "
+        "load->load violations, here injected at the memory interface "
+        "of the operational machine."),
+    executor="operational",
+    points=("mem.stale_read",),
+    trigger=Trigger.prob(0.3),
+    spec=CampaignSpec(
+        config=TestConfig(isa="x86", threads=4, ops_per_thread=30,
+                          addresses=4, seed=14),
+        budget=256),
+))
+
+register(Mutation(
+    name="weak-stale-read",
+    title="weak-model load returns the previous write",
+    provenance=(
+        "Same lost-invalidation mechanism as tso-stale-read; even RMO "
+        "requires per-location coherence (CoRR), so the violation is "
+        "visible under the weak model too."),
+    executor="operational",
+    points=("mem.stale_read",),
+    trigger=Trigger.nth(3),
+    spec=CampaignSpec(
+        config=TestConfig(isa="arm", threads=4, ops_per_thread=30,
+                          addresses=4, seed=15),
+        budget=256),
+))
+
+register(Mutation(
+    name="weak-window-escape",
+    title="reorder window ignores per-location coherence blocking",
+    provenance=(
+        "Out-of-window reordering: a younger same-address access "
+        "completes before an older pending one, breaking the CoRR/CoWW "
+        "guarantees every coherent MCM keeps (the LSQ-side mechanism of "
+        "the paper's bug 2, transplanted to the operational window)."),
+    executor="operational",
+    points=("weak.window_escape",),
+    trigger=Trigger.prob(0.5),
+    spec=CampaignSpec(
+        config=TestConfig(isa="arm", threads=4, ops_per_thread=30,
+                          addresses=4, seed=16),
+        budget=256),
+))
+
+register(Mutation(
+    name="tso-sb-forward-alias",
+    title="store buffer forwards a same-line different-word value",
+    provenance=(
+        "A forwarding CAM that matches line tags instead of full "
+        "addresses hands the load another word's data — a wrong-value "
+        "bypass invisible to ordering checks but caught by the "
+        "instrumentation's assertion tail (paper Figure 4's 'assert "
+        "error' arm), exercising the checker's non-graph channel."),
+    executor="operational",
+    points=("tso.sb_forward_alias",),
+    trigger=Trigger.always(),
+    spec=CampaignSpec(
+        config=TestConfig(isa="x86", threads=4, ops_per_thread=40,
+                          addresses=8, words_per_line=4, seed=17),
+        budget=256),
+))
+
+
+# -- detailed-simulator mutations (the paper's gem5 bugs) ---------------------
+
+register(Mutation(
+    name="gem5-protocol-squash",
+    title="no load squash when invalidation hits an S->M upgrade",
+    provenance=(
+        "Paper Section 7 bug 1 — 'MESI,LQ+SM,Inv' [19], a Peekaboo "
+        "variant: speculative loads to a line mid-upgrade survive the "
+        "invalidation, producing protocol-side load->load violations "
+        "(paper: rare — 1 of 101 tests exposed it)."),
+    executor="detailed",
+    bug=Bug.LOAD_LOAD_PROTOCOL,
+    # A line-contended shape (8 addresses on 2 lines, 7 threads, tiny
+    # L1) keeps S->M upgrades and invalidations colliding, so this
+    # program detects within a few dozen iterations on every seed —
+    # most program seeds never expose the bug (paper: 1 of 101 tests).
+    spec=CampaignSpec(
+        config=TestConfig(isa="x86", threads=7, ops_per_thread=100,
+                          addresses=8, words_per_line=4, seed=32),
+        budget=256, seeds=2, ws_mode="observed"),
+))
+
+register(Mutation(
+    name="gem5-lsq-squash",
+    title="LSQ never squashes speculative loads on invalidation",
+    provenance=(
+        "Paper Section 7 bug 2 — LSQ issue [19, 32]: the x86 "
+        "memory-ordering safeguard is disabled for every invalidation, "
+        "producing LSQ-side load->load violations (paper: 11 of 101 "
+        "tests exposed it)."),
+    executor="detailed",
+    bug=Bug.LOAD_LOAD_LSQ,
+    # Program seed picked from the 23*7919+k suite the detailed-sim
+    # regression tests use; this member detects on every executor seed
+    # probed, most of its siblings never do (paper: 11 of 101 tests).
+    spec=CampaignSpec(
+        config=TestConfig(isa="x86", threads=7, ops_per_thread=200,
+                          addresses=32, words_per_line=16, seed=182138),
+        budget=512, seeds=2, ws_mode="observed"),
+))
+
+register(Mutation(
+    name="gem5-writeback-race",
+    title="PUTX/GETX writeback race drives the protocol off its FSM",
+    provenance=(
+        "Paper Section 7 bug 3 — 'MESI bug 1' [28]: a race between an "
+        "L1 writeback and another L1's write request hits an invalid "
+        "transition and the simulation crashes (paper: all bug-3 runs "
+        "crashed before producing signatures)."),
+    executor="detailed",
+    bug=Bug.WRITEBACK_RACE,
+    fault_class="crash",
+    spec=CampaignSpec(
+        config=TestConfig(isa="x86", threads=7, ops_per_thread=100,
+                          addresses=64, words_per_line=4, seed=29),
+        budget=64, seeds=2),
+))

@@ -30,6 +30,10 @@ class ExecutionCounters:
     extra_accesses: int = 0
     #: mispredicted instrumentation branches
     branch_mispredicts: int = 0
+    #: loads whose observed source fell outside the candidate set — the
+    #: instrumented chain's assertion tail fired (paper Figure 4); only a
+    #: machine violating its MCM contract can produce these
+    assert_errors: int = 0
 
 
 @dataclass
@@ -74,6 +78,8 @@ def record_execution_metrics(obs, prefix: str, execution: Execution) -> None:
     metrics.counter(prefix + ".test_accesses").inc(c.test_accesses)
     metrics.counter(prefix + ".extra_accesses").inc(c.extra_accesses)
     metrics.counter(prefix + ".branch_mispredicts").inc(c.branch_mispredicts)
+    if c.assert_errors:
+        metrics.counter(prefix + ".assert_errors").inc(c.assert_errors)
     metrics.histogram(prefix + ".base_cycles").observe(c.base_cycles)
     metrics.histogram(prefix + ".instrumentation_cycles").observe(
         c.instrumentation_cycles)

@@ -101,6 +101,29 @@ class OperationalExecutor:
         sync_barriers: treat barriers as global rendezvous points in
             addition to their local ordering effect (used for regularized
             programs; requires equal barrier counts across threads).
+        plane: optional :class:`repro.mutate.FaultPlane` arming named
+            fault points (see below); ``None`` (the default) leaves every
+            machine exactly model-compliant — no extra RNG draws, no
+            behavioural change, byte-identical executions.
+
+    Fault points (consulted only when a plane arms them):
+
+    * ``tso.sb_reorder`` — the TSO store buffer drains a younger entry
+      ahead of the oldest (non-FIFO drain).
+    * ``fence.drop`` — a barrier retires without its ordering effect:
+      the TSO machine stops waiting for the store buffer to drain, the
+      weak machine lets pending accesses complete across the barrier.
+    * ``mem.stale_read`` — a load that misses the store buffer returns
+      the *previous* write to its address instead of the newest one
+      (stale coherence read).
+    * ``weak.window_escape`` — the weak machine's reorder window stops
+      enforcing per-location coherence: a younger same-address access
+      may complete before an older pending one.
+    * ``tso.sb_forward_alias`` — the store-to-load forwarding CAM
+      matches on the cache-line tag instead of the full address and
+      forwards a same-line different-word store's value (wrong-value
+      bypass; needs a layout with ``words_per_line > 1`` to have
+      opportunities).
     """
 
     def __init__(self, program: TestProgram, model: MemoryModel = None,
@@ -108,7 +131,8 @@ class OperationalExecutor:
                  instrumentation: str = None, codec=None,
                  layout: MemoryLayout = None, uniform_random: bool = False,
                  os_model: OSModel = None, sync_barriers: bool = False,
-                 latency: LatencyConfig = None, tuning: Tuning = DEFAULT_TUNING):
+                 latency: LatencyConfig = None, tuning: Tuning = DEFAULT_TUNING,
+                 plane=None):
         if platform is None:
             platform = platform_for_isa("x86" if (model and model.name == "tso") else "arm")
         self.program = program
@@ -127,8 +151,12 @@ class OperationalExecutor:
         self.os_model = os_model
         self.sync_barriers = sync_barriers
         self.tuning = tuning
+        self.plane = plane
+        if plane is not None:
+            plane.reseed(seed)
         if layout is None:
             layout = MemoryLayout(program.num_addresses, 1)
+        self._layout = layout
         if uniform_random:
             self.contention = UniformModel()
         else:
@@ -137,15 +165,14 @@ class OperationalExecutor:
                 core_speed=platform.thread_speeds(program.num_threads))
         # per-load-site branch predictor state: last observed candidate index
         self._predictor: dict[int, int] = {}
+        self._cand_index: dict[tuple, int] = {}
+        self._chain_len: dict[int, int] = {}
         if codec is not None:
-            self._cand_index = {
-                (slot.uid, src): i
-                for table in codec.tables
-                for slot in table.slots
-                for i, src in enumerate(slot.candidates)
-            }
-        else:
-            self._cand_index = {}
+            for table in codec.tables:
+                for slot in table.slots:
+                    self._chain_len[slot.uid] = len(slot.candidates)
+                    for i, src in enumerate(slot.candidates):
+                        self._cand_index[(slot.uid, src)] = i
 
     # -- public API -------------------------------------------------------------
 
@@ -159,6 +186,8 @@ class OperationalExecutor:
         """
         self.rng.seed(seed)
         self._predictor.clear()
+        if self.plane is not None:
+            self.plane.reseed(seed)
 
     def run_one(self) -> Execution:
         """Execute one iteration of the test."""
@@ -206,7 +235,19 @@ class OperationalExecutor:
         if mode == "flush":
             counters.extra_accesses += 1
             return self.contention.private_store_latency(self.program.op(load_uid).thread)
-        index = self._cand_index[(load_uid, source)]
+        index = self._cand_index.get((load_uid, source))
+        if index is None:
+            # The observed source lies outside the load's candidate set:
+            # the compare/branch chain falls through to its assertion
+            # tail (paper Figure 4's "assert error") — only a machine
+            # violating its MCM contract can get here.  Charge the full
+            # chain plus the taken assert branch; the predictor state is
+            # left alone (the iteration aborts into the error handler).
+            counters.assert_errors += 1
+            cost = (self._chain_len.get(load_uid, 0) + 1) * _BRANCH_COST \
+                + _MISPREDICT_PENALTY
+            counters.instrumentation_cycles += cost
+            return cost
         predicted = self._predictor.get(load_uid, 0)
         cost = (index + 1) * _BRANCH_COST
         if index != predicted:
@@ -235,6 +276,42 @@ class OperationalExecutor:
             return latency + self.os_model.perturb(latency)
         return latency
 
+    # -- fault-point helpers (consulted only when a plane arms them) -------------
+
+    def _alias_forward(self, sb, addr: int, plane):
+        """``tso.sb_forward_alias``: forward a same-line, different-word
+        buffered store to a load that missed the buffer.
+
+        Models a forwarding CAM that compares line tags instead of full
+        addresses — the load receives another word's value, which can
+        never be in its candidate set, so the instrumented compare/branch
+        chain's assertion tail catches it (the "assert error" detection
+        channel).
+        """
+        line_of = self._layout.line_of
+        line = line_of(addr)
+        for entry_addr, uid in reversed(sb):
+            if entry_addr != addr and line_of(entry_addr) == line:
+                if plane.fires("tso.sb_forward_alias"):
+                    return uid
+                return None
+        return None
+
+    def _stale_read(self, chain, newest, plane):
+        """``mem.stale_read``: return the previous write to the address.
+
+        Models a core reading a stale cached copy after losing an
+        invalidation: the returned value is the one the address held
+        *before* its newest store (INIT when only one store reached
+        memory).  No opportunity is counted while the address is still
+        at INIT — there is nothing stale to read.
+        """
+        if not chain:
+            return newest
+        if not plane.fires("mem.stale_read"):
+            return newest
+        return chain[-2] if len(chain) >= 2 else INIT
+
     # -- TSO machine ---------------------------------------------------------------
 
     def _run_tso(self) -> Execution:
@@ -262,11 +339,14 @@ class OperationalExecutor:
             t = self._pick_thread(clocks, runnable)
             ops, pc, sb = threads[t], pcs[t], sbs[t]
             op = ops[pc] if pc < len(ops) else None
+            plane = self.plane
 
             if op is not None and op.is_barrier:
-                if sb:
+                if sb and not (plane is not None and plane.fires("fence.drop")):
                     action = "drain"
                 else:
+                    # fence.drop: the barrier retires with stores still
+                    # buffered — its store->load ordering effect is lost
                     pcs[t] += 1
                     clocks[t] += 1.0
                     if self.sync_barriers:
@@ -284,7 +364,13 @@ class OperationalExecutor:
                 action = "issue"
 
             if action == "drain":
-                addr, uid = sb.pop(0)
+                drain_at = 0
+                if plane is not None and len(sb) > 1 \
+                        and plane.fires("tso.sb_reorder"):
+                    # non-FIFO drain: a younger buffered store reaches
+                    # memory ahead of the oldest one
+                    drain_at = 1 + plane.pick_index(len(sb) - 1)
+                addr, uid = sb.pop(drain_at)
                 memory[addr] = uid
                 ws[addr].append(uid)
                 clocks[t] += self._perturb(lat.store_latency(t, addr))
@@ -301,10 +387,15 @@ class OperationalExecutor:
                     if addr == op.addr:
                         source = uid
                         break
+                if source is None and plane is not None \
+                        and plane.arms("tso.sb_forward_alias"):
+                    source = self._alias_forward(sb, op.addr, plane)
                 if source is not None:
                     latency = 2.0 + rng.random()     # store-to-load forwarding
                 else:
                     source = memory.get(op.addr, INIT)
+                    if plane is not None and plane.arms("mem.stale_read"):
+                        source = self._stale_read(ws[op.addr], source, plane)
                     latency = lat.load_latency(t, op.addr)
                 rf[op.uid] = source
                 instr_clocks[t] += self._instrument_load(op.uid, source, counters)
@@ -339,9 +430,12 @@ class OperationalExecutor:
                 break
             t = self._pick_thread(clocks, runnable)
             ops, pc, win = threads[t], pcs[t], windows[t]
+            plane = self.plane
 
             can_fetch = pc < len(ops) and len(win) < capacity
             eligible = self._eligible(win)
+            if plane is not None and win:
+                eligible = self._mutated_eligible(win, eligible, plane)
             if can_fetch and (not eligible or rng.random() < self.tuning.fetch_prob):
                 win.append(ops[pc])
                 pcs[t] += 1
@@ -368,6 +462,8 @@ class OperationalExecutor:
                 latency = lat.store_latency(t, op.addr)
             else:
                 source = memory.get(op.addr, INIT)
+                if plane is not None and plane.arms("mem.stale_read"):
+                    source = self._stale_read(ws[op.addr], source, plane)
                 rf[op.uid] = source
                 latency = lat.load_latency(t, op.addr)
                 instr_clocks[t] += self._instrument_load(op.uid, source, counters)
@@ -375,6 +471,61 @@ class OperationalExecutor:
 
         self._finish(counters, clocks, instr_clocks)
         return Execution(rf, ws, counters)
+
+    def _mutated_eligible(self, window: list, eligible: list[int],
+                          plane) -> list[int]:
+        """Apply window-ordering faults to one eligibility decision.
+
+        * ``weak.window_escape`` — per-location coherence blocking is
+          ignored: younger same-address entries become eligible ahead of
+          older pending ones.
+        * ``fence.drop`` — pending barriers neither block younger
+          entries nor wait to become oldest.
+
+        Triggers are consulted once per decision, and only when the
+        fault would newly unblock at least one entry (a fault with no
+        observable consequence is not an opportunity).  When the fault
+        fires, *only* the newly-unblocked entries are returned — the
+        machine misbehaves now, rather than merely being allowed to
+        (the oldest-first completion bias would otherwise mask the
+        fault almost every time).
+        """
+        for point, drop_fences in (("weak.window_escape", False),
+                                   ("fence.drop", True)):
+            if not plane.arms(point):
+                continue
+            allowed = set(eligible)
+            added = [i for i in self._eligible_unblocked(window, drop_fences)
+                     if i not in allowed]
+            if added and plane.fires(point):
+                return added
+        return eligible
+
+    @staticmethod
+    def _eligible_unblocked(window: list, drop_fences: bool) -> list[int]:
+        """Eligibility with ordering enforcement deliberately broken.
+
+        With ``drop_fences`` False this lifts only same-address blocking
+        (``weak.window_escape``); with True it additionally makes
+        barriers transparent and completable anywhere (``fence.drop``).
+        """
+        eligible = []
+        seen_addrs: set = set()
+        for i, op in enumerate(window):
+            if op.is_barrier:
+                if drop_fences:
+                    eligible.append(i)
+                    continue
+                if i == 0:
+                    eligible.append(0)
+                break
+            if drop_fences:
+                if op.addr not in seen_addrs:
+                    eligible.append(i)
+                    seen_addrs.add(op.addr)
+            else:
+                eligible.append(i)
+        return eligible
 
     def _pick_eligible(self, eligible: list[int]) -> int:
         """Pick a window entry to complete, biased towards the oldest.
@@ -433,6 +584,7 @@ class OperationalExecutor:
                 break
             t = self._pick_thread(clocks, runnable)
             op = threads[t][pcs[t]]
+            plane = self.plane
             pcs[t] += 1
             if op.is_barrier:
                 clocks[t] += 1.0
@@ -448,6 +600,8 @@ class OperationalExecutor:
                 latency = lat.store_latency(t, op.addr)
             else:
                 source = memory.get(op.addr, INIT)
+                if plane is not None and plane.arms("mem.stale_read"):
+                    source = self._stale_read(ws[op.addr], source, plane)
                 rf[op.uid] = source
                 latency = lat.load_latency(t, op.addr)
                 instr_clocks[t] += self._instrument_load(op.uid, source, counters)

@@ -16,6 +16,14 @@ our MESI simulator:
   and another L1's write request (GETX) is mishandled, driving the
   protocol into an invalid transition; the simulation crashes (as all of
   the paper's bug-3 runs did).
+
+These three bugs are registered as ``detailed``-executor mutations in
+:mod:`repro.mutate.registry` (``gem5-protocol-squash``,
+``gem5-lsq-squash``, ``gem5-writeback-race``), so the checker-
+sensitivity suite drives them through the same campaign machinery as
+the operational executor's fault plane; :attr:`Bug.mutation_name` is
+the code-level link.  This module stays import-light (the simulator
+depends on it) and keeps the low-level knobs.
 """
 
 from __future__ import annotations
@@ -30,6 +38,11 @@ class Bug(enum.Enum):
     LOAD_LOAD_PROTOCOL = 1    # squash skipped when line is in SM transient
     LOAD_LOAD_LSQ = 2         # squash skipped on every invalidation
     WRITEBACK_RACE = 3        # PUTX/GETX race -> invalid transition crash
+
+    @property
+    def mutation_name(self) -> str:
+        """Name of this bug's :mod:`repro.mutate` registry entry."""
+        return _MUTATION_NAMES[self]
 
 
 @dataclass(frozen=True)
@@ -59,3 +72,9 @@ class FaultConfig:
 
 
 NO_FAULT = FaultConfig()
+
+_MUTATION_NAMES = {
+    Bug.LOAD_LOAD_PROTOCOL: "gem5-protocol-squash",
+    Bug.LOAD_LOAD_LSQ: "gem5-lsq-squash",
+    Bug.WRITEBACK_RACE: "gem5-writeback-race",
+}

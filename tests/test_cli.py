@@ -239,6 +239,77 @@ class TestObservabilityCLI:
         assert "error" in capsys.readouterr().err.lower()
 
 
+class TestMutateCLI:
+    def test_list_prints_registry(self, capsys):
+        assert main(["mutate", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "tso-stale-read" in out and "gem5-writeback-race" in out
+        assert "fault-injection registry" in out
+
+    def test_single_mutation_detected_exits_zero(self, capsys):
+        assert main(["mutate", "--mutation", "tso-stale-read",
+                     "--no-control"]) == 0
+        out = capsys.readouterr().out
+        assert "assert" in out and "yes" in out
+
+    def test_undetected_mutation_exits_one(self, capsys):
+        # a 1-iteration budget cannot detect anything
+        assert main(["mutate", "--mutation", "weak-fence-drop", "--budget",
+                     "1", "--seeds", "1", "--no-control"]) == 1
+        assert "UNDETECTED: weak-fence-drop" in capsys.readouterr().out
+
+    def test_json_document(self, capsys):
+        assert main(["mutate", "--mutation", "tso-stale-read", "--seeds", "1",
+                     "--no-control", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["undetected"] == []
+        entry = doc["mutations"][0]
+        assert entry["mutation"] == "tso-stale-read"
+        assert entry["detected"] is True
+        assert entry["seeds"][0]["channel"] == "assert"
+
+    def test_metrics_out_writes_report(self, capsys, tmp_path):
+        path = str(tmp_path / "mutate.json")
+        assert main(["mutate", "--mutation", "tso-stale-read", "--seeds", "1",
+                     "--no-control", "--metrics-out", path]) == 0
+        with open(path) as handle:
+            report = json.load(handle)
+        assert report["meta"]["command"] == "mutate"
+        assert report["summary"]["undetected"] == 0
+
+    def test_unknown_mutation_name_exits_cleanly(self, capsys):
+        assert main(["mutate", "--mutation", "no-such-mutation"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown mutation")
+        assert "Traceback" not in err
+
+    def test_run_with_mutation_reports_asserts(self, capsys):
+        assert main(["run", "--isa", "x86", "--threads", "4", "--ops", "30",
+                     "--addresses", "4", "--seed", "14", "--mutation",
+                     "tso-stale-read", "--iterations", "64"]) == 0
+        assert "signature asserts" in capsys.readouterr().out
+
+    def test_run_unknown_mutation_exits_cleanly(self, capsys):
+        assert main(["run", "--mutation", "bogus", "--iterations", "4"]) == 2
+        assert capsys.readouterr().err.startswith("error: unknown mutation")
+
+    def test_run_detailed_mutation_on_arm_exits_cleanly(self, capsys):
+        assert main(["run", "--mutation", "gem5-lsq-squash",
+                     "--iterations", "4"]) == 2
+        assert "x86 only" in capsys.readouterr().err
+
+    def test_run_mutation_conflicts_with_bug_flag(self, capsys):
+        assert main(["run", "--isa", "x86", "--mutation", "tso-stale-read",
+                     "--bug", "2", "--iterations", "4"]) == 2
+        assert "cannot be combined" in capsys.readouterr().err
+
+    def test_run_bug_on_non_x86_exits_cleanly(self, capsys):
+        assert main(["run", "--isa", "arm", "--bug", "3",
+                     "--iterations", "4"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "x86" in err
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -35,6 +35,14 @@ def _sleepy_worker(task, conn):
     time.sleep(60)
 
 
+def _bulky_worker(task, conn):
+    # a hand-off far larger than any OS pipe buffer: send() blocks until
+    # the supervisor drains it, so a join-before-recv host would push
+    # this shard into the timeout path instead of completing instantly
+    conn.send(("ok", "x" * 4_000_000, None))
+    conn.close()
+
+
 def _flaky_worker(task, conn):
     """Dies on the first launch, succeeds on the retry (via a flag file)."""
     flag = task.program_doc["flag"]
@@ -74,6 +82,16 @@ class TestSupervisor:
         outcome, = supervisor.run([TASK])
         assert outcome.crashed
         assert outcome.error == "synthetic failure"
+
+    def test_handoff_larger_than_pipe_buffer_completes(self):
+        supervisor = FleetSupervisor(
+            FleetConfig(jobs=1, timeout_s=30.0, max_retries=0),
+            target=_bulky_worker)
+        start = time.monotonic()
+        outcome, = supervisor.run([TASK])
+        assert not outcome.crashed
+        assert len(outcome.payload) == 4_000_000
+        assert time.monotonic() - start < 25.0  # drained, not timed out
 
     def test_timeout_kills_and_records_crash(self):
         supervisor = FleetSupervisor(

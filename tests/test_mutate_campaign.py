@@ -1,0 +1,119 @@
+"""Unit tests for the sensitivity-campaign driver."""
+
+import pytest
+
+from repro import obs
+from repro.errors import ReproError
+from repro.mutate import get_mutation
+from repro.mutate.campaign import (
+    ASSERT,
+    CRASH,
+    VIOLATION,
+    DetectionOutcome,
+    SeedOutcome,
+    SensitivityCampaign,
+    run_sensitivity_suite,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    yield
+    obs.disable()
+
+
+class TestOutcomeAggregation:
+    def _outcome(self, flags):
+        out = DetectionOutcome(get_mutation("tso-stale-read"))
+        for i, detected in enumerate(flags):
+            out.seeds.append(SeedOutcome(
+                seed=i, iterations=64, detected=detected,
+                channel=ASSERT if detected else None,
+                executions_to_detection=64 * (i + 1) if detected else None))
+        return out
+
+    def test_detected_requires_every_seed(self):
+        assert self._outcome([True, True]).detected
+        assert not self._outcome([True, False]).detected
+        assert not DetectionOutcome(get_mutation("tso-stale-read")).detected
+
+    def test_detection_rate_and_max_executions(self):
+        out = self._outcome([True, False, True])
+        assert out.detection_rate == pytest.approx(2 / 3)
+        assert out.max_executions_to_detection == 192
+        assert out.channels == [ASSERT]
+
+    def test_to_json_is_complete_and_serializable(self):
+        import json
+
+        doc = self._outcome([True]).to_json()
+        json.dumps(doc)
+        assert doc["mutation"] == "tso-stale-read"
+        assert doc["trigger"] == "p=0.3"
+        assert doc["seeds"][0]["channel"] == ASSERT
+        assert {CRASH, ASSERT, VIOLATION} == {"crash", "assert", "violation"}
+
+
+class TestSensitivityCampaign:
+    def test_detects_stale_read_via_assert_channel(self):
+        out = SensitivityCampaign("tso-stale-read", seeds=2,
+                                  control=False).run()
+        assert out.detected
+        assert out.channels == [ASSERT]
+        for s in out.seeds:
+            assert s.executions_to_detection <= out.mutation.spec.budget
+            assert s.signature_asserts > 0
+
+    def test_stops_early_on_detection(self):
+        out = SensitivityCampaign("tso-stale-read", seeds=1,
+                                  control=False).run()
+        s = out.seeds[0]
+        assert s.iterations == s.executions_to_detection < \
+            out.mutation.spec.budget
+
+    def test_budget_and_seeds_overrides(self):
+        out = SensitivityCampaign("tso-stale-read", budget=32, seeds=1,
+                                  control=False).run()
+        assert len(out.seeds) == 1
+        assert out.seeds[0].iterations <= 32
+
+    def test_control_reports_clean_diversity(self):
+        out = SensitivityCampaign("tso-stale-read", seeds=1, budget=64,
+                                  control=True).run()
+        assert out.clean_unique_signatures is not None
+        assert out.clean_unique_signatures > 0
+
+    def test_fleet_jobs_still_detect(self):
+        out = SensitivityCampaign("tso-stale-read", seeds=1, jobs=2,
+                                  control=False).run()
+        assert out.detected
+        # sharded campaigns run the whole budget before the one check
+        assert out.seeds[0].iterations == out.mutation.spec.budget
+
+    def test_unknown_mutation_name_raises(self):
+        with pytest.raises(ReproError, match="unknown mutation"):
+            SensitivityCampaign("definitely-not-registered")
+
+    def test_records_mutate_metrics(self):
+        handle = obs.enable()
+        SensitivityCampaign("tso-stale-read", seeds=1, control=False).run()
+        snapshot = handle.metrics.snapshot()
+        assert snapshot["mutate.campaigns"]["value"] == 1
+        assert snapshot["mutate.mutations_detected"]["value"] == 1
+        assert snapshot["mutate.channel.assert"]["value"] == 1
+        assert snapshot["mutate.detection_rate"]["value"] == 1.0
+
+
+class TestSuiteRunner:
+    def test_runs_named_selection_in_order(self):
+        outs = run_sensitivity_suite(["weak-stale-read", "tso-stale-read"],
+                                     seeds=1, control=False)
+        assert [o.mutation.name for o in outs] == \
+            ["weak-stale-read", "tso-stale-read"]
+
+    def test_default_selection_is_operational_only(self):
+        from repro.mutate import operational_mutations
+
+        outs = run_sensitivity_suite(seeds=1, budget=16, control=False)
+        assert [o.mutation.name for o in outs] == \
+            [m.name for m in operational_mutations()]

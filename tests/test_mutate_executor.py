@@ -1,0 +1,172 @@
+"""Behavioural tests of the operational executor's fault points.
+
+Each armed point must produce the specific misbehaviour it names, and —
+just as important — an executor whose plane never arms a consulted
+point must stay byte-identical to the unmutated machine (the no-fault
+transparency guarantee the sensitivity suite's control arm rests on).
+"""
+
+import pytest
+
+from repro.errors import SignatureError
+from repro.instrument import SignatureCodec
+from repro.isa import TestProgram, load, store
+from repro.isa.layout import MemoryLayout
+from repro.isa.instructions import INIT
+from repro.mcm import SC, TSO, WEAK
+from repro.mutate import FaultPlane, Mutation, Trigger, get_mutation
+from repro.sim import OperationalExecutor
+from repro.testgen import TestConfig
+from repro.testgen.litmus import message_passing_fenced, store_buffering_fenced
+
+
+def plane_for(points, trigger=None, seed=0, name="executor-test"):
+    mutation = Mutation(name=name, title="test fixture", provenance="tests",
+                        executor="operational", points=tuple(points),
+                        trigger=trigger or Trigger.always())
+    return FaultPlane(mutation, seed)
+
+
+def outcome_seen(litmus, model, iterations, plane=None, seed=1):
+    ex = OperationalExecutor(litmus.program, model, seed=seed, plane=plane)
+    for execution in ex.run(iterations):
+        if all(execution.rf.get(k) == v
+               for k, v in litmus.interesting_rf.items()):
+            return True
+    return False
+
+
+class TestStaleRead:
+    def test_load_returns_previous_write(self):
+        program = TestProgram.from_ops(
+            [[store(0, 0, 0, 1), store(0, 1, 0, 2), load(0, 2, 0)]],
+            num_addresses=1)
+        st1 = program.threads[0].ops[0].uid
+        st2 = program.threads[0].ops[1].uid
+        ld = program.threads[0].ops[2].uid
+        clean = OperationalExecutor(program, SC, seed=0)
+        assert all(e.rf[ld] == st2 for e in clean.run(8))
+        faulted = OperationalExecutor(program, SC, seed=0,
+                                      plane=plane_for(["mem.stale_read"]))
+        assert all(e.rf[ld] == st1 for e in faulted.run(8))
+
+    def test_single_write_chain_reads_init(self):
+        program = TestProgram.from_ops(
+            [[store(0, 0, 0, 1), load(0, 1, 0)]], num_addresses=1)
+        ld = program.threads[0].ops[1].uid
+        faulted = OperationalExecutor(program, SC, seed=0,
+                                      plane=plane_for(["mem.stale_read"]))
+        assert all(e.rf[ld] == INIT for e in faulted.run(8))
+
+
+class TestFenceDrop:
+    def test_tso_fence_drop_reenables_store_buffering(self):
+        lt = store_buffering_fenced()
+        assert not outcome_seen(lt, TSO, 600)
+        assert outcome_seen(lt, TSO, 600, plane=plane_for(["fence.drop"]))
+
+    def test_weak_fence_drop_reorders_across_barriers(self):
+        lt = message_passing_fenced()
+        assert not outcome_seen(lt, WEAK, 400)
+        assert outcome_seen(lt, WEAK, 400, plane=plane_for(["fence.drop"]))
+
+
+class TestStoreBufferReorder:
+    def test_non_fifo_drain_inverts_write_serialization(self):
+        # two buffered stores to one address: a non-FIFO drain commits
+        # the younger first, inverting the observed coherence order —
+        # the store->store reordering x86-TSO forbids
+        program = TestProgram.from_ops(
+            [[store(0, 0, 0, 1), store(0, 1, 0, 2)], [load(1, 0, 0)]],
+            num_addresses=1)
+        st1 = program.threads[0].ops[0].uid
+        st2 = program.threads[0].ops[1].uid
+        clean = OperationalExecutor(program, TSO, seed=0)
+        assert all(tuple(e.ws[0]) == (st1, st2) for e in clean.run(200))
+        plane = plane_for(["tso.sb_reorder"])
+        faulted = OperationalExecutor(program, TSO, seed=0, plane=plane)
+        orders = {tuple(e.ws[0]) for e in faulted.run(200)}
+        assert (st2, st1) in orders
+        assert plane.total_fired() > 0
+
+
+class TestAliasForward:
+    def test_same_line_forward_fires_signature_assert(self):
+        # one line holds words 0 and 1: the load of word 0 misses the
+        # store buffer exactly, but the buffered store to word 1 matches
+        # the line tag and gets (wrongly) forwarded
+        program = TestProgram.from_ops(
+            [[store(0, 0, 1, 1), load(0, 1, 0)]], num_addresses=2)
+        st = program.threads[0].ops[0].uid
+        ld = program.threads[0].ops[1].uid
+        layout = MemoryLayout(num_words=2, words_per_line=2)
+        faulted = OperationalExecutor(
+            program, TSO, seed=0, layout=layout,
+            plane=plane_for(["tso.sb_forward_alias"]))
+        hits = [e for e in faulted.run(16) if e.rf[ld] == st]
+        assert hits, "alias forward never produced the wrong-value read"
+        codec = SignatureCodec(program, 32)
+        with pytest.raises(SignatureError):
+            codec.encode(hits[0].rf)
+        assert faulted.run_one().counters is not None
+
+    def test_needs_multiword_lines_for_opportunities(self):
+        program = TestProgram.from_ops(
+            [[store(0, 0, 1, 1), load(0, 1, 0)]], num_addresses=2)
+        plane = plane_for(["tso.sb_forward_alias"])
+        ex = OperationalExecutor(program, TSO, seed=0,
+                                 layout=MemoryLayout(num_words=2),
+                                 plane=plane)
+        for _ in ex.run(8):
+            pass
+        assert plane.total_fired() == 0
+
+
+class TestWindowEscape:
+    def test_same_address_blocking_is_lifted(self):
+        # CoRW: even the weak model must order a load after the older
+        # same-address store; the escape lets it read the initial value
+        program = TestProgram.from_ops(
+            [[store(0, 0, 0, 1), load(0, 1, 0)]], num_addresses=1)
+        ld = program.threads[0].ops[1].uid
+        clean = OperationalExecutor(program, WEAK, seed=0)
+        assert all(e.rf[ld] != INIT for e in clean.run(64))
+        faulted = OperationalExecutor(
+            program, WEAK, seed=0, plane=plane_for(["weak.window_escape"]))
+        assert any(e.rf[ld] == INIT for e in faulted.run(64))
+
+
+class TestNoFaultTransparency:
+    """A plane whose points the engine never arms must change nothing."""
+
+    @pytest.mark.parametrize("isa,model,foreign", [
+        ("x86", TSO, "weak-window-escape"),
+        ("arm", WEAK, "tso-sb-reorder"),
+    ])
+    def test_unconsulted_plane_is_byte_identical(self, isa, model, foreign):
+        cfg = TestConfig(isa=isa, threads=3, ops_per_thread=20, addresses=4,
+                         seed=5)
+        from repro.testgen import generate
+
+        program = generate(cfg)
+        plane = FaultPlane(get_mutation(foreign), seed=9)
+        clean = OperationalExecutor(program, model, seed=9, layout=cfg.layout)
+        armed = OperationalExecutor(program, model, seed=9, layout=cfg.layout,
+                                    plane=plane)
+        clean_rf = [e.rf for e in clean.run(40)]
+        armed_rf = [e.rf for e in armed.run(40)]
+        assert clean_rf == armed_rf
+        assert plane.total_fired() == 0
+
+    def test_campaign_without_mutation_matches_default(self, tmp_path):
+        from repro import io as repro_io
+        from repro.harness import Campaign
+
+        cfg = TestConfig(isa="arm", threads=3, ops_per_thread=20, addresses=4,
+                         seed=6)
+        a = Campaign(config=cfg, seed=2).run(60)
+        b = Campaign(config=cfg, seed=2, mutation=None).run(60)
+        pa, pb = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+        repro_io.save_campaign(a, pa)
+        repro_io.save_campaign(b, pb)
+        assert open(pa, "rb").read() == open(pb, "rb").read()

@@ -1,0 +1,91 @@
+"""Unit tests for the fault-injection plane (triggers + FaultPlane)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.mutate import FaultPlane, Mutation, Trigger
+
+
+def make_mutation(trigger, points=("point.a",), name="unit-test"):
+    return Mutation(name=name, title="unit fixture", provenance="tests",
+                    executor="operational", points=points, trigger=trigger)
+
+
+class TestTrigger:
+    def test_always_fires_unconditionally(self):
+        t = Trigger.always()
+        assert t.mode == "always" and t.describe() == "always"
+
+    def test_prob_validates_range(self):
+        assert Trigger.prob(0.5).describe() == "p=0.5"
+        with pytest.raises(ReproError):
+            Trigger.prob(0.0)
+        with pytest.raises(ReproError):
+            Trigger.prob(1.5)
+
+    def test_nth_validates_period(self):
+        assert Trigger.nth(3).describe() == "every 3th"
+        with pytest.raises(ReproError):
+            Trigger.nth(0)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ReproError):
+            Trigger(mode="sometimes")
+
+
+class TestFaultPlane:
+    def test_arms_only_registered_points(self):
+        plane = FaultPlane(make_mutation(Trigger.always(), ("a", "b")))
+        assert plane.arms("a") and plane.arms("b")
+        assert not plane.arms("c")
+
+    def test_unarmed_point_never_fires_or_counts(self):
+        plane = FaultPlane(make_mutation(Trigger.always(), ("a",)))
+        assert not plane.fires("other")
+        assert plane.opportunities["other"] == 0
+
+    def test_always_trigger_fires_every_opportunity(self):
+        plane = FaultPlane(make_mutation(Trigger.always()))
+        assert all(plane.fires("point.a") for _ in range(10))
+        assert plane.opportunities["point.a"] == 10
+        assert plane.fired["point.a"] == 10
+        assert plane.total_fired() == 10
+
+    def test_nth_trigger_fires_periodically(self):
+        plane = FaultPlane(make_mutation(Trigger.nth(3)))
+        hits = [plane.fires("point.a") for _ in range(9)]
+        assert hits == [False, False, True] * 3
+
+    def test_prob_trigger_is_seed_deterministic(self):
+        draws = []
+        for _ in range(2):
+            plane = FaultPlane(make_mutation(Trigger.prob(0.5)), seed=7)
+            draws.append([plane.fires("point.a") for _ in range(64)])
+        assert draws[0] == draws[1]
+        assert any(draws[0]) and not all(draws[0])
+
+    def test_different_seeds_give_different_streams(self):
+        a = FaultPlane(make_mutation(Trigger.prob(0.5)), seed=1)
+        b = FaultPlane(make_mutation(Trigger.prob(0.5)), seed=2)
+        assert [a.fires("point.a") for _ in range(64)] != \
+               [b.fires("point.a") for _ in range(64)]
+
+    def test_different_mutation_names_give_different_streams(self):
+        a = FaultPlane(make_mutation(Trigger.prob(0.5), name="m-a"), seed=1)
+        b = FaultPlane(make_mutation(Trigger.prob(0.5), name="m-b"), seed=1)
+        assert [a.fires("point.a") for _ in range(64)] != \
+               [b.fires("point.a") for _ in range(64)]
+
+    def test_reseed_restores_fresh_state(self):
+        plane = FaultPlane(make_mutation(Trigger.prob(0.5)), seed=3)
+        first = [plane.fires("point.a") for _ in range(32)]
+        picks = [plane.pick_index(5) for _ in range(8)]
+        plane.reseed(3)
+        assert plane.opportunities["point.a"] == 0
+        assert plane.total_fired() == 0
+        assert [plane.fires("point.a") for _ in range(32)] == first
+        assert [plane.pick_index(5) for _ in range(8)] == picks
+
+    def test_pick_index_stays_in_range(self):
+        plane = FaultPlane(make_mutation(Trigger.always()))
+        assert all(0 <= plane.pick_index(4) < 4 for _ in range(100))

@@ -1,0 +1,111 @@
+"""Unit tests for the mutation registry and its validation rules."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.mutate import (
+    CampaignSpec,
+    Mutation,
+    Trigger,
+    all_mutations,
+    detailed_mutations,
+    get_mutation,
+    operational_mutations,
+    register,
+)
+from repro.sim.faults import Bug, FaultConfig
+
+
+class TestRegistryContents:
+    def test_covers_both_executor_families(self):
+        ops = {m.name for m in operational_mutations()}
+        det = {m.name for m in detailed_mutations()}
+        assert {"tso-sb-reorder", "tso-fence-drop", "weak-fence-drop",
+                "tso-stale-read", "weak-stale-read", "weak-window-escape",
+                "tso-sb-forward-alias"} <= ops
+        assert det == {"gem5-protocol-squash", "gem5-lsq-squash",
+                       "gem5-writeback-race"}
+        assert {m.name for m in all_mutations()} == ops | det
+
+    def test_every_mutation_has_provenance_and_spec(self):
+        for m in all_mutations():
+            assert m.provenance, m.name
+            assert m.spec is not None and m.spec.budget > 0, m.name
+            assert m.spec.seeds >= 1, m.name
+
+    def test_paper_bugs_map_onto_registry_entries(self):
+        for bug in Bug:
+            m = get_mutation(bug.mutation_name)
+            assert m.executor == "detailed" and m.bug is bug
+
+    def test_crash_class_is_exactly_bug3(self):
+        crash = [m.name for m in all_mutations() if m.fault_class == "crash"]
+        assert crash == ["gem5-writeback-race"]
+
+    def test_operational_mutations_arm_known_executor_points(self):
+        from repro.sim.executor import OperationalExecutor
+
+        documented = OperationalExecutor.__doc__
+        for m in operational_mutations():
+            for point in m.points:
+                assert "``%s``" % point in documented, point
+
+
+class TestLookup:
+    def test_get_mutation_resolves_names(self):
+        m = get_mutation("tso-stale-read")
+        assert m.points == ("mem.stale_read",)
+
+    def test_unknown_name_is_a_repro_error_listing_known(self):
+        with pytest.raises(ReproError, match="tso-stale-read"):
+            get_mutation("no-such-mutation")
+
+    def test_duplicate_registration_rejected(self):
+        existing = all_mutations()[0]
+        with pytest.raises(ReproError, match="duplicate"):
+            register(existing)
+
+
+class TestMutationValidation:
+    def test_bad_executor_rejected(self):
+        with pytest.raises(ReproError):
+            Mutation(name="x", title="t", provenance="p", executor="rtl")
+
+    def test_bad_fault_class_rejected(self):
+        with pytest.raises(ReproError):
+            Mutation(name="x", title="t", provenance="p",
+                     executor="operational", points=("a",),
+                     fault_class="hang")
+
+    def test_detailed_mutation_needs_a_bug(self):
+        with pytest.raises(ReproError):
+            Mutation(name="x", title="t", provenance="p", executor="detailed")
+
+    def test_operational_mutation_needs_points(self):
+        with pytest.raises(ReproError):
+            Mutation(name="x", title="t", provenance="p",
+                     executor="operational")
+
+
+class TestFaultConfigBridge:
+    def test_detailed_mutation_builds_fault_config(self):
+        m = get_mutation("gem5-writeback-race")
+        fc = m.fault_config()
+        assert isinstance(fc, FaultConfig)
+        assert fc.bug is Bug.WRITEBACK_RACE
+        assert fc.l1_lines == m.spec.l1_lines
+        assert fc.crash_on_writeback_race
+
+    def test_operational_mutation_has_no_fault_config(self):
+        with pytest.raises(ReproError):
+            get_mutation("tso-stale-read").fault_config()
+
+    def test_spec_defaults(self):
+        spec = CampaignSpec(config=None)
+        assert spec.budget == 256 and spec.seeds == 3
+        assert spec.ws_mode == "static" and not spec.sync_barriers
+
+    def test_trigger_default_is_always(self):
+        m = Mutation(name="x", title="t", provenance="p",
+                     executor="operational", points=("a",))
+        assert m.trigger == Trigger.always()
