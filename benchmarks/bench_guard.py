@@ -1,0 +1,62 @@
+"""CI wrapper for the bench-regression watchdog.
+
+Thin front end over :mod:`repro.obs.bench` / ``repro bench diff
+--check``: re-runs the pinned quick configs embedded in
+``results/BENCH_delta.json`` (same seed, same iteration budget) and
+fails when any deterministic work count diverges from the committed
+snapshot.  Wall-clock leaves are reported but never gate — the same
+policy ``delta_guard.py`` uses, because CI runners are too noisy for
+timing assertions.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_guard.py             # verify
+    PYTHONPATH=src python benchmarks/bench_guard.py --record    # + history
+
+``--record`` additionally appends this run's snapshot digest to
+``results/BENCH_history.jsonl``, the performance trajectory the repo
+keeps per PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.obs import bench
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+HISTORY = RESULTS / "BENCH_history.jsonl"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tolerance", type=float,
+                        default=bench.DEFAULT_TOLERANCE,
+                        help="relative band for (informational) timing "
+                             "leaves")
+    parser.add_argument("--record", action="store_true",
+                        help="append the committed snapshot's digest to "
+                             "%s" % HISTORY.name)
+    args = parser.parse_args(argv)
+
+    comparison = bench.check_against_committed(str(RESULTS),
+                                               tolerance=args.tolerance)
+    print(comparison.render())
+    if comparison.failed:
+        print("BENCH REGRESSION: deterministic counts diverged from "
+              "%s; if intentional, refresh the snapshot and commit it"
+              % bench.CHECK_SNAPSHOT)
+        return 1
+    if args.record:
+        snapshot = bench.load_snapshot(str(RESULTS / bench.CHECK_SNAPSHOT))
+        entry = bench.history_entry(bench.CHECK_SNAPSHOT, snapshot,
+                                    note="bench_guard ok")
+        bench.append_history(str(HISTORY), entry)
+        print("history appended: %s" % HISTORY)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,8 @@ class BaselineChecker:
         """
         if not graphs:
             return CheckReport()
-        return self._check(graphs[0].num_vertices, graphs)
+        return self._check(graphs[0].num_vertices, graphs,
+                           pipeline="graphs")
 
     def check_stream(self, source) -> CheckReport:
         """Check a delta source one fully built graph at a time.
@@ -42,9 +43,10 @@ class BaselineChecker:
         if not len(source):
             return CheckReport()
         graphs = (source.full_graph(i) for i in range(len(source)))
-        return self._check(source.num_vertices, graphs)
+        return self._check(source.num_vertices, graphs, pipeline="delta")
 
-    def _check(self, num_vertices: int, graphs) -> CheckReport:
+    def _check(self, num_vertices: int, graphs,
+               pipeline: str = None) -> CheckReport:
         report = CheckReport()
         vertices = range(num_vertices)
         report.num_vertices_per_graph = num_vertices
@@ -63,5 +65,5 @@ class BaselineChecker:
                                                    num_vertices))
         report.elapsed = span.elapsed
         if obs.enabled:
-            report.record_metrics(obs, "checker.baseline")
+            report.record_metrics(obs, "checker.baseline", pipeline=pipeline)
         return report

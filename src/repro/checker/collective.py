@@ -73,7 +73,7 @@ class CollectiveChecker:
             self._check_all(graphs, report)
         report.elapsed = span.elapsed
         if obs.enabled:
-            report.record_metrics(obs, "checker.collective")
+            report.record_metrics(obs, "checker.collective", pipeline="graphs")
         return report
 
     def _check_all(self, graphs: list[ConstraintGraph], report: CheckReport) -> None:
@@ -166,7 +166,7 @@ class CollectiveChecker:
             self._check_delta_stream(source, report)
         report.elapsed = span.elapsed
         if obs.enabled:
-            report.record_metrics(obs, "checker.collective")
+            report.record_metrics(obs, "checker.collective", pipeline="delta")
             self._record_delta_metrics(obs, report)
         return report
 

@@ -29,6 +29,7 @@ from repro.graph.builder import GraphBuilder
 from repro.graph.constraint_graph import ConstraintGraph
 from repro.graph.delta import DeltaGraphState, GraphDelta
 from repro.instrument.signature import Signature, SignatureCodec
+from repro.obs import get_obs
 
 
 class SignatureDeltaSource:
@@ -52,6 +53,9 @@ class SignatureDeltaSource:
         self.codec = codec
         self.builder = builder
         self.signatures = signatures
+        # announce the stream on the event plane: the plan record pairs
+        # with the checkers' check.batch events downstream
+        get_obs().emit("checker.delta.plan", signatures=len(signatures))
         #: index -> pristine DeltaGraphState template (decode + edge-table
         #: walk + refcount seeding done once; checks receive clones)
         self._base_states: dict[int, DeltaGraphState] = {}

@@ -76,14 +76,24 @@ class CheckReport:
             "resorted_vertices": [v.resorted_vertices for v in self.verdicts],
         }
 
-    def record_metrics(self, obs, prefix: str) -> None:
+    def record_metrics(self, obs, prefix: str, pipeline: str = None) -> None:
         """Fold this report into an observability registry.
 
         Emits, under ``prefix`` (e.g. ``checker.collective``): one verdict
         counter per checking method, graph/violation/sorted-vertex
         counters, the re-sort window-size histogram (Figure 14's window
         statistic) and the no-re-sort fraction gauge (Figure 9/14 shape).
+        With a ``pipeline`` name, also publishes one ``check.batch``
+        event — the verdict-batch record of the structured event plane.
         """
+        if pipeline is not None:
+            obs.emit("check.batch", checker=prefix.rsplit(".", 1)[-1],
+                     pipeline=pipeline, graphs=self.num_graphs,
+                     violations=len(self.violations),
+                     complete=self.count(COMPLETE),
+                     no_resort=self.count(NO_RESORT),
+                     incremental=self.count(INCREMENTAL),
+                     sorted_vertices=self.sorted_vertices)
         metrics = obs.metrics
         metrics.counter(prefix + ".graphs").inc(self.num_graphs)
         metrics.counter(prefix + ".violations").inc(len(self.violations))

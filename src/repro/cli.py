@@ -76,7 +76,51 @@ def _config_from(args) -> TestConfig:
 
 
 def _metrics_wanted(args) -> bool:
-    return bool(getattr(args, "metrics_out", None) or getattr(args, "json", False))
+    return bool(getattr(args, "metrics_out", None)
+                or getattr(args, "json", False)
+                or getattr(args, "trace_out", None)
+                or getattr(args, "events_out", None))
+
+
+def _progress_renderer(stream=None):
+    """A throttled ``on_beat`` callback drawing one live status line."""
+    import time as _time
+
+    from repro.fleet.progress import render_progress_line
+
+    stream = stream or sys.stderr
+    last = [float("-inf")]
+
+    def on_beat(snap):
+        now = _time.monotonic()
+        if (snap.iterations_done < snap.iterations_total
+                and now - last[0] < 0.1):
+            return
+        last[0] = now
+        stream.write("\r" + render_progress_line(snap))
+        stream.flush()
+
+    return on_beat
+
+
+def _emit_telemetry(args, handle, report):
+    """Write the --events-out / --trace-out artifacts of one run."""
+    if handle is None:
+        return
+    quiet = getattr(args, "json", False)
+    if getattr(args, "events_out", None):
+        handle.events.write_jsonl(args.events_out)
+        if not quiet:
+            print("event log written to %s" % args.events_out)
+    if getattr(args, "trace_out", None):
+        from repro.obs.traceviz import build_trace, write_trace
+
+        trace = build_trace(report=report, events=handle.events.events(),
+                            meta={"command": getattr(args, "command", "run")})
+        write_trace(trace, args.trace_out)
+        if not quiet:
+            print("trace written to %s (load in ui.perfetto.dev)"
+                  % args.trace_out)
 
 
 def _emit_report(args, handle, meta: dict, summary: dict):
@@ -134,14 +178,21 @@ def _cmd_run(args) -> int:
     # enable before the Campaign is built so the generate/instrument
     # phases land in the span tree
     handle = repro_obs.enable() if _metrics_wanted(args) else None
+    if args.progress and args.jobs <= 1:
+        print("--progress shows live fleet heartbeats; it needs --jobs > 1",
+              file=sys.stderr)
     if args.jobs > 1:
         from repro.fleet import run_campaign_fleet
 
+        on_beat = _progress_renderer() if args.progress else None
         result = run_campaign_fleet(
             config=config, iterations=args.iterations, jobs=args.jobs,
             seed=args.run_seed, block=args.block, os_model=bool(args.os),
             detailed=bool(args.detailed or args.bug), bug=args.bug,
-            l1_lines=args.l1_lines, lint=args.lint, mutation=args.mutation)
+            l1_lines=args.l1_lines, lint=args.lint, mutation=args.mutation,
+            on_beat=on_beat)
+        if on_beat is not None:
+            sys.stderr.write("\n")
         checker = lambda: check_campaign_result(result,
                                                 pipeline=args.check_pipeline)
     else:
@@ -184,11 +235,13 @@ def _cmd_run(args) -> int:
         repro_io.save_campaign(result, args.output)
         if not args.json:
             print("signatures written to %s" % args.output)
-    _emit_report(args, handle,
-                 meta={"command": "run", "config": config.name,
-                       "isa": config.isa, "seed": args.seed,
-                       "run_seed": args.run_seed, "jobs": args.jobs},
-                 summary=summary)
+    report = _emit_report(args, handle,
+                          meta={"command": "run", "config": config.name,
+                                "isa": config.isa, "seed": args.seed,
+                                "run_seed": args.run_seed,
+                                "jobs": args.jobs},
+                          summary=summary)
+    _emit_telemetry(args, handle, report)
     return 0
 
 
@@ -433,12 +486,87 @@ def _cmd_mutate(args) -> int:
 
 
 def _cmd_stats(args) -> int:
-    report = repro_obs.read_report(args.report)
+    from repro.obs import events as obs_events
+
+    kind, doc = repro_obs.load_telemetry(args.report)
     if args.validate:
-        print("%s: valid %s report (version %d)"
-              % (args.report, report["schema"], report["version"]))
+        if kind == "report":
+            print("%s: valid %s report (version %d)"
+                  % (args.report, doc["schema"], doc["version"]))
+        else:
+            print("%s: valid %s event log (version %d, %d events)"
+                  % (args.report, obs_events.SCHEMA,
+                     obs_events.SCHEMA_VERSION, len(doc)))
         return 0
-    print(repro_obs.render_stats(report))
+    if kind == "report":
+        print(repro_obs.render_stats(doc))
+    else:
+        print(repro_obs.render_events(doc))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs.traceviz import build_trace, write_trace
+
+    kind, doc = repro_obs.load_telemetry(args.input)
+    if kind == "report":
+        trace = build_trace(report=doc, meta={"source": args.input})
+    else:
+        trace = build_trace(events=doc, meta={"source": args.input})
+    write_trace(trace, args.output)
+    print("trace written to %s (%d trace events from %s %s; load in "
+          "ui.perfetto.dev)" % (args.output, len(trace["traceEvents"]),
+                                "run report" if kind == "report"
+                                else "event log", args.input))
+    return 0
+
+
+def _cmd_events(args) -> int:
+    print(repro_obs.events_markdown() if args.markdown
+          else repro_obs.events_table())
+    return 0
+
+
+def _cmd_bench_diff(args) -> int:
+    from repro.obs import bench
+
+    tolerance = bench.DEFAULT_TOLERANCE if args.tolerance is None \
+        else args.tolerance
+    if args.check:
+        if args.baseline or args.current:
+            raise ValueError("--check re-runs the pinned configs itself; "
+                             "drop the BASELINE/CURRENT arguments")
+        comparison = bench.check_against_committed(args.results,
+                                                   tolerance=tolerance)
+    else:
+        if not (args.baseline and args.current):
+            raise ValueError("need BASELINE and CURRENT snapshots "
+                             "(or --check)")
+        comparison = bench.diff_snapshots(
+            bench.load_snapshot(args.baseline),
+            bench.load_snapshot(args.current), tolerance=tolerance)
+    if args.json:
+        json.dump(comparison.to_json(), sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print(comparison.render())
+        if comparison.failed:
+            print("BENCH REGRESSION: %d regressed leaves, %d shape changes"
+                  % (len(comparison.regressions),
+                     len(comparison.shape_changes)))
+    return 1 if comparison.failed else 0
+
+
+def _cmd_bench_record(args) -> int:
+    from repro.obs import bench
+
+    snapshot = bench.load_snapshot(args.snapshot)
+    entry = bench.history_entry(args.snapshot, snapshot, note=args.note)
+    bench.append_history(args.history, entry)
+    print("recorded %s -> %s (%d count leaves, digest %s)"
+          % (args.snapshot, args.history,
+             entry["digest"]["count_leaves"],
+             entry["digest"]["counts_sha256_16"]))
     return 0
 
 
@@ -478,9 +606,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--block", type=int, default=None,
                    help="seed-block size override (default 1024); smaller "
                         "blocks spread short campaigns over more workers")
+    p.add_argument("--progress", action="store_true",
+                   help="draw a live fleet status line on stderr "
+                        "(heartbeats; needs --jobs > 1)")
     _add_lint_argument(p)
     _add_pipeline_argument(p)
     _add_report_arguments(p, json_flag=True)
+    p.add_argument("--events-out", metavar="PATH",
+                   help="write the run's structured event log as JSONL")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="write a Perfetto-loadable Chrome trace "
+                        "(span tree + fleet timeline)")
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("suite", help="run a multi-test suite, aggregate stats")
@@ -581,11 +717,55 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a schema-versioned observability run report")
     p.set_defaults(fn=_cmd_mutate)
 
-    p = sub.add_parser("stats", help="render a saved observability run report")
-    p.add_argument("report", help="JSON report from '--metrics-out'")
+    p = sub.add_parser("stats",
+                       help="render saved telemetry (run report or event log)")
+    p.add_argument("report", help="JSON report from '--metrics-out' or "
+                                  "JSONL event log from '--events-out'")
     p.add_argument("--validate", action="store_true",
-                   help="only check the report against the schema")
+                   help="only check the artifact against its schema")
     p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser("trace",
+                       help="convert saved telemetry to a Perfetto trace")
+    p.add_argument("input", help="run report ('--metrics-out') or event "
+                                 "log ('--events-out')")
+    p.add_argument("--output", "-o", required=True,
+                   help="write Chrome trace-event JSON here")
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser("events", help="print the event schema reference")
+    p.add_argument("--markdown", action="store_true",
+                   help="emit markdown (docs/EVENTS.md)")
+    p.set_defaults(fn=_cmd_events)
+
+    p = sub.add_parser("bench",
+                       help="benchmark snapshots: record and regression-diff")
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    bp = bench_sub.add_parser("diff",
+                              help="compare two snapshots, or --check a "
+                                   "fresh run against committed baselines")
+    bp.add_argument("baseline", nargs="?",
+                    help="baseline snapshot JSON (omit with --check)")
+    bp.add_argument("current", nargs="?",
+                    help="current snapshot JSON (omit with --check)")
+    bp.add_argument("--check", action="store_true",
+                    help="re-run the pinned quick configs and compare "
+                         "against the committed benchmarks/ snapshots")
+    bp.add_argument("--results", default="benchmarks/results",
+                    help="committed snapshot directory used by --check")
+    bp.add_argument("--tolerance", type=float, default=None,
+                    help="relative tolerance band for timing keys "
+                         "(default 0.10)")
+    bp.add_argument("--json", action="store_true",
+                    help="print the comparison as one JSON document")
+    bp.set_defaults(fn=_cmd_bench_diff)
+    bp = bench_sub.add_parser("record",
+                              help="append a history entry for a snapshot")
+    bp.add_argument("snapshot", help="snapshot JSON to digest")
+    bp.add_argument("--history", default="benchmarks/results/BENCH_history.jsonl",
+                    help="history JSONL to append to")
+    bp.add_argument("--note", default="", help="free-form annotation")
+    bp.set_defaults(fn=_cmd_bench_record)
     return parser
 
 

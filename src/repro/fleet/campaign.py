@@ -17,6 +17,7 @@ exactly like in-simulation crashes.
 from __future__ import annotations
 
 from repro.fleet.merge import merge_campaign_results
+from repro.fleet.progress import FleetProgress
 from repro.fleet.sharding import partition_blocks, plan_blocks
 from repro.fleet.supervisor import FleetConfig, FleetSupervisor
 from repro.fleet.worker import WorkerTask
@@ -61,7 +62,8 @@ def run_campaign_fleet(config=None, program=None, *, iterations: int,
                        l1_lines: int = 4, die_on_crash: bool = False,
                        include_ws: bool = True, lint: str = None,
                        mutation: str = None,
-                       fleet: FleetConfig = None) -> CampaignResult:
+                       fleet: FleetConfig = None,
+                       on_beat=None) -> CampaignResult:
     """Run one campaign sharded over ``jobs`` worker processes.
 
     Returns the merged :class:`CampaignResult`; for identical seeds its
@@ -80,6 +82,8 @@ def run_campaign_fleet(config=None, program=None, *, iterations: int,
             host-side *before* any shard is dispatched, so statically
             wasted iterations never reach a worker.
         fleet: supervision knobs; ``jobs`` here overrides its field.
+        on_beat: ``callable(ProgressSnapshot)`` invoked on every worker
+            heartbeat and shard completion (``repro run --progress``).
         (remaining knobs mirror the CLI ``run`` command.)
     """
     if jobs < 1:
@@ -102,6 +106,8 @@ def run_campaign_fleet(config=None, program=None, *, iterations: int,
         iterations = decision.run_iterations
         skipped_iterations = decision.skipped_iterations
 
+    obs.emit("campaign.plan", iterations=iterations,
+             blocks=len(plan_blocks(iterations, block)))
     tasks = plan_campaign_tasks(
         program, config, iterations, jobs, seed=seed, block=block,
         instrumentation=instrumentation, os_model=os_model,
@@ -109,12 +115,17 @@ def run_campaign_fleet(config=None, program=None, *, iterations: int,
         l1_lines=l1_lines, mutation=mutation, die_on_crash=die_on_crash,
         collect_metrics=obs.enabled, include_ws=include_ws)
     base = FleetConfig() if fleet is None else fleet
+    progress = (FleetProgress()
+                if obs.enabled or on_beat is not None else None)
     supervisor = FleetSupervisor(
         FleetConfig(jobs=jobs, timeout_s=base.timeout_s,
                     max_retries=base.max_retries,
-                    start_method=base.start_method))
+                    start_method=base.start_method),
+        progress=progress, on_beat=on_beat)
     obs.gauge("fleet.jobs").set(jobs)
     obs.counter("fleet.shards").inc(len(tasks))
+    obs.emit("fleet.plan", shards=len(tasks), jobs=jobs,
+             iterations=iterations)
     with obs.span("execute"):
         outcomes = supervisor.run(tasks)
 
@@ -132,6 +143,15 @@ def run_campaign_fleet(config=None, program=None, *, iterations: int,
                 merged.crashes += outcome.iterations
         merged.skipped_iterations += skipped_iterations
     obs.histogram("fleet.merge_seconds").observe(span.elapsed)
+    obs.emit("fleet.merge", shards=len(outcomes),
+             crashed_shards=sum(1 for o in outcomes if o.crashed),
+             iterations=merged.iterations,
+             unique_signatures=merged.unique_signatures)
+    obs.emit("campaign.result", iterations=merged.iterations,
+             unique_signatures=merged.unique_signatures,
+             crashes=merged.crashes,
+             skipped_iterations=merged.skipped_iterations,
+             signature_asserts=merged.signature_asserts)
     if obs.enabled:
         obs.gauge("fleet.unique_signatures").set(merged.unique_signatures)
         obs.counter("fleet.crashed_iterations").inc(

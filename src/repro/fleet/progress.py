@@ -1,0 +1,219 @@
+"""Live fleet progress: heartbeat aggregation, rates, ETA, rendering.
+
+Workers report progress over the same hand-off pipe that carries their
+final signature dump: after each completed seed block they send a
+throttled ``("progress", {...})`` message, which the supervisor folds
+into a :class:`FleetProgress` tracker.  The tracker answers the
+``repro top`` questions — per-shard iterations done, aggregate
+signatures/sec, retry counts, ETA — and feeds the ``fleet.progress.*``
+gauges, so the same numbers are visible live (``repro run --progress``)
+and post-hoc in run reports.
+
+Rates and ETA use ``time.perf_counter()`` deltas (monotonic clock
+discipline, see :mod:`repro.obs.span`); wall timestamps appear only in
+the ``fleet.heartbeat`` events the supervisor emits alongside.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+#: minimum seconds between two heartbeats from one worker (final
+#: block always reports, so short shards still produce one heartbeat)
+HEARTBEAT_MIN_INTERVAL_S = 0.2
+
+
+@dataclass
+class ShardProgress:
+    """Last known state of one shard."""
+
+    index: int
+    iterations_total: int = 0
+    iterations_done: int = 0
+    unique_signatures: int = 0
+    crashes: int = 0
+    retries: int = 0
+    heartbeats: int = 0
+    #: lifecycle: pending -> running -> done | crashed
+    state: str = "pending"
+
+
+@dataclass
+class ProgressSnapshot:
+    """A consistent point-in-time view of the whole fleet."""
+
+    shards: list = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def iterations_total(self) -> int:
+        return sum(s.iterations_total for s in self.shards)
+
+    @property
+    def iterations_done(self) -> int:
+        return sum(s.iterations_done for s in self.shards)
+
+    @property
+    def unique_signatures(self) -> int:
+        """Sum of per-shard uniques — an upper bound on the merged count
+        (shards may observe the same interleaving independently)."""
+        return sum(s.unique_signatures for s in self.shards)
+
+    @property
+    def crashes(self) -> int:
+        return sum(s.crashes for s in self.shards)
+
+    @property
+    def retries(self) -> int:
+        return sum(s.retries for s in self.shards)
+
+    @property
+    def live_shards(self) -> int:
+        return sum(1 for s in self.shards if s.state == "running")
+
+    @property
+    def fraction_done(self) -> float:
+        total = self.iterations_total
+        return self.iterations_done / total if total else 0.0
+
+    @property
+    def iterations_per_sec(self) -> float:
+        return self.iterations_done / self.elapsed_s if self.elapsed_s > 0 \
+            else 0.0
+
+    @property
+    def signatures_per_sec(self) -> float:
+        return self.unique_signatures / self.elapsed_s if self.elapsed_s > 0 \
+            else 0.0
+
+    @property
+    def eta_s(self) -> float:
+        """Seconds to completion at the observed iteration rate (0 when
+        done or no rate has been established yet)."""
+        rate = self.iterations_per_sec
+        remaining = self.iterations_total - self.iterations_done
+        if remaining <= 0 or rate <= 0:
+            return 0.0
+        return remaining / rate
+
+
+class FleetProgress:
+    """Thread-safe aggregation of shard lifecycle and heartbeats."""
+
+    def __init__(self):
+        self._shards: dict[int, ShardProgress] = {}
+        self._lock = threading.Lock()
+        self._t0 = time.perf_counter()
+
+    def _shard(self, index: int) -> ShardProgress:
+        shard = self._shards.get(index)
+        if shard is None:
+            shard = self._shards.setdefault(index, ShardProgress(index))
+        return shard
+
+    # -- supervisor hooks --------------------------------------------------------
+
+    def launch(self, index: int, iterations: int, attempt: int) -> None:
+        with self._lock:
+            shard = self._shard(index)
+            shard.iterations_total = iterations
+            shard.state = "running"
+            if attempt > 1:
+                shard.retries += 1
+                # a relaunched worker starts its shard over
+                shard.iterations_done = 0
+                shard.unique_signatures = 0
+                shard.crashes = 0
+
+    def heartbeat(self, index: int, payload: dict) -> ShardProgress:
+        with self._lock:
+            shard = self._shard(index)
+            shard.heartbeats += 1
+            shard.iterations_done = int(payload.get("iterations_done",
+                                                    shard.iterations_done))
+            total = payload.get("iterations_total")
+            if total is not None:
+                shard.iterations_total = int(total)
+            shard.unique_signatures = int(payload.get(
+                "unique_signatures", shard.unique_signatures))
+            shard.crashes = int(payload.get("crashes", shard.crashes))
+            return shard
+
+    def finish(self, index: int, crashed: bool) -> None:
+        with self._lock:
+            shard = self._shard(index)
+            shard.state = "crashed" if crashed else "done"
+            if not crashed:
+                # the hand-off covers the whole shard even if the last
+                # heartbeat was throttled away
+                shard.iterations_done = shard.iterations_total
+
+    # -- reading -----------------------------------------------------------------
+
+    def snapshot(self) -> ProgressSnapshot:
+        with self._lock:
+            shards = [ShardProgress(s.index, s.iterations_total,
+                                    s.iterations_done, s.unique_signatures,
+                                    s.crashes, s.retries, s.heartbeats,
+                                    s.state)
+                      for _, s in sorted(self._shards.items())]
+        return ProgressSnapshot(shards, time.perf_counter() - self._t0)
+
+    def record_gauges(self, obs) -> None:
+        """Publish the aggregate view to the ``fleet.progress.*`` gauges."""
+        snap = self.snapshot()
+        metrics = obs.metrics
+        metrics.gauge("fleet.progress.iterations_done").set(
+            snap.iterations_done)
+        metrics.gauge("fleet.progress.iterations_total").set(
+            snap.iterations_total)
+        metrics.gauge("fleet.progress.unique_signatures").set(
+            snap.unique_signatures)
+        metrics.gauge("fleet.progress.iterations_per_sec").set(
+            snap.iterations_per_sec)
+        metrics.gauge("fleet.progress.signatures_per_sec").set(
+            snap.signatures_per_sec)
+        metrics.gauge("fleet.progress.eta_s").set(snap.eta_s)
+        metrics.gauge("fleet.progress.live_shards").set(snap.live_shards)
+
+
+# -- rendering -----------------------------------------------------------------------
+
+
+def render_progress_line(snap: ProgressSnapshot) -> str:
+    """One-line live status, suitable for ``\\r`` redraw on a terminal."""
+    eta = ", eta %4.1fs" % snap.eta_s if snap.eta_s else ""
+    return ("fleet %5d/%d it (%3d%%) | %d uniq | %d live shard%s | "
+            "%d retr%s | %.0f it/s%s"
+            % (snap.iterations_done, snap.iterations_total,
+               round(100 * snap.fraction_done), snap.unique_signatures,
+               snap.live_shards, "" if snap.live_shards == 1 else "s",
+               snap.retries, "y" if snap.retries == 1 else "ies",
+               snap.iterations_per_sec, eta))
+
+
+def render_progress_table(snap: ProgressSnapshot) -> str:
+    """The ``repro top`` view: one row per shard plus an aggregate row."""
+    from repro.harness.reporting import format_table
+
+    rows = []
+    for shard in snap.shards:
+        pct = (100.0 * shard.iterations_done / shard.iterations_total
+               if shard.iterations_total else 0.0)
+        rows.append(["#%d" % shard.index, shard.state,
+                     "%d/%d" % (shard.iterations_done,
+                                shard.iterations_total),
+                     "%.0f%%" % pct, shard.unique_signatures,
+                     shard.crashes, shard.retries, shard.heartbeats])
+    rows.append(["all", "%d live" % snap.live_shards,
+                 "%d/%d" % (snap.iterations_done, snap.iterations_total),
+                 "%.0f%%" % (100 * snap.fraction_done),
+                 snap.unique_signatures, snap.crashes, snap.retries,
+                 sum(s.heartbeats for s in snap.shards)])
+    return format_table(
+        ["shard", "state", "iterations", "done", "uniq", "crashes",
+         "retries", "beats"], rows,
+        title="fleet progress (%.1fs elapsed, %.0f it/s, eta %.1fs)"
+        % (snap.elapsed_s, snap.iterations_per_sec, snap.eta_s))

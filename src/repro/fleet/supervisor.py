@@ -14,8 +14,19 @@ Observability (when the host's global instance is enabled):
 * ``fleet.workers_launched`` / ``fleet.worker_retries`` /
   ``fleet.worker_deaths`` / ``fleet.shards_crashed`` counters;
 * a ``fleet.shard_seconds`` histogram of per-shard wall time;
-* worker-side metric state (``collect_metrics`` tasks) absorbed into
-  the host registry, merging the devices' own series.
+* ``shard.launch`` / ``shard.retry`` / ``shard.done`` / ``shard.crash``
+  and ``fleet.heartbeat`` events on the structured event plane;
+* worker-side telemetry (``collect_metrics`` tasks) absorbed into the
+  host instance: the :data:`~repro.fleet.worker.STATE_SCHEMA` hand-off
+  wrapper merges metrics, events *and* span trees (bare metric dicts
+  from older workers still absorb as metrics-only state).
+
+Live progress: workers stream throttled ``("progress", payload)``
+heartbeats over the hand-off pipe; with a
+:class:`~repro.fleet.progress.FleetProgress` tracker attached the
+supervisor folds them into per-shard state, publishes the
+``fleet.progress.*`` gauges and invokes ``on_beat`` with a fresh
+snapshot — the feed behind ``repro run --progress``.
 """
 
 from __future__ import annotations
@@ -26,7 +37,7 @@ import time
 from dataclasses import dataclass
 
 from repro.obs import get_obs
-from repro.fleet.worker import WorkerTask, worker_main
+from repro.fleet.worker import STATE_SCHEMA, WorkerTask, worker_main
 
 
 @dataclass(frozen=True)
@@ -68,11 +79,18 @@ class FleetSupervisor:
         target: process entry point; defaults to
             :func:`repro.fleet.worker.worker_main`.  Overridable so tests
             can interpose flaky or hostile workers.
+        progress: optional :class:`~repro.fleet.progress.FleetProgress`
+            tracker fed from shard lifecycle + worker heartbeats.
+        on_beat: optional ``callable(ProgressSnapshot)`` invoked after
+            every heartbeat and shard completion (live renderers).
     """
 
-    def __init__(self, config: FleetConfig = None, target=None):
+    def __init__(self, config: FleetConfig = None, target=None,
+                 progress=None, on_beat=None):
         self.config = config or FleetConfig()
         self.target = target or worker_main
+        self.progress = progress
+        self.on_beat = on_beat
 
     def run(self, tasks: list[WorkerTask]) -> list[ShardOutcome]:
         """Execute every task, bounded-concurrently; never raises for
@@ -106,14 +124,23 @@ class FleetSupervisor:
                 for attempt in range(attempts):
                     outcome.attempts += 1
                     obs.counter("fleet.workers_launched").inc()
+                    obs.emit("shard.launch", shard=outcome.index,
+                             attempt=outcome.attempts,
+                             iterations=outcome.iterations)
                     if attempt:
                         obs.counter("fleet.worker_retries").inc()
-                    ok, payload, state = self._attempt(task)
+                        obs.emit("shard.retry", shard=outcome.index,
+                                 attempt=outcome.attempts)
+                    if self.progress is not None:
+                        self.progress.launch(outcome.index,
+                                             outcome.iterations,
+                                             outcome.attempts)
+                    ok, payload, state = self._attempt(task, outcome.index,
+                                                       obs)
                     if ok:
                         outcome.payload = payload
                         outcome.error = None
-                        if state is not None:
-                            obs.metrics.absorb_state(state)
+                        self._absorb_state(obs, state)
                         break
                     outcome.error = payload
                     obs.counter("fleet.worker_deaths").inc()
@@ -121,16 +148,67 @@ class FleetSupervisor:
                     obs.counter("fleet.shards_crashed").inc()
                 outcome.elapsed_s = time.perf_counter() - start
                 obs.histogram("fleet.shard_seconds").observe(outcome.elapsed_s)
+                if outcome.crashed:
+                    obs.emit("shard.crash", shard=outcome.index,
+                             attempts=outcome.attempts,
+                             error=outcome.error or "")
+                else:
+                    obs.emit("shard.done", shard=outcome.index,
+                             attempts=outcome.attempts,
+                             iterations=outcome.iterations,
+                             elapsed_s=outcome.elapsed_s)
+                self._progress_update(obs, outcome)
 
-    def _attempt(self, task):
-        """One worker launch; returns (ok, payload_or_error, metric_state)."""
+    def _progress_update(self, obs, outcome) -> None:
+        if self.progress is None:
+            return
+        self.progress.finish(outcome.index, outcome.crashed)
+        self.progress.record_gauges(obs)
+        if self.on_beat is not None:
+            self.on_beat(self.progress.snapshot())
+
+    def _heartbeat(self, shard_index, payload, obs) -> None:
+        """Fold one worker ``("progress", payload)`` beat into the host."""
+        obs.counter("fleet.heartbeats").inc()
+        obs.emit("fleet.heartbeat", shard=shard_index,
+                 iterations_done=payload.get("iterations_done", 0),
+                 iterations_total=payload.get("iterations_total", 0),
+                 unique_signatures=payload.get("unique_signatures", 0),
+                 crashes=payload.get("crashes", 0))
+        if self.progress is not None:
+            self.progress.heartbeat(shard_index, payload)
+            self.progress.record_gauges(obs)
+            if self.on_beat is not None:
+                self.on_beat(self.progress.snapshot())
+
+    @staticmethod
+    def _absorb_state(obs, state) -> None:
+        """Merge a worker's telemetry hand-off into the host instance."""
+        if state is None:
+            return
+        if isinstance(state, dict) and state.get("schema") == STATE_SCHEMA:
+            if state.get("metrics"):
+                obs.metrics.absorb_state(state["metrics"])
+            if state.get("events"):
+                obs.events.absorb_state(state["events"])
+            if state.get("spans"):
+                obs.tracer.absorb_tree(state["spans"])
+        else:
+            # pre-wrapper hand-off: a bare MetricsRegistry export
+            obs.metrics.absorb_state(state)
+
+    def _attempt(self, task, shard_index=None, obs=None):
+        """One worker launch; returns (ok, payload_or_error, state)."""
+        if obs is None:
+            obs = get_obs()
         ctx = self._context()
         receiver, sender = ctx.Pipe(duplex=False)
         process = ctx.Process(target=self.target, args=(task, sender),
                               daemon=True)
         process.start()
         sender.close()          # keep only the child's write end open
-        message, timed_out = self._await_handoff(process, receiver)
+        message, timed_out = self._await_handoff(process, receiver,
+                                                 shard_index, obs)
         if timed_out:
             process.terminate()
             process.join(5.0)
@@ -150,33 +228,51 @@ class FleetSupervisor:
             return False, message[1], None
         return False, "worker died with exit code %s" % process.exitcode, None
 
-    def _await_handoff(self, process, receiver):
+    def _await_handoff(self, process, receiver, shard_index=None, obs=None):
         """Wait for the child's message, draining the pipe while it runs.
 
         Returns ``(message_or_None, timed_out)``.  Receiving *during*
         the child's lifetime is load-bearing: a hand-off larger than
         the OS pipe buffer blocks the child's ``send`` until the host
         reads it, so a join-before-recv supervisor would deadlock every
-        large shard straight into the timeout path.
+        large shard straight into the timeout path.  ``("progress",
+        payload)`` heartbeats are consumed in the same drain loop and
+        folded into the progress tracker rather than returned.
         """
+        if obs is None:
+            obs = get_obs()
         deadline = (None if self.config.timeout_s is None
                     else time.monotonic() + self.config.timeout_s)
         while True:
             try:
                 if receiver.poll(0.05):
-                    return receiver.recv(), False
+                    message = receiver.recv()
+                    if self._is_heartbeat(message):
+                        self._heartbeat(shard_index, message[1], obs)
+                        continue
+                    return message, False
             except (EOFError, OSError):
                 return None, False
             if not process.is_alive():
                 # exited; pick up a hand-off raced just before death
                 try:
-                    if receiver.poll():
-                        return receiver.recv(), False
+                    while receiver.poll():
+                        message = receiver.recv()
+                        if self._is_heartbeat(message):
+                            self._heartbeat(shard_index, message[1], obs)
+                            continue
+                        return message, False
                 except (EOFError, OSError):
                     pass
                 return None, False
             if deadline is not None and time.monotonic() >= deadline:
                 return None, True
+
+    @staticmethod
+    def _is_heartbeat(message) -> bool:
+        return (isinstance(message, tuple) and len(message) == 2
+                and message[0] == "progress"
+                and isinstance(message[1], dict))
 
     def _context(self):
         method = self.config.start_method

@@ -19,12 +19,20 @@ outcome.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 
+from repro.fleet.progress import HEARTBEAT_MIN_INTERVAL_S
 from repro.testgen.config import TestConfig
 
 #: exit status of a worker that died emulating a device crash (bug 3)
 CRASH_EXIT = 70
+
+#: schema tag of the worker's telemetry hand-off state (third element of
+#: the ``("ok", dump, state)`` message); bare metric dicts from older
+#: workers are still absorbed by the supervisor as metrics-only state
+STATE_SCHEMA = "repro.worker-state"
+STATE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -65,11 +73,13 @@ class WorkerTask:
         return sum(count for _, count in self.blocks)
 
 
-def execute_task(task: WorkerTask):
+def execute_task(task: WorkerTask, progress=None):
     """Run a task's shard in-process; returns the :class:`CampaignResult`.
 
     Used by the worker entry point and directly by ``jobs=1`` fallbacks
     and tests — the fleet's execution semantics without any process.
+    ``progress`` (``callable(iterations_done, partial_result)``) is
+    invoked after every completed seed block.
     """
     # imported here so this module stays importable mid-way through a
     # ``repro.harness`` import (harness.runner itself imports the
@@ -105,7 +115,7 @@ def execute_task(task: WorkerTask):
                         os_model=True if task.os_model else None,
                         seed=task.seed, sync_barriers=task.sync_barriers,
                         **extra)
-    return campaign.run_blocks(task.blocks)
+    return campaign.run_blocks(task.blocks, progress=progress)
 
 
 def task_meta(task: WorkerTask) -> dict:
@@ -122,23 +132,64 @@ def run_worker_task(task: WorkerTask) -> str:
                          meta=task_meta(task))
 
 
+def heartbeat_sender(task: WorkerTask, conn,
+                     min_interval_s: float = HEARTBEAT_MIN_INTERVAL_S):
+    """A ``progress`` callback streaming ``("progress", {...})`` beats.
+
+    Throttled to one beat per ``min_interval_s`` except the final block,
+    which always reports, so even sub-interval shards produce at least
+    one heartbeat.  A closed pipe silences the sender instead of killing
+    the shard: progress is advisory, the hand-off is not.
+    """
+    total = task.iterations
+    last_beat = [float("-inf")]
+
+    def beat(done, result):
+        now = time.monotonic()
+        if done < total and now - last_beat[0] < min_interval_s:
+            return
+        last_beat[0] = now
+        try:
+            conn.send(("progress", {
+                "iterations_done": done,
+                "iterations_total": total,
+                "unique_signatures": result.unique_signatures,
+                "crashes": result.crashes,
+            }))
+        except (OSError, ValueError):
+            pass
+
+    return beat
+
+
+def export_state(handle) -> dict:
+    """Package one observability instance for the pipe hand-off."""
+    return {"schema": STATE_SCHEMA, "version": STATE_VERSION,
+            "metrics": handle.metrics.export_state(),
+            "events": handle.events.export_state(),
+            "spans": handle.tracer.tree()}
+
+
 def worker_main(task: WorkerTask, conn) -> None:
     """Process entry point: run the shard, ship the result, exit.
 
-    Sends ``("ok", dump_json, metrics_state_or_None)`` on success or
-    ``("error", message, None)`` on a handled failure; emulated device
-    crashes (``die_on_crash``) exit without sending anything, exactly
-    like a killed process.
+    Streams throttled ``("progress", payload)`` heartbeats while the
+    shard runs, then sends ``("ok", dump_json, state_or_None)`` on
+    success or ``("error", message, None)`` on a handled failure;
+    emulated device crashes (``die_on_crash``) exit without sending
+    anything, exactly like a killed process.  ``state`` is the
+    :data:`STATE_SCHEMA` wrapper carrying the worker's metrics, events
+    and span tree for host-side absorption.
     """
     from repro import obs
     from repro.io import dump_campaign
 
     handle = obs.enable() if task.collect_metrics else obs.disable()
     try:
-        result = execute_task(task)
+        result = execute_task(task, progress=heartbeat_sender(task, conn))
         if task.die_on_crash and result.crashes:
             os._exit(CRASH_EXIT)
-        state = handle.metrics.export_state() if task.collect_metrics else None
+        state = export_state(handle) if task.collect_metrics else None
         conn.send(("ok", dump_campaign(result, include_ws=task.include_ws,
                                        meta=task_meta(task)),
                    state))

@@ -249,8 +249,17 @@ class Campaign:
         if jobs > 1:
             return self._run_fleet(iterations, jobs, block, lint)
         decision = self._lint_gate(lint, iterations)
-        result = self.run_blocks(plan_blocks(decision.run_iterations, block))
+        blocks = plan_blocks(decision.run_iterations, block)
+        obs = get_obs()
+        obs.emit("campaign.plan", iterations=decision.run_iterations,
+                 blocks=len(blocks))
+        result = self.run_blocks(blocks)
         result.skipped_iterations = decision.skipped_iterations
+        obs.emit("campaign.result", iterations=result.iterations,
+                 unique_signatures=result.unique_signatures,
+                 crashes=result.crashes,
+                 skipped_iterations=result.skipped_iterations,
+                 signature_asserts=result.signature_asserts)
         return result
 
     def lint(self, lint_config=None) -> LintReport:
@@ -266,20 +275,34 @@ class Campaign:
         record_gate(decision)
         return decision
 
-    def run_blocks(self, blocks) -> CampaignResult:
+    def run_blocks(self, blocks, progress=None) -> CampaignResult:
         """Execute an explicit ``(block_index, count)`` seed-block list.
 
         This is the worker-shard entry point: a fleet worker runs exactly
         its assigned blocks through the same code path the serial runner
         uses for the full plan.
+
+        Args:
+            blocks: ``(block_index, count)`` pairs to execute.
+            progress: optional ``callback(iterations_done, result)``
+                invoked after every completed seed block — the fleet
+                workers wire their heartbeats here.
         """
         iterations = sum(count for _, count in blocks)
         result = CampaignResult(self.program, self.codec, iterations)
         obs = get_obs()
+        done = 0
         with obs.span("execute"):
             for index, count in blocks:
                 self._reseed_block(index)
+                crashes, asserts = result.crashes, result.signature_asserts
                 self._run_into(result, count)
+                done += count
+                obs.emit("block.done", block=index, iterations=count,
+                         crashes=result.crashes - crashes,
+                         signature_asserts=result.signature_asserts - asserts)
+                if progress is not None:
+                    progress(done, result)
         if obs.enabled:
             self._record_run_metrics(obs, result)
         return result

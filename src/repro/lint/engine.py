@@ -193,10 +193,14 @@ def gate_iterations(report: LintReport, policy: str,
 
 
 def record_gate(decision: GateDecision) -> None:
-    """Publish a gate decision to the ``lint.*`` metrics."""
+    """Publish a gate decision to the ``lint.*`` metrics and event bus."""
     obs = get_obs()
     if not obs.enabled or decision.policy == "off":
         return
+    obs.emit("lint.gate", policy=decision.policy,
+             run_iterations=decision.run_iterations,
+             skipped_iterations=decision.skipped_iterations,
+             reason=decision.reason)
     obs.metrics.counter("lint.gated_campaigns").inc()
     if decision.skipped:
         obs.metrics.counter("lint.skipped_tests").inc()

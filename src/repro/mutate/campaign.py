@@ -162,9 +162,19 @@ class SensitivityCampaign:
         outcome = DetectionOutcome(self.mutation)
         with obs.span("mutate.campaign"):
             for s in range(self.seeds):
-                outcome.seeds.append(self._run_seed(self.base_seed + s))
+                seed_out = self._run_seed(self.base_seed + s)
+                outcome.seeds.append(seed_out)
+                obs.emit("mutate.seed", mutation=self.mutation.name,
+                         seed=seed_out.seed, detected=seed_out.detected,
+                         channel=seed_out.channel or "",
+                         executions_to_detection=(
+                             seed_out.executions_to_detection))
             if self.control:
                 outcome.clean_unique_signatures = self._run_control()
+        obs.emit("mutate.campaign", mutation=self.mutation.name,
+                 detected=outcome.detected,
+                 detection_rate=outcome.detection_rate,
+                 channels=",".join(outcome.channels))
         if obs.enabled:
             self._record_metrics(obs, outcome)
         return outcome

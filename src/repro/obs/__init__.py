@@ -32,6 +32,18 @@ from __future__ import annotations
 import contextlib
 import threading
 
+from repro.obs.events import (
+    EVENT_KINDS,
+    Event,
+    EventLog,
+    EventSchemaError,
+    NullEventLog,
+    event_from_dict,
+    events_markdown,
+    events_table,
+    read_events,
+    render_events,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -54,9 +66,14 @@ from repro.obs.span import SpanTracer, TimedSpan
 
 __all__ = [
     "Counter",
+    "EVENT_KINDS",
+    "Event",
+    "EventLog",
+    "EventSchemaError",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NullEventLog",
     "NullRegistry",
     "Observability",
     "ReportSchemaError",
@@ -68,8 +85,14 @@ __all__ = [
     "disable",
     "enable",
     "enabled_obs",
+    "event_from_dict",
+    "events_markdown",
+    "events_table",
     "get_obs",
+    "load_telemetry",
+    "read_events",
     "read_report",
+    "render_events",
     "render_stats",
     "set_obs",
     "span_names",
@@ -78,6 +101,7 @@ __all__ = [
 ]
 
 _NULL_REGISTRY = NullRegistry()
+_NULL_EVENTS = NullEventLog()
 
 
 class Observability:
@@ -93,6 +117,7 @@ class Observability:
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self.metrics = MetricsRegistry() if enabled else _NULL_REGISTRY
+        self.events = EventLog() if enabled else _NULL_EVENTS
         self.tracer = SpanTracer()
 
     # -- recording --------------------------------------------------------------------
@@ -112,12 +137,19 @@ class Observability:
     def histogram(self, name: str, growth: float = 1.05):
         return self.metrics.histogram(name, growth)
 
+    def emit(self, kind: str, **data):
+        """Record a structured event of a registered kind (no-op when
+        disabled)."""
+        return self.events.emit(kind, **data)
+
     # -- lifecycle --------------------------------------------------------------------
 
     def reset(self) -> None:
-        """Drop all recorded metrics and spans (keeps the enable state)."""
+        """Drop all recorded metrics, events and spans (keeps the enable
+        state)."""
         if self.enabled:
             self.metrics = MetricsRegistry()
+            self.events = EventLog()
         self.tracer.reset()
 
     def report(self, meta: dict = None, summary: dict = None) -> dict:
@@ -164,3 +196,33 @@ def enabled_obs():
         yield obs
     finally:
         set_obs(previous)
+
+
+def load_telemetry(path):
+    """Sniff and load a telemetry artifact: a run report or an event log.
+
+    Returns ``("report", report_dict)`` for a schema-valid run report or
+    ``("events", [Event, ...])`` for a JSONL event log.  Anything else
+    raises :class:`ReportSchemaError` / :class:`EventSchemaError` (both
+    :class:`~repro.errors.ReproError`), so CLI callers surface a clear
+    message and exit 2 instead of a traceback.
+    """
+    import json as _json
+
+    with open(path) as handle:
+        text = handle.read()
+    stripped = text.strip()
+    if not stripped:
+        raise ReportSchemaError("%s is empty" % path)
+    try:
+        doc = _json.loads(stripped)
+    except _json.JSONDecodeError:
+        doc = None
+    if isinstance(doc, dict):
+        # one JSON document: a run report, or a single-record event log
+        if "kind" in doc and "data" in doc and "schema" not in doc:
+            return "events", [event_from_dict(doc)]
+        validate_report(doc)
+        return "report", doc
+    # multiple lines: a JSONL event log
+    return "events", read_events(path)

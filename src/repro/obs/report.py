@@ -59,7 +59,11 @@ def write_report(report: dict, path: str) -> None:
 
 def read_report(path: str) -> dict:
     with open(path) as fh:
-        report = json.load(fh)
+        try:
+            report = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ReportSchemaError("%s is not valid JSON: %s"
+                                    % (path, exc)) from None
     validate_report(report)
     return report
 
@@ -72,8 +76,10 @@ def validate_report(report: dict) -> None:
         raise ReportSchemaError("unknown schema %r (want %r)"
                                 % (report.get("schema"), SCHEMA))
     if report.get("version") != SCHEMA_VERSION:
-        raise ReportSchemaError("unsupported schema version %r (want %d)"
-                                % (report.get("version"), SCHEMA_VERSION))
+        raise ReportSchemaError(
+            "unsupported schema version %r (this build reads version %d); "
+            "regenerate the report with a matching repro"
+            % (report.get("version"), SCHEMA_VERSION))
     for key in ("meta", "summary", "metrics"):
         if not isinstance(report.get(key), dict):
             raise ReportSchemaError("%r must be an object" % key)

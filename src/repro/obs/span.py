@@ -17,6 +17,13 @@ When observability is disabled the global instance hands out bare
 :class:`TimedSpan` objects: they still measure elapsed wall time (callers
 like the checkers feed it into their reports) but touch no shared state —
 the cost is two ``perf_counter`` calls per phase.
+
+Clock discipline: every duration in this module comes from
+``time.perf_counter()`` — monotonic, so NTP steps or a warped
+``time.time()`` can never produce negative or zero-inflated span
+durations.  Wall-clock timestamps belong to event records
+(:mod:`repro.obs.events`) only, and durations are never derived from
+them.
 """
 
 from __future__ import annotations
@@ -39,7 +46,10 @@ class TimedSpan:
         return self
 
     def __exit__(self, exc_type, exc, tb):
-        self.elapsed = time.perf_counter() - self.start
+        # perf_counter is monotonic, so this difference cannot go
+        # negative; the clamp guards against a broken clock source ever
+        # poisoning aggregated totals with a negative duration
+        self.elapsed = max(0.0, time.perf_counter() - self.start)
         return False
 
 
@@ -69,6 +79,14 @@ class SpanNode:
         if self.children:
             entry["children"] = [c.to_dict() for c in self.children.values()]
         return entry
+
+    def absorb(self, entry: dict) -> None:
+        """Merge a serialized node (same name) into this one, recursively."""
+        self.count += entry.get("count", 0)
+        self.total_s += entry.get("total_s", 0.0)
+        self.errors += entry.get("errors", 0)
+        for child in entry.get("children", ()):
+            self.child(child["name"]).absorb(child)
 
 
 class Span(TimedSpan):
@@ -140,6 +158,19 @@ class SpanTracer:
     def tree(self) -> list[dict]:
         """The aggregated phase tree as JSON-ready dicts."""
         return [node.to_dict() for node in self._root.children.values()]
+
+    def absorb_tree(self, nodes: list[dict]) -> None:
+        """Merge a tree exported elsewhere (``tracer.tree()``) into this
+        one at the root.
+
+        This is how spans opened inside fleet workers survive the
+        hand-off: the worker ships its tree in the hand-off state and
+        the host folds it in, aggregating same-named phases (a worker's
+        ``execute`` adds to the host's ``execute`` node).
+        """
+        with self._lock:
+            for entry in nodes:
+                self._root.child(entry["name"]).absorb(entry)
 
     def node(self, *path: str) -> SpanNode | None:
         """Look up a node by name path, e.g. ``node("check", "checker.collective")``."""

@@ -1,0 +1,226 @@
+"""Chrome trace-event export: span trees and fleet timelines in Perfetto.
+
+Renders ``repro`` telemetry into the Chrome trace-event JSON format
+(the ``chrome://tracing`` / https://ui.perfetto.dev "JSON object
+format"): a dict with a ``traceEvents`` list whose entries carry
+``ph`` (phase), ``ts``/``dur`` microsecond timestamps, and ``pid`` /
+``tid`` track coordinates.  Two sources feed it:
+
+* **Run reports** (:func:`trace_from_report`) — the aggregated span
+  tree keeps per-node call counts and total seconds but no start
+  timestamps, so the exporter *synthesizes* a sequential layout: each
+  node becomes one complete (``ph: "X"``) slice as long as its
+  ``total_s``, children laid out left-to-right inside their parent.
+  The result reads like a flame graph of where the run's time went —
+  widths are real, horizontal positions are synthetic.
+* **Event logs** (:func:`trace_from_events`) — host-scoped fleet events
+  carry real wall-clock timestamps, so shard lifecycles render on one
+  track per shard (launch→done/crash slices, retries marked), worker
+  heartbeats become counter (``ph: "C"``) series, and run-scoped events
+  become instants on the pipeline track.
+
+Both sources can be combined in one file (:func:`build_trace`), which
+is what ``repro run --trace-out trace.json`` writes and ``repro trace``
+converts existing artifacts into.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ReproError
+from repro.obs.events import HOST, RUN
+from repro.obs.report import validate_report
+
+#: trace process ids: one "process" per telemetry source
+PIPELINE_PID = 1
+FLEET_PID = 2
+
+#: phases of the trace-event format this exporter emits
+_PHASES = {"X", "i", "C", "M"}
+
+
+class TraceSchemaError(ReproError):
+    """A trace document does not look like Chrome trace-event JSON."""
+
+
+def _us(seconds: float) -> int:
+    return int(round(seconds * 1e6))
+
+
+# -- span tree -> synthesized flame layout -------------------------------------------
+
+
+def trace_from_report(report: dict, pid: int = PIPELINE_PID) -> list:
+    """Complete-event slices for a run report's aggregated span tree.
+
+    The tree stores durations, not timelines, so slices are laid out
+    sequentially: each top-level phase starts where the previous one
+    ended and children subdivide their parent from its left edge.
+    ``args`` keeps the aggregation facts (calls, errors, mean seconds)
+    and the node's tree path, so the span tree is recoverable from the
+    trace (tested against :func:`repro.obs.report.span_names`).
+    """
+    validate_report(report)
+    events = []
+
+    def walk(nodes, start_s, path):
+        cursor = start_s
+        for node in nodes:
+            node_path = path + (node["name"],)
+            total = max(0.0, node["total_s"])
+            count = node["count"]
+            args = {"count": count, "total_s": node["total_s"],
+                    "mean_s": node["total_s"] / count if count else 0.0,
+                    "path": "/".join(node_path)}
+            if node.get("errors"):
+                args["errors"] = node["errors"]
+            events.append({"name": node["name"], "ph": "X", "cat": "span",
+                           "pid": pid, "tid": 1, "ts": _us(cursor),
+                           "dur": _us(total), "args": args})
+            walk(node.get("children", ()), cursor, node_path)
+            cursor += total
+
+    walk(report.get("spans", []), 0.0, ())
+    return events
+
+
+# -- event log -> fleet timeline -----------------------------------------------------
+
+
+def trace_from_events(events, pid: int = FLEET_PID) -> list:
+    """Timeline tracks for an event log's real wall-clock record.
+
+    Shards get one thread track each (``tid`` = shard index + 1):
+    ``shard.launch`` opens a slice that the matching ``shard.done`` /
+    ``shard.crash`` / next ``shard.retry`` closes.  ``fleet.heartbeat``
+    events become per-shard counter series, and run-scoped events land
+    as instants on tid 0 so pipeline milestones line up with the shard
+    timelines.
+    """
+    events = list(events)
+    if not events:
+        return []
+    base = min(e.ts for e in events)
+    end = max(e.ts for e in events)
+    out = []
+    open_slices: dict[int, tuple] = {}      # shard -> (start_ts, args)
+
+    def close(shard, ts, outcome, extra=None):
+        started = open_slices.pop(shard, None)
+        if started is None:
+            return
+        start_ts, args = started
+        args = dict(args, outcome=outcome, **(extra or {}))
+        out.append({"name": "shard %d" % shard, "ph": "X", "cat": "shard",
+                    "pid": pid, "tid": shard + 1,
+                    "ts": _us(start_ts - base),
+                    "dur": max(1, _us(ts - start_ts)), "args": args})
+
+    for event in sorted(events, key=lambda e: (e.ts, e.seq)):
+        data = event.data
+        shard = data.get("shard")
+        if event.kind == "shard.launch":
+            close(shard, event.ts, "superseded")
+            open_slices[shard] = (event.ts, {"attempt": data.get("attempt"),
+                                             "iterations":
+                                             data.get("iterations")})
+        elif event.kind == "shard.done":
+            close(shard, event.ts, "ok",
+                  {"attempts": data.get("attempts")})
+        elif event.kind == "shard.crash":
+            close(shard, event.ts, "crash",
+                  {"error": data.get("error")})
+        elif event.kind == "shard.retry":
+            close(shard, event.ts, "died")
+        elif event.kind == "fleet.heartbeat":
+            out.append({"name": "shard %d progress" % shard, "ph": "C",
+                        "cat": "progress", "pid": pid, "tid": shard + 1,
+                        "ts": _us(event.ts - base),
+                        "args": {"iterations_done":
+                                 data.get("iterations_done", 0),
+                                 "unique_signatures":
+                                 data.get("unique_signatures", 0)}})
+        elif event.scope == RUN:
+            out.append({"name": event.kind, "ph": "i", "cat": "event",
+                        "pid": PIPELINE_PID, "tid": 0, "s": "t",
+                        "ts": _us(event.ts - base), "args": dict(data)})
+        elif event.scope == HOST:
+            out.append({"name": event.kind, "ph": "i", "cat": "event",
+                        "pid": pid, "tid": 0, "s": "p",
+                        "ts": _us(event.ts - base), "args": dict(data)})
+    # a shard still open at log end (e.g. log captured mid-run)
+    for shard in sorted(open_slices):
+        close(shard, end, "unfinished")
+    return out
+
+
+# -- assembly, validation, io --------------------------------------------------------
+
+
+def _metadata(pid: int, name: str) -> dict:
+    return {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": name}}
+
+
+def build_trace(report: dict = None, events=None, meta: dict = None) -> dict:
+    """One Perfetto-loadable document from a report and/or an event log."""
+    trace_events = []
+    if report is not None:
+        trace_events.append(_metadata(PIPELINE_PID, "repro pipeline"))
+        trace_events.extend(trace_from_report(report))
+    if events:
+        trace_events.append(_metadata(FLEET_PID, "repro fleet"))
+        trace_events.extend(trace_from_events(events))
+    doc = {"traceEvents": trace_events, "displayTimeUnit": "ms",
+           "otherData": {"generator": "repro.obs.traceviz"}}
+    if meta:
+        doc["otherData"].update(
+            {k: str(v) for k, v in sorted(meta.items())})
+    return doc
+
+
+def validate_trace(trace: dict) -> None:
+    """Raise :class:`TraceSchemaError` unless ``trace`` is well-formed
+    Chrome trace-event JSON (the subset this exporter emits)."""
+    if not isinstance(trace, dict):
+        raise TraceSchemaError("trace must be a JSON object")
+    trace_events = trace.get("traceEvents")
+    if not isinstance(trace_events, list):
+        raise TraceSchemaError("'traceEvents' must be a list")
+    for i, event in enumerate(trace_events):
+        where = "traceEvents[%d]" % i
+        if not isinstance(event, dict):
+            raise TraceSchemaError("%s must be an object" % where)
+        phase = event.get("ph")
+        if phase not in _PHASES:
+            raise TraceSchemaError("%s has unknown phase %r" % (where, phase))
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            raise TraceSchemaError("%s needs a non-empty 'name'" % where)
+        if not isinstance(event.get("pid"), int):
+            raise TraceSchemaError("%s needs an integer 'pid'" % where)
+        if phase != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, int) or ts < 0:
+                raise TraceSchemaError(
+                    "%s needs a non-negative integer 'ts'" % where)
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                raise TraceSchemaError(
+                    "%s needs a non-negative integer 'dur'" % where)
+        if "args" in event and not isinstance(event["args"], dict):
+            raise TraceSchemaError("%s.args must be an object" % where)
+
+
+def trace_span_names(trace: dict) -> set:
+    """Names of all span slices in a trace (the exported phase tree)."""
+    return {e["name"] for e in trace.get("traceEvents", ())
+            if e.get("ph") == "X" and e.get("cat") == "span"}
+
+
+def write_trace(trace: dict, path) -> None:
+    validate_trace(trace)
+    with open(path, "w") as handle:
+        json.dump(trace, handle, indent=1, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,165 @@
+"""Tests for the live fleet progress tracker (repro.fleet.progress)."""
+
+from repro import obs
+from repro.fleet.progress import (
+    FleetProgress,
+    ProgressSnapshot,
+    ShardProgress,
+    render_progress_line,
+    render_progress_table,
+)
+
+
+def _beat(done, total, uniq=0, crashes=0):
+    return {"iterations_done": done, "iterations_total": total,
+            "unique_signatures": uniq, "crashes": crashes}
+
+
+class TestLifecycle:
+    def test_launch_then_heartbeat_then_finish(self):
+        tracker = FleetProgress()
+        tracker.launch(0, iterations=10, attempt=1)
+        snap = tracker.snapshot()
+        assert snap.shards[0].state == "running"
+        assert snap.iterations_total == 10
+
+        tracker.heartbeat(0, _beat(4, 10, uniq=3))
+        snap = tracker.snapshot()
+        assert snap.iterations_done == 4
+        assert snap.unique_signatures == 3
+        assert snap.shards[0].heartbeats == 1
+
+        tracker.finish(0, crashed=False)
+        snap = tracker.snapshot()
+        assert snap.shards[0].state == "done"
+        # hand-off covers the whole shard even when the last heartbeat
+        # was throttled away
+        assert snap.iterations_done == 10
+        assert snap.live_shards == 0
+
+    def test_crash_keeps_partial_progress(self):
+        tracker = FleetProgress()
+        tracker.launch(0, iterations=10, attempt=1)
+        tracker.heartbeat(0, _beat(7, 10, crashes=2))
+        tracker.finish(0, crashed=True)
+        snap = tracker.snapshot()
+        assert snap.shards[0].state == "crashed"
+        assert snap.iterations_done == 7
+        assert snap.crashes == 2
+
+    def test_retry_resets_shard_counters_and_counts_retry(self):
+        tracker = FleetProgress()
+        tracker.launch(0, iterations=10, attempt=1)
+        tracker.heartbeat(0, _beat(6, 10, uniq=4, crashes=1))
+        tracker.launch(0, iterations=10, attempt=2)
+        snap = tracker.snapshot()
+        shard = snap.shards[0]
+        assert shard.retries == 1
+        assert shard.iterations_done == 0
+        assert shard.unique_signatures == 0
+        assert shard.crashes == 0
+        assert shard.state == "running"
+
+    def test_heartbeat_before_launch_is_tolerated(self):
+        tracker = FleetProgress()
+        tracker.heartbeat(3, _beat(2, 5))
+        snap = tracker.snapshot()
+        assert snap.shards[0].index == 3
+        assert snap.iterations_done == 2
+
+
+class TestAggregation:
+    def test_multi_shard_sums(self):
+        tracker = FleetProgress()
+        for index in range(3):
+            tracker.launch(index, iterations=20, attempt=1)
+            tracker.heartbeat(index, _beat(5 * (index + 1), 20, uniq=index))
+        snap = tracker.snapshot()
+        assert snap.iterations_total == 60
+        assert snap.iterations_done == 5 + 10 + 15
+        assert snap.unique_signatures == 0 + 1 + 2
+        assert snap.live_shards == 3
+        assert 0 < snap.fraction_done < 1
+
+    def test_snapshot_is_a_copy(self):
+        tracker = FleetProgress()
+        tracker.launch(0, iterations=4, attempt=1)
+        snap = tracker.snapshot()
+        snap.shards[0].iterations_done = 999
+        assert tracker.snapshot().iterations_done == 0
+
+    def test_snapshot_orders_shards_by_index(self):
+        tracker = FleetProgress()
+        for index in (2, 0, 1):
+            tracker.launch(index, iterations=1, attempt=1)
+        assert [s.index for s in tracker.snapshot().shards] == [0, 1, 2]
+
+
+class TestRatesAndEta:
+    def test_rates_derive_from_elapsed(self):
+        snap = ProgressSnapshot(
+            [ShardProgress(0, iterations_total=100, iterations_done=40,
+                           unique_signatures=10, state="running")],
+            elapsed_s=4.0)
+        assert snap.iterations_per_sec == 10.0
+        assert snap.signatures_per_sec == 2.5
+        assert snap.eta_s == 6.0       # 60 remaining at 10 it/s
+
+    def test_eta_zero_when_done_or_rateless(self):
+        done = ProgressSnapshot(
+            [ShardProgress(0, iterations_total=10, iterations_done=10,
+                           state="done")], elapsed_s=2.0)
+        assert done.eta_s == 0.0
+        fresh = ProgressSnapshot(
+            [ShardProgress(0, iterations_total=10)], elapsed_s=0.0)
+        assert fresh.eta_s == 0.0
+        assert fresh.iterations_per_sec == 0.0
+        assert fresh.fraction_done == 0.0
+
+    def test_empty_snapshot_is_all_zero(self):
+        snap = ProgressSnapshot()
+        assert snap.iterations_total == 0
+        assert snap.fraction_done == 0.0
+        assert snap.eta_s == 0.0
+
+
+class TestGauges:
+    def test_record_gauges_publishes_aggregates(self):
+        handle = obs.Observability(enabled=True)
+        tracker = FleetProgress()
+        tracker.launch(0, iterations=10, attempt=1)
+        tracker.heartbeat(0, _beat(4, 10, uniq=2))
+        tracker.record_gauges(handle)
+        metrics = handle.metrics
+        assert metrics.gauge("fleet.progress.iterations_done").value == 4
+        assert metrics.gauge("fleet.progress.iterations_total").value == 10
+        assert metrics.gauge("fleet.progress.unique_signatures").value == 2
+        assert metrics.gauge("fleet.progress.live_shards").value == 1
+        assert "fleet.progress.eta_s" in metrics.snapshot()
+
+
+class TestRendering:
+    def _snapshot(self):
+        return ProgressSnapshot(
+            [ShardProgress(0, iterations_total=50, iterations_done=25,
+                           unique_signatures=7, retries=1, heartbeats=3,
+                           state="running"),
+             ShardProgress(1, iterations_total=50, iterations_done=50,
+                           unique_signatures=5, state="done")],
+            elapsed_s=5.0)
+
+    def test_line_mentions_the_vitals(self):
+        line = render_progress_line(self._snapshot())
+        assert "75/100" in line
+        assert "75%" in line
+        assert "12 uniq" in line
+        assert "1 live shard" in line
+        assert "1 retry" in line
+        assert "\n" not in line
+
+    def test_table_has_one_row_per_shard_plus_total(self):
+        text = render_progress_table(self._snapshot())
+        assert "#0" in text and "#1" in text
+        assert "all" in text
+        assert "25/50" in text and "75/100" in text
+        assert "fleet progress" in text

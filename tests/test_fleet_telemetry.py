@@ -1,0 +1,100 @@
+"""Fleet telemetry integration: event determinism, heartbeats, traces.
+
+The repro.obs v2 acceptance invariant: the run-scope slice of the event
+log is a pure function of the campaign — a serial run and a ``--jobs 4``
+fleet run must produce the same multiset of run-scope payloads once the
+shard logs merge (timestamps and sequence numbers excluded).  Host-scope
+events (shard lifecycle, heartbeats, merges) legitimately differ.
+"""
+
+from repro import obs
+from repro.fleet import run_campaign_fleet
+from repro.harness import Campaign, check_campaign_result
+from repro.obs.traceviz import build_trace, trace_span_names, validate_trace
+from repro.testgen import TestConfig
+
+CFG = TestConfig(threads=2, ops_per_thread=10, addresses=8, seed=7)
+
+
+def _serial_events(iterations=120, block=30):
+    with obs.enabled_obs() as handle:
+        result = Campaign(config=CFG, seed=11).run(iterations, block=block)
+        check_campaign_result(result)
+        return handle.events
+
+
+def _fleet_events(jobs, iterations=120, block=30, on_beat=None):
+    with obs.enabled_obs() as handle:
+        merged = run_campaign_fleet(config=CFG, iterations=iterations,
+                                    jobs=jobs, seed=11, block=block,
+                                    on_beat=on_beat)
+        check_campaign_result(merged)
+        return handle.events
+
+
+class TestRunScopeDeterminism:
+    """Acceptance: serial and --jobs 4 merge to the same run multiset."""
+
+    def test_four_workers_match_serial_event_multiset(self):
+        serial = _serial_events()
+        fleet = _fleet_events(jobs=4)
+        assert fleet.multiset("run") == serial.multiset("run")
+        # the invariant is non-vacuous: plan, per-block, result and
+        # checker events are all present
+        kinds = {kind for (kind, _payload) in serial.multiset("run")}
+        assert {"campaign.plan", "block.done",
+                "campaign.result"} <= kinds
+
+    def test_host_scope_events_exist_only_in_the_fleet_run(self):
+        serial = _serial_events()
+        fleet = _fleet_events(jobs=2)
+        assert not serial.multiset("host")
+        host_kinds = {kind for (kind, _p) in fleet.multiset("host")}
+        assert {"fleet.plan", "shard.launch", "shard.done",
+                "fleet.merge"} <= host_kinds
+
+    def test_worker_count_does_not_change_the_run_multiset(self):
+        assert (_fleet_events(jobs=2).multiset("run")
+                == _fleet_events(jobs=3).multiset("run"))
+
+
+class TestHeartbeats:
+    def test_heartbeats_reach_events_and_callback(self):
+        beats = []
+        with obs.enabled_obs() as handle:
+            run_campaign_fleet(config=CFG, iterations=60, jobs=2, seed=11,
+                               block=15,
+                               on_beat=lambda snap: beats.append(snap))
+            heartbeats = [e for e in handle.events.events()
+                          if e.kind == "fleet.heartbeat"]
+            assert heartbeats            # final block always reports
+            assert beats
+            # every heartbeat is well-formed and within the shard budget
+            for event in heartbeats:
+                assert 0 <= event.data["iterations_done"] \
+                       <= event.data["iterations_total"]
+            # the last snapshot saw the fleet finish
+            assert beats[-1].iterations_done == beats[-1].iterations_total \
+                   == 60
+            assert handle.metrics.get("fleet.heartbeats").value \
+                   == len(heartbeats)
+            gauge = handle.metrics.get("fleet.progress.iterations_done")
+            assert gauge.value == 60
+
+
+class TestTraceExport:
+    def test_fleet_run_produces_a_valid_combined_trace(self):
+        with obs.enabled_obs() as handle:
+            run_campaign_fleet(config=CFG, iterations=60, jobs=2, seed=11,
+                               block=15)
+            report = handle.report(meta={"command": "test"})
+            trace = build_trace(report=report,
+                                events=handle.events.events())
+        validate_trace(trace)
+        names = trace_span_names(trace)
+        assert obs.span_names(report) == names
+        assert {"fleet.shard", "fleet.merge"} <= names
+        shard_slices = [e for e in trace["traceEvents"]
+                        if e.get("cat") == "shard"]
+        assert {s["args"]["outcome"] for s in shard_slices} == {"ok"}
+        assert len(shard_slices) == 2

@@ -1,0 +1,202 @@
+"""Tests for the bench-regression watchdog (repro.obs.bench)."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.obs import bench
+
+RESULTS_DIR = pathlib.Path(__file__).parent.parent / "benchmarks" / "results"
+
+
+def write_snapshot(path, doc):
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return str(path)
+
+
+BASELINE = {
+    "schema": "bench.example",
+    "configs": {
+        "ARM-2-50-32": {"graphs": 100, "sorted_vertices": 533,
+                        "info_ms": {"check": 120.0}},
+        "x86-2-50-32": {"graphs": 100, "sorted_vertices": 471,
+                        "info_ms": {"check": 90.0}},
+    },
+    "elapsed_s": 2.0,
+}
+
+
+class TestFlatten:
+    def test_numeric_leaves_get_dotted_keys(self):
+        leaves = bench.flatten_numeric(BASELINE)
+        assert leaves["configs.ARM-2-50-32.graphs"] == 100
+        assert leaves["configs.ARM-2-50-32.info_ms.check"] == 120.0
+        assert leaves["elapsed_s"] == 2.0
+        # strings and the schema tag are dropped
+        assert "schema" not in leaves
+
+    def test_lists_index_their_elements(self):
+        leaves = bench.flatten_numeric({"seeds": [10, 20, {"hits": 3}]})
+        assert leaves == {"seeds.0": 10, "seeds.1": 20, "seeds.2.hits": 3}
+
+    def test_booleans_are_not_numbers(self):
+        assert bench.flatten_numeric({"ok": True, "n": 1}) == {"n": 1}
+
+
+class TestTimingKeys:
+    def test_suffixes_and_words(self):
+        assert bench.is_timing_key("configs.ARM.info_ms.check")
+        assert bench.is_timing_key("elapsed_s")
+        assert bench.is_timing_key("total_seconds")
+        assert bench.is_timing_key("wall.run")
+        assert bench.is_timing_key("check_time")
+
+    def test_work_counts_are_not_timings(self):
+        assert not bench.is_timing_key("configs.ARM.graphs")
+        assert not bench.is_timing_key("sorted_vertices")
+        assert not bench.is_timing_key("violations")
+
+
+class TestDiff:
+    def test_identical_snapshots_pass(self):
+        comparison = bench.diff_snapshots(BASELINE, BASELINE)
+        assert not comparison.failed
+        assert not comparison.regressions
+        assert "bench diff ok" in comparison.render()
+
+    def test_synthetic_20pct_timing_regression_is_detected(self):
+        current = json.loads(json.dumps(BASELINE))
+        current["configs"]["ARM-2-50-32"]["info_ms"]["check"] = 144.0  # +20%
+        comparison = bench.diff_snapshots(BASELINE, current,
+                                          tolerance=bench.DEFAULT_TOLERANCE)
+        assert comparison.failed
+        (delta,) = comparison.regressions
+        assert delta.key == "configs.ARM-2-50-32.info_ms.check"
+        assert delta.kind == "timing"
+        assert delta.ratio == pytest.approx(1.2)
+        assert "1.20x" in comparison.render()
+        assert "REGRESSION" in comparison.render()
+
+    def test_timing_drift_inside_band_is_ok(self):
+        current = json.loads(json.dumps(BASELINE))
+        current["configs"]["ARM-2-50-32"]["info_ms"]["check"] = 126.0  # +5%
+        assert not bench.diff_snapshots(BASELINE, current).failed
+
+    def test_timing_improvement_reported_not_failed(self):
+        current = json.loads(json.dumps(BASELINE))
+        current["elapsed_s"] = 1.0
+        comparison = bench.diff_snapshots(BASELINE, current)
+        assert not comparison.failed
+        assert [d.key for d in comparison.improvements] == ["elapsed_s"]
+
+    def test_any_count_change_is_a_regression(self):
+        for new_graphs in (99, 101):
+            current = json.loads(json.dumps(BASELINE))
+            current["configs"]["ARM-2-50-32"]["graphs"] = new_graphs
+            comparison = bench.diff_snapshots(BASELINE, current)
+            assert comparison.failed
+            (delta,) = comparison.regressions
+            assert delta.kind == "count"
+
+    def test_shape_changes_fail(self):
+        grown = json.loads(json.dumps(BASELINE))
+        grown["configs"]["ARM-2-50-32"]["edges_added"] = 7
+        comparison = bench.diff_snapshots(BASELINE, grown)
+        assert comparison.failed
+        assert [d.status for d in comparison.shape_changes] == ["added"]
+        shrunk = bench.diff_snapshots(grown, BASELINE)
+        assert [d.status for d in shrunk.shape_changes] == ["removed"]
+
+    def test_counts_only_ignores_timing_regressions(self):
+        current = json.loads(json.dumps(BASELINE))
+        current["configs"]["ARM-2-50-32"]["info_ms"]["check"] = 500.0
+        comparison = bench.diff_snapshots(BASELINE, current,
+                                          counts_only=True)
+        assert not comparison.failed
+        # ...but a count mismatch still gates
+        current["configs"]["ARM-2-50-32"]["graphs"] = 1
+        assert bench.diff_snapshots(BASELINE, current,
+                                    counts_only=True).failed
+
+    def test_to_json_keeps_only_flagged_deltas(self):
+        current = json.loads(json.dumps(BASELINE))
+        current["configs"]["ARM-2-50-32"]["graphs"] = 99
+        doc = bench.diff_snapshots(BASELINE, current).to_json()
+        assert doc["failed"] is True
+        assert len(doc["deltas"]) == 1
+        assert doc["compared"] == len(bench.flatten_numeric(BASELINE))
+
+
+class TestSnapshotIO:
+    def test_load_snapshot_errors_are_cli_safe(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(bench.BenchSchemaError, match="not valid JSON"):
+            bench.load_snapshot(str(bad))
+        arr = tmp_path / "arr.json"
+        arr.write_text("[1, 2]")
+        with pytest.raises(bench.BenchSchemaError, match="JSON object"):
+            bench.load_snapshot(str(arr))
+
+    def test_load_snapshot_round_trip(self, tmp_path):
+        path = write_snapshot(tmp_path / "snap.json", BASELINE)
+        assert bench.load_snapshot(path) == BASELINE
+
+
+class TestHistory:
+    def test_headline_digest_is_shape_sensitive(self):
+        digest = bench.headline(BASELINE)
+        assert digest["count_leaves"] == 4       # info_ms/elapsed excluded
+        assert digest["leaves"] == 7
+        assert digest["count_sum"] == 100 + 533 + 100 + 471
+        changed = json.loads(json.dumps(BASELINE))
+        changed["configs"]["ARM-2-50-32"]["graphs"] = 99
+        assert (bench.headline(changed)["counts_sha256_16"]
+                != digest["counts_sha256_16"])
+        # timing drift does not move the digest
+        warmer = json.loads(json.dumps(BASELINE))
+        warmer["elapsed_s"] = 99.0
+        assert (bench.headline(warmer)["counts_sha256_16"]
+                == digest["counts_sha256_16"])
+
+    def test_history_append_and_read(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        entry = bench.history_entry("BENCH_x.json", BASELINE, note="seed")
+        bench.append_history(str(path), entry)
+        bench.append_history(str(path),
+                             bench.history_entry("BENCH_x.json", BASELINE))
+        entries = bench.read_history(str(path))
+        assert len(entries) == 2
+        assert entries[0]["note"] == "seed"
+        assert entries[0]["digest"] == bench.headline(BASELINE)
+        path.write_text("garbage\n")
+        with pytest.raises(bench.BenchSchemaError, match=":1:"):
+            bench.read_history(str(path))
+
+    def test_committed_history_parses(self):
+        entries = bench.read_history(str(RESULTS_DIR /
+                                         "BENCH_history.jsonl"))
+        assert entries
+        assert all("digest" in e and "snapshot" in e for e in entries)
+
+
+class TestWatchdog:
+    def test_check_against_committed_passes_on_the_committed_snapshot(self):
+        comparison = bench.check_against_committed(str(RESULTS_DIR))
+        assert not comparison.failed, comparison.render()
+        assert comparison.counts_only
+        assert comparison.deltas            # something was compared
+
+    def test_check_requires_embedded_rerun_parameters(self, tmp_path):
+        write_snapshot(tmp_path / bench.CHECK_SNAPSHOT,
+                       {"configs": {}})
+        with pytest.raises(bench.BenchSchemaError, match="iterations/seed"):
+            bench.check_against_committed(str(tmp_path))
+
+    def test_check_requires_the_watchdog_configs(self, tmp_path):
+        write_snapshot(tmp_path / bench.CHECK_SNAPSHOT,
+                       {"iterations": 10, "seed": 1,
+                        "configs": {"ARM-2-50-32": {"graphs": 1}}})
+        with pytest.raises(bench.BenchSchemaError, match="x86-2-50-32"):
+            bench.check_against_committed(str(tmp_path))

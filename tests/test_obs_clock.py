@@ -1,0 +1,93 @@
+"""Clock-discipline regression tests (satellite of repro.obs v2).
+
+Durations must come from the monotonic ``time.perf_counter()`` only;
+the wall clock (``time.time()``) is reserved for event timestamps.  A
+stepped wall clock (NTP correction, manual date change) must therefore
+never produce negative or inflated span durations, and a pathological
+monotonic source must clamp to zero rather than go negative.
+"""
+
+import time
+
+from repro import obs
+from repro.fleet.progress import FleetProgress
+from repro.obs.events import EventLog
+from repro.obs.span import SpanTracer, TimedSpan
+
+
+class TestWallClockWarpIsHarmless:
+    def test_backward_wall_step_cannot_make_spans_negative(self, monkeypatch):
+        warped = [time.time()]
+
+        def warped_wall():
+            warped[0] -= 3600.0         # an hour backwards per call
+            return warped[0]
+
+        monkeypatch.setattr(time, "time", warped_wall)
+        tracer = SpanTracer()
+        with tracer.span("phase"):
+            pass
+        node = tracer.node("phase")
+        assert node.count == 1
+        assert 0.0 <= node.total_s < 1.0
+
+    def test_forward_wall_step_cannot_inflate_spans(self, monkeypatch):
+        warped = [time.time()]
+
+        def warped_wall():
+            warped[0] += 86400.0        # a day forwards per call
+            return warped[0]
+
+        monkeypatch.setattr(time, "time", warped_wall)
+        with TimedSpan() as span:
+            pass
+        assert 0.0 <= span.elapsed < 1.0
+
+    def test_fleet_progress_elapsed_ignores_wall_clock(self, monkeypatch):
+        ticks = iter([100.0, 103.5])
+        monkeypatch.setattr(time, "perf_counter", lambda: next(ticks))
+        monkeypatch.setattr(time, "time", lambda: -1e9)
+        tracker = FleetProgress()     # first tick
+        snap = tracker.snapshot()     # second tick
+        assert snap.elapsed_s == 3.5
+
+
+class TestBrokenMonotonicSourceClamps:
+    def test_timed_span_clamps_to_zero(self, monkeypatch):
+        ticks = iter([10.0, 4.0])     # a (hypothetical) backwards source
+        monkeypatch.setattr(time, "perf_counter", lambda: next(ticks))
+        with TimedSpan() as span:
+            pass
+        assert span.elapsed == 0.0
+
+    def test_tracer_totals_never_go_negative(self, monkeypatch):
+        ticks = iter([10.0, 4.0, 20.0, 21.0])
+        monkeypatch.setattr(time, "perf_counter", lambda: next(ticks))
+        tracer = SpanTracer()
+        with tracer.span("phase"):    # broken interval: clamped to 0
+            pass
+        with tracer.span("phase"):    # sane interval: 1s
+            pass
+        node = tracer.node("phase")
+        assert node.count == 2
+        assert node.total_s == 1.0
+
+
+class TestEventTimestampsAreWallClock:
+    def test_event_ts_tracks_time_time(self, monkeypatch):
+        monkeypatch.setattr(time, "time", lambda: 1_234_567.25)
+        log = EventLog()
+        event = log.emit("campaign.plan", iterations=1, blocks=1)
+        assert event.ts == 1_234_567.25
+
+    def test_span_duration_and_event_ts_use_different_clocks(
+            self, monkeypatch):
+        # freeze the wall clock entirely: events all share one ts while
+        # span durations (perf_counter) still advance
+        monkeypatch.setattr(time, "time", lambda: 42.0)
+        handle = obs.Observability(enabled=True)
+        with handle.span("work"):
+            time.sleep(0.01)
+        handle.emit("campaign.plan", iterations=1, blocks=1)
+        assert handle.events.events()[0].ts == 42.0
+        assert handle.tracer.node("work").total_s > 0.0

@@ -1,0 +1,225 @@
+"""Unit tests for the structured event plane (repro.obs.events)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.events import (
+    EVENT_KINDS,
+    HOST,
+    RUN,
+    SCHEMA,
+    SCHEMA_VERSION,
+    EventLog,
+    EventSchemaError,
+    NullEventLog,
+    event_from_dict,
+    events_markdown,
+    events_table,
+    read_events,
+    render_events,
+)
+
+
+class TestKindRegistry:
+    def test_every_kind_has_scope_doc_and_fields(self):
+        assert EVENT_KINDS
+        for kind in EVENT_KINDS.values():
+            assert kind.scope in (RUN, HOST)
+            assert kind.doc
+            assert kind.fields
+            for field, doc in kind.fields:
+                assert field and doc
+
+    def test_core_lifecycle_kinds_registered(self):
+        for name in ("campaign.plan", "block.done", "campaign.result",
+                     "lint.gate", "check.batch", "shard.launch",
+                     "shard.done", "shard.crash", "fleet.heartbeat",
+                     "fleet.merge", "mutate.seed", "mutate.campaign"):
+            assert name in EVENT_KINDS
+
+    def test_scopes_partition_as_designed(self):
+        assert EVENT_KINDS["block.done"].scope == RUN
+        assert EVENT_KINDS["check.batch"].scope == RUN
+        assert EVENT_KINDS["shard.launch"].scope == HOST
+        assert EVENT_KINDS["fleet.heartbeat"].scope == HOST
+
+
+class TestEventLog:
+    def test_emit_assigns_seq_ts_scope(self):
+        log = EventLog()
+        event = log.emit("campaign.plan", iterations=10, blocks=2)
+        assert event.seq == 0
+        assert event.ts > 0
+        assert event.scope == RUN
+        assert event.data == {"iterations": 10, "blocks": 2}
+        assert len(log) == 1
+
+    def test_unregistered_kind_raises(self):
+        with pytest.raises(ValueError, match="unregistered event kind"):
+            EventLog().emit("no.such.kind", x=1)
+
+    def test_counts(self):
+        log = EventLog()
+        log.emit("campaign.plan", iterations=1, blocks=1)
+        log.emit("block.done", block=0, iterations=1, crashes=0,
+                 signature_asserts=0)
+        log.emit("block.done", block=1, iterations=1, crashes=0,
+                 signature_asserts=0)
+        assert log.counts() == {"block.done": 2, "campaign.plan": 1}
+
+    def test_multiset_excludes_other_scope_and_timestamps(self):
+        log = EventLog()
+        log.emit("campaign.plan", iterations=5, blocks=1)
+        log.emit("shard.launch", shard=0, attempt=1, iterations=5)
+        ms = log.multiset(RUN)
+        assert sum(ms.values()) == 1
+        ((kind, payload), count), = ms.items()
+        assert kind == "campaign.plan" and count == 1
+        assert json.loads(payload) == {"iterations": 5, "blocks": 1}
+
+    def test_multiset_none_scope_takes_everything(self):
+        log = EventLog()
+        log.emit("campaign.plan", iterations=5, blocks=1)
+        log.emit("shard.launch", shard=0, attempt=1, iterations=5)
+        assert sum(log.multiset(None).values()) == 2
+
+
+class TestExportAbsorb:
+    def _sample_log(self):
+        log = EventLog()
+        log.emit("campaign.plan", iterations=4, blocks=2)
+        log.emit("block.done", block=0, iterations=2, crashes=0,
+                 signature_asserts=0)
+        return log
+
+    def test_roundtrip_preserves_payloads_and_ts(self):
+        source = self._sample_log()
+        sink = EventLog()
+        sink.emit("shard.launch", shard=0, attempt=1, iterations=4)
+        sink.absorb_state(source.export_state())
+        assert len(sink) == 3
+        absorbed = sink.events()[1:]
+        for original, copy in zip(source.events(), absorbed):
+            assert copy.kind == original.kind
+            assert copy.data == original.data
+            assert copy.ts == original.ts       # wall ts preserved
+        # but re-sequenced into the sink's append order
+        assert [e.seq for e in sink.events()] == [0, 1, 2]
+
+    def test_absorb_merges_multisets(self):
+        a, b = self._sample_log(), self._sample_log()
+        merged = EventLog()
+        merged.absorb_state(a.export_state())
+        merged.absorb_state(b.export_state())
+        assert merged.multiset(RUN) == a.multiset(RUN) + b.multiset(RUN)
+
+    def test_absorb_rejects_foreign_state(self):
+        with pytest.raises(EventSchemaError):
+            EventLog().absorb_state({"schema": "something.else"})
+        with pytest.raises(EventSchemaError):
+            EventLog().absorb_state({"schema": SCHEMA, "version": 99})
+
+    def test_export_is_self_describing(self):
+        state = self._sample_log().export_state()
+        assert state["schema"] == SCHEMA
+        assert state["version"] == SCHEMA_VERSION
+        assert len(state["events"]) == 2
+
+
+class TestSerialization:
+    def test_jsonl_roundtrip(self, tmp_path):
+        log = EventLog()
+        log.emit("campaign.plan", iterations=3, blocks=1)
+        log.emit("campaign.result", iterations=3, unique_signatures=2,
+                 crashes=0, skipped_iterations=0, signature_asserts=0)
+        path = tmp_path / "events.jsonl"
+        log.write_jsonl(path)
+        events = read_events(path)
+        assert [e.kind for e in events] == ["campaign.plan",
+                                           "campaign.result"]
+        assert events[1].data["unique_signatures"] == 2
+
+    def test_concatenated_shard_logs_parse(self, tmp_path):
+        a, b = EventLog(), EventLog()
+        a.emit("campaign.plan", iterations=1, blocks=1)
+        b.emit("campaign.plan", iterations=2, blocks=1)
+        path = tmp_path / "cat.jsonl"
+        path.write_text(a.to_jsonl() + b.to_jsonl())
+        assert len(read_events(path)) == 2
+
+    def test_read_reports_line_numbers(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"v": 1, "seq": 0}\n')
+        with pytest.raises(EventSchemaError, match="bad.jsonl:1"):
+            read_events(path)
+        path.write_text("not json\n")
+        with pytest.raises(EventSchemaError, match="not valid JSON"):
+            read_events(path)
+
+    def test_version_mismatch_message_names_versions(self):
+        with pytest.raises(EventSchemaError, match="version 9"):
+            event_from_dict({"v": 9, "seq": 0, "ts": 0.0,
+                             "kind": "campaign.plan", "scope": RUN,
+                             "data": {}})
+
+    def test_record_field_validation(self):
+        good = {"v": SCHEMA_VERSION, "seq": 0, "ts": 1.5,
+                "kind": "campaign.plan", "scope": RUN, "data": {"a": 1}}
+        event = event_from_dict(good)
+        assert event.data == {"a": 1}
+        for field in ("seq", "ts", "kind", "scope", "data"):
+            broken = dict(good)
+            del broken[field]
+            with pytest.raises(EventSchemaError):
+                event_from_dict(broken)
+
+
+class TestNullEventLog:
+    def test_is_a_complete_noop_twin(self, tmp_path):
+        null = NullEventLog()
+        assert null.emit("campaign.plan", iterations=1, blocks=1) is None
+        assert null.events() == [] and len(null) == 0
+        assert null.counts() == {} and not null.multiset()
+        assert null.export_state()["events"] == []
+        null.absorb_state({"schema": "whatever"})    # silently ignored
+        path = tmp_path / "null.jsonl"
+        null.write_jsonl(path)
+        assert path.read_text() == ""
+
+    def test_disabled_obs_hands_out_null_log(self):
+        handle = obs.Observability(enabled=False)
+        handle.emit("campaign.plan", iterations=1, blocks=1)
+        assert len(handle.events) == 0
+
+    def test_enabled_obs_records_and_reset_clears(self):
+        handle = obs.Observability(enabled=True)
+        handle.emit("campaign.plan", iterations=1, blocks=1)
+        assert len(handle.events) == 1
+        handle.reset()
+        assert len(handle.events) == 0
+
+
+class TestRendering:
+    def test_render_events_lists_kinds(self):
+        log = EventLog()
+        log.emit("campaign.plan", iterations=1, blocks=1)
+        log.emit("block.done", block=0, iterations=1, crashes=0,
+                 signature_asserts=0)
+        text = render_events(log.events())
+        assert "campaign.plan" in text and "block.done" in text
+        assert render_events([]) == "(empty event log)"
+
+    def test_events_table_covers_registry(self):
+        text = events_table()
+        for name in EVENT_KINDS:
+            assert name in text
+
+    def test_markdown_documents_every_kind_and_field(self):
+        text = events_markdown()
+        for kind in EVENT_KINDS.values():
+            assert "### `%s`" % kind.name in text
+            for field, _ in kind.fields:
+                assert "`%s`" % field in text
+        assert text.endswith("\n")

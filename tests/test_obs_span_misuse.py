@@ -1,0 +1,131 @@
+"""SpanTracer misuse and hand-off survival tests (satellite of obs v2).
+
+The tracer must stay consistent when spans are closed out of order or
+twice (generator-held spans, finally-block double closes), and worker
+span trees must survive the fleet hand-off — including the crash path,
+which ships no tree at all.
+"""
+
+from repro import obs
+from repro.fleet import FleetConfig, FleetSupervisor, WorkerTask
+from repro.fleet.worker import STATE_SCHEMA, STATE_VERSION
+from repro.obs.span import SpanTracer
+
+TASK = WorkerTask(program_doc={"name": "stub", "listing": ""},
+                  blocks=((0, 10),))
+
+
+class TestOutOfOrderClose:
+    def test_overlapping_exit_drops_through_cleanly(self):
+        tracer = SpanTracer()
+        outer = tracer.span("outer")
+        outer.__enter__()
+        inner = tracer.span("inner")
+        inner.__enter__()
+        assert tracer.depth() == 2
+        # misuse: the OUTER span closes first (e.g. a generator that
+        # owns it was garbage collected) — the stack drops through to
+        # it instead of corrupting
+        outer.__exit__(None, None, None)
+        assert tracer.depth() == 0
+        # the late inner exit is a harmless no-op on the stack
+        inner.__exit__(None, None, None)
+        assert tracer.depth() == 0
+        # both recorded, inner nested under outer as opened
+        assert tracer.node("outer").count == 1
+        assert tracer.node("outer", "inner").count == 1
+
+    def test_tracer_usable_after_out_of_order_close(self):
+        tracer = SpanTracer()
+        a, b = tracer.span("a"), tracer.span("b")
+        a.__enter__()
+        b.__enter__()
+        a.__exit__(None, None, None)
+        b.__exit__(None, None, None)
+        with tracer.span("after"):
+            pass
+        # "after" is a fresh root, not a child of the mis-closed spans
+        assert {n["name"] for n in tracer.tree()} == {"a", "b", "after"}
+        assert tracer.node("after").count == 1
+        assert tracer.node("a", "after") is None
+        assert tracer.node("b", "after") is None
+
+    def test_double_exit_does_not_corrupt_the_stack(self):
+        tracer = SpanTracer()
+        span = tracer.span("once")
+        span.__enter__()
+        span.__exit__(None, None, None)
+        span.__exit__(None, None, None)      # double close: stack no-op
+        assert tracer.depth() == 0
+        with tracer.span("later"):
+            assert tracer.depth() == 1
+        assert tracer.depth() == 0
+
+
+class TestHandoffSurvival:
+    @staticmethod
+    def _worker_with_spans(task, conn):
+        tracer = SpanTracer()
+        with tracer.span("execute"):
+            with tracer.span("iteration"):
+                pass
+        state = {"schema": STATE_SCHEMA, "version": STATE_VERSION,
+                 "metrics": {}, "events": {"schema": "repro.events",
+                                           "version": 1, "events": []},
+                 "spans": tracer.tree()}
+        conn.send(("ok", "payload", state))
+        conn.close()
+
+    def test_worker_spans_fold_into_host_tree(self):
+        with obs.enabled_obs() as handle:
+            supervisor = FleetSupervisor(FleetConfig(jobs=1),
+                                         target=self._worker_with_spans)
+            outcome, = supervisor.run([TASK])
+            assert not outcome.crashed
+            assert handle.tracer.node("execute").count == 1
+            assert handle.tracer.node("execute", "iteration").count == 1
+            # host-side supervision spans coexist with absorbed ones
+            assert handle.tracer.node("fleet.shard") is not None
+
+    def test_two_workers_aggregate_same_named_phases(self):
+        with obs.enabled_obs() as handle:
+            supervisor = FleetSupervisor(FleetConfig(jobs=2),
+                                         target=self._worker_with_spans)
+            tasks = [WorkerTask(program_doc=TASK.program_doc,
+                                blocks=((i, 10),)) for i in range(2)]
+            outcomes = supervisor.run(tasks)
+            assert all(not o.crashed for o in outcomes)
+            assert handle.tracer.node("execute").count == 2
+            assert handle.tracer.node("execute", "iteration").count == 2
+
+    def test_crashed_worker_leaves_tracer_consistent(self):
+        import os
+
+        def dying(task, conn):
+            os._exit(3)
+
+        with obs.enabled_obs() as handle:
+            supervisor = FleetSupervisor(FleetConfig(jobs=1, max_retries=0),
+                                         target=dying)
+            outcome, = supervisor.run([TASK])
+            assert outcome.crashed
+            # nothing was absorbed from the dead worker...
+            assert handle.tracer.node("execute") is None
+            # ...the host's own spans closed, and the tracer still works
+            assert handle.tracer.depth() == 0
+            assert handle.tracer.node("fleet.shard").count == 1
+            with handle.span("post-crash"):
+                pass
+            assert handle.tracer.node("post-crash").count == 1
+
+    def test_legacy_bare_metrics_handoff_still_absorbs(self):
+        def legacy(task, conn):
+            conn.send(("ok", "payload",
+                       {"legacy.counter": {"type": "counter", "value": 4}}))
+            conn.close()
+
+        with obs.enabled_obs() as handle:
+            supervisor = FleetSupervisor(FleetConfig(jobs=1), target=legacy)
+            outcome, = supervisor.run([TASK])
+            assert not outcome.crashed
+            assert handle.metrics.get("legacy.counter").value == 4

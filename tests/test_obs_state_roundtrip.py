@@ -1,0 +1,150 @@
+"""Property tests: metrics state export/absorb is an exact round trip.
+
+Satellite of repro.obs v2: fleet workers ship ``export_state()`` home
+and the host folds it in with ``absorb_state()``.  For the merge to be
+trustworthy, sharding a sample stream across registries and merging
+must be indistinguishable from observing it serially — exactly, for
+every histogram statistic except the floating-point ``sum`` (addition
+order differs across shards, so the sum agrees only to rounding).
+"""
+
+import json
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+# samples exercise zero/negative underflow, sub-1.0, and large values
+SAMPLES = st.floats(min_value=-10.0, max_value=1e6,
+                    allow_nan=False, allow_infinity=False, width=32)
+QUANTILES = (0.0, 0.25, 0.5, 0.95, 0.99, 1.0)
+
+
+def observe_all(histogram, values):
+    for value in values:
+        histogram.observe(value)
+
+
+def assert_histograms_identical(merged, serial):
+    assert merged.count == serial.count
+    assert merged._underflow == serial._underflow
+    assert merged._buckets == serial._buckets
+    if serial.count:
+        assert merged.min == serial.min
+        assert merged.max == serial.max
+    assert math.isclose(merged.total, serial.total,
+                        rel_tol=1e-9, abs_tol=1e-9)
+    # quantiles read only (count, underflow, buckets, min, max) — all
+    # merged exactly — so they are EXACTLY equal, not approximately
+    for q in QUANTILES:
+        assert merged.quantile(q) == serial.quantile(q)
+
+
+class TestHistogramStateRoundTrip:
+    @given(values=st.lists(SAMPLES, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_export_absorb_into_empty_is_exact(self, values):
+        source = Histogram()
+        observe_all(source, values)
+        sink = Histogram()
+        sink.absorb_state(source.state())
+        assert_histograms_identical(sink, source)
+
+    @given(values=st.lists(SAMPLES, max_size=200),
+           cut=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=100, deadline=None)
+    def test_sharded_equals_serial(self, values, cut):
+        cut = min(cut, len(values))
+        serial = Histogram()
+        observe_all(serial, values)
+
+        left, right = Histogram(), Histogram()
+        observe_all(left, values[:cut])
+        observe_all(right, values[cut:])
+        merged = Histogram()
+        merged.absorb_state(left.state())
+        merged.absorb_state(right.state())
+        assert_histograms_identical(merged, serial)
+
+    @given(values=st.lists(SAMPLES, max_size=60),
+           shards=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=50, deadline=None)
+    def test_many_shard_merge_order_is_irrelevant(self, values, shards):
+        serial = Histogram()
+        observe_all(serial, values)
+        parts = [Histogram() for _ in range(shards)]
+        for index, value in enumerate(values):
+            parts[index % shards].observe(value)
+        forward, backward = Histogram(), Histogram()
+        states = [p.state() for p in parts]
+        for state in states:
+            forward.absorb_state(state)
+        for state in reversed(states):
+            backward.absorb_state(state)
+        assert_histograms_identical(forward, serial)
+        assert_histograms_identical(backward, serial)
+
+    def test_empty_source_is_a_noop(self):
+        sink = Histogram()
+        sink.observe(3.0)
+        before = sink.state()
+        sink.absorb_state(Histogram().state())
+        assert sink.state() == before
+
+    def test_single_sample_edge(self):
+        source = Histogram()
+        source.observe(0.125)
+        sink = Histogram()
+        sink.absorb_state(source.state())
+        assert sink.count == 1
+        assert sink.min == sink.max == 0.125
+        assert sink.quantile(0.5) == source.quantile(0.5)
+
+    def test_state_survives_json_serialization(self):
+        # the fleet pipe pickles, but --metrics-out round-trips JSON:
+        # bucket keys become strings and must still merge exactly
+        source = Histogram()
+        observe_all(source, [0.5, 2.0, 2.0, 100.0, -1.0])
+        wire = json.loads(json.dumps(source.state()))
+        sink = Histogram()
+        sink.absorb_state(wire)
+        assert_histograms_identical(sink, source)
+
+
+class TestRegistryStateRoundTrip:
+    @given(values=st.lists(SAMPLES, max_size=100),
+           counts=st.lists(st.integers(min_value=0, max_value=50),
+                           max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_registry_merge_matches_serial(self, values, counts):
+        serial = MetricsRegistry()
+        left, right = MetricsRegistry(), MetricsRegistry()
+        for index, value in enumerate(values):
+            shard = left if index % 2 == 0 else right
+            serial.histogram("h").observe(value)
+            shard.histogram("h").observe(value)
+        for index, n in enumerate(counts):
+            shard = left if index % 2 == 0 else right
+            serial.counter("c").inc(n)
+            shard.counter("c").inc(n)
+
+        merged = MetricsRegistry()
+        merged.absorb_state(left.export_state())
+        merged.absorb_state(right.export_state())
+        if values:
+            assert_histograms_identical(merged.get("h"), serial.get("h"))
+        if counts:
+            assert merged.get("c").value == serial.get("c").value
+
+    def test_absorb_creates_missing_metrics_with_exporter_kind(self):
+        source = MetricsRegistry()
+        source.counter("a").inc(2)
+        source.gauge("b").set(7.5)
+        source.histogram("c").observe(1.0)
+        sink = MetricsRegistry()
+        sink.absorb_state(source.export_state())
+        assert sink.get("a").value == 2
+        assert sink.get("b").value == 7.5
+        assert sink.get("c").count == 1

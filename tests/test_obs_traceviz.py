@@ -1,0 +1,200 @@
+"""Tests for the Chrome trace-event exporter (repro.obs.traceviz)."""
+
+import json
+
+import pytest
+
+from repro.obs.events import EventLog
+from repro.obs.report import SCHEMA, SCHEMA_VERSION, span_names
+from repro.obs.traceviz import (
+    FLEET_PID,
+    PIPELINE_PID,
+    TraceSchemaError,
+    build_trace,
+    trace_from_events,
+    trace_from_report,
+    trace_span_names,
+    validate_trace,
+    write_trace,
+)
+
+
+def make_report(spans):
+    return {"schema": SCHEMA, "version": SCHEMA_VERSION, "meta": {},
+            "summary": {}, "metrics": {}, "spans": spans}
+
+
+def span(name, count=1, total_s=1.0, children=(), errors=0):
+    node = {"name": name, "count": count, "total_s": total_s,
+            "children": list(children)}
+    if errors:
+        node["errors"] = errors
+    return node
+
+
+class TestTraceFromReport:
+    def test_slices_are_complete_events_with_real_widths(self):
+        report = make_report([span("run", total_s=2.0,
+                                   children=[span("instrument",
+                                                  total_s=0.5),
+                                             span("execute",
+                                                  total_s=1.5)])])
+        events = trace_from_report(report)
+        by_name = {e["name"]: e for e in events}
+        assert set(by_name) == {"run", "instrument", "execute"}
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["cat"] == "span"
+            assert event["pid"] == PIPELINE_PID
+        assert by_name["run"]["dur"] == 2_000_000
+        assert by_name["instrument"]["dur"] == 500_000
+        assert by_name["execute"]["dur"] == 1_500_000
+
+    def test_synthesized_layout_nests_children_inside_parent(self):
+        report = make_report([span("a", total_s=1.0,
+                                   children=[span("a1", total_s=0.25),
+                                             span("a2", total_s=0.5)]),
+                              span("b", total_s=2.0)])
+        events = {e["name"]: e for e in trace_from_report(report)}
+        a, a1, a2, b = (events[k] for k in ("a", "a1", "a2", "b"))
+        # siblings lay out left-to-right
+        assert a["ts"] == 0
+        assert b["ts"] == a["ts"] + a["dur"]
+        # children start at the parent's left edge and stay inside it
+        assert a1["ts"] == a["ts"]
+        assert a2["ts"] == a1["ts"] + a1["dur"]
+        assert a2["ts"] + a2["dur"] <= a["ts"] + a["dur"]
+
+    def test_args_keep_aggregation_facts_and_path(self):
+        report = make_report([span("run", count=4, total_s=2.0,
+                                   children=[span("check", errors=1)])])
+        events = {e["name"]: e for e in trace_from_report(report)}
+        assert events["run"]["args"]["count"] == 4
+        assert events["run"]["args"]["mean_s"] == 0.5
+        assert events["check"]["args"]["path"] == "run/check"
+        assert events["check"]["args"]["errors"] == 1
+        assert "errors" not in events["run"]["args"]
+
+    def test_span_names_round_trip(self):
+        report = make_report([span("run", children=[span("x"), span("y")]),
+                              span("check")])
+        trace = build_trace(report=report)
+        assert trace_span_names(trace) == span_names(report)
+
+    def test_invalid_report_is_rejected(self):
+        with pytest.raises(Exception):
+            trace_from_report({"schema": "nope"})
+
+
+class TestTraceFromEvents:
+    def _fleet_log(self):
+        log = EventLog()
+        log.emit("campaign.plan", iterations=20, blocks=2)
+        log.emit("fleet.plan", shards=2, jobs=2, iterations=20)
+        log.emit("shard.launch", shard=0, attempt=1, iterations=10)
+        log.emit("shard.launch", shard=1, attempt=1, iterations=10)
+        log.emit("fleet.heartbeat", shard=0, iterations_done=5,
+                 iterations_total=10, unique_signatures=2, crashes=0)
+        log.emit("shard.done", shard=0, attempts=1, iterations=10,
+                 elapsed_s=0.1)
+        log.emit("shard.retry", shard=1, attempt=1)
+        log.emit("shard.launch", shard=1, attempt=2, iterations=10)
+        log.emit("shard.done", shard=1, attempts=2, iterations=10,
+                 elapsed_s=0.2)
+        return log
+
+    def test_shard_slices_and_outcomes(self):
+        events = trace_from_events(self._fleet_log().events())
+        slices = [e for e in events if e["ph"] == "X"]
+        outcomes = sorted((s["tid"], s["args"]["outcome"]) for s in slices)
+        # shard 0 ok; shard 1 died then relaunched ok
+        assert outcomes == [(1, "ok"), (2, "died"), (2, "ok")]
+        for s in slices:
+            assert s["pid"] == FLEET_PID
+            assert s["dur"] >= 1
+
+    def test_heartbeats_become_counters(self):
+        events = trace_from_events(self._fleet_log().events())
+        counters = [e for e in events if e["ph"] == "C"]
+        assert len(counters) == 1
+        assert counters[0]["args"] == {"iterations_done": 5,
+                                      "unique_signatures": 2}
+        assert counters[0]["tid"] == 1
+
+    def test_run_scope_instants_land_on_pipeline_track(self):
+        events = trace_from_events(self._fleet_log().events())
+        instants = {e["name"]: e for e in events if e["ph"] == "i"}
+        plan = instants["campaign.plan"]
+        assert plan["pid"] == PIPELINE_PID and plan["s"] == "t"
+        fleet_plan = instants["fleet.plan"]
+        assert fleet_plan["pid"] == FLEET_PID and fleet_plan["s"] == "p"
+
+    def test_unclosed_shard_marked_unfinished(self):
+        log = EventLog()
+        log.emit("shard.launch", shard=0, attempt=1, iterations=5)
+        log.emit("fleet.heartbeat", shard=0, iterations_done=1,
+                 iterations_total=5, unique_signatures=0, crashes=0)
+        slices = [e for e in trace_from_events(log.events())
+                  if e["ph"] == "X"]
+        assert [s["args"]["outcome"] for s in slices] == ["unfinished"]
+
+    def test_crash_slice_carries_error(self):
+        log = EventLog()
+        log.emit("shard.launch", shard=0, attempt=1, iterations=5)
+        log.emit("shard.crash", shard=0, attempts=3, error="boom")
+        slices = [e for e in trace_from_events(log.events())
+                  if e["ph"] == "X"]
+        assert slices[0]["args"]["outcome"] == "crash"
+        assert slices[0]["args"]["error"] == "boom"
+
+    def test_empty_log_gives_empty_trace(self):
+        assert trace_from_events([]) == []
+
+
+class TestBuildAndValidate:
+    def test_build_trace_combines_sources_with_metadata(self):
+        report = make_report([span("run")])
+        log = EventLog()
+        log.emit("shard.launch", shard=0, attempt=1, iterations=1)
+        log.emit("shard.done", shard=0, attempts=1, iterations=1,
+                 elapsed_s=0.0)
+        trace = build_trace(report=report, events=log.events(),
+                            meta={"config": "ARM-2-50-32"})
+        validate_trace(trace)
+        phases = {e["ph"] for e in trace["traceEvents"]}
+        assert phases >= {"M", "X"}
+        names = {e["args"]["name"] for e in trace["traceEvents"]
+                 if e["ph"] == "M"}
+        assert names == {"repro pipeline", "repro fleet"}
+        assert trace["otherData"]["config"] == "ARM-2-50-32"
+
+    def test_validate_trace_rejects_malformed_documents(self):
+        with pytest.raises(TraceSchemaError, match="JSON object"):
+            validate_trace([])
+        with pytest.raises(TraceSchemaError, match="'traceEvents'"):
+            validate_trace({})
+        with pytest.raises(TraceSchemaError, match="unknown phase"):
+            validate_trace({"traceEvents": [{"ph": "Z", "name": "x",
+                                             "pid": 1}]})
+        with pytest.raises(TraceSchemaError, match="'name'"):
+            validate_trace({"traceEvents": [{"ph": "i", "name": "",
+                                             "pid": 1, "ts": 0}]})
+        with pytest.raises(TraceSchemaError, match="'ts'"):
+            validate_trace({"traceEvents": [{"ph": "i", "name": "x",
+                                             "pid": 1, "ts": -5}]})
+        with pytest.raises(TraceSchemaError, match="'dur'"):
+            validate_trace({"traceEvents": [{"ph": "X", "name": "x",
+                                             "pid": 1, "ts": 0}]})
+
+    def test_write_trace_round_trips_and_validates(self, tmp_path):
+        trace = build_trace(report=make_report([span("run")]))
+        path = tmp_path / "trace.json"
+        write_trace(trace, path)
+        loaded = json.loads(path.read_text())
+        validate_trace(loaded)
+        assert trace_span_names(loaded) == {"run"}
+
+    def test_write_trace_refuses_invalid_documents(self, tmp_path):
+        with pytest.raises(TraceSchemaError):
+            write_trace({"traceEvents": [{"bad": True}]},
+                        tmp_path / "nope.json")
