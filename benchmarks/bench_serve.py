@@ -1,0 +1,202 @@
+"""Checking-as-a-service load generator — the serve daemon under fleet.
+
+The paper's deployment feeds one host checker from many devices; the
+``repro.serve`` daemon is that host as a long-running service.  This
+bench drives it the way a lab floor would: several concurrent device
+clients streaming signature batches over real sockets, measuring
+
+* per-batch round-trip check latency (p50/p99), split into the cold
+  path (every signature novel, full constraint-graph check) and the
+  warm path (every signature a dedup hit, O(1) count fold); and
+* sustained ingest throughput in signatures/second with 4 clients
+  streaming at once.
+
+Every streamed session's report must stay byte-identical to the batch
+``repro run --check-pipeline delta`` summary — the serve subsystem's
+core guarantee — so the load test doubles as a differential check.
+
+A snapshot goes to ``benchmarks/results/BENCH_serve.json``: count
+leaves (clients, batches, uniques, lookups) are deterministic and
+diffed exactly by ``repro bench diff``; latency/throughput leaves are
+named with timing suffixes so the watchdog bands them as wall-clock.
+"""
+
+import asyncio
+import json
+import pathlib
+import threading
+import time
+
+from conftest import BENCH_ITERS, record_table, run_campaign
+from repro import obs
+from repro.harness import check_campaign_result, format_table
+from repro.serve.client import ServeClient, iter_batches, submit_campaign
+from repro.serve.daemon import ServeConfig, ServeDaemon
+from repro.testgen import paper_config
+
+_CONFIG = paper_config("ARM-2-50-32")
+_SEED = 11
+_BATCH = 16
+_CLIENTS = 4
+
+_RESULTS = pathlib.Path(__file__).parent / "results"
+_SNAPSHOT: dict = {}
+
+
+class _daemon_session:
+    """Host one daemon on a background event loop for the bench's scope."""
+
+    def __init__(self):
+        self.daemon = ServeDaemon(ServeConfig())
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        async def body():
+            await self.daemon.start()
+            self._ready.set()
+            await self.daemon.run_until_drained()
+
+        asyncio.run(body())
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._ready.wait(15), "daemon did not start"
+        return self
+
+    def __exit__(self, *exc):
+        self.daemon.loop.call_soon_threadsafe(self.daemon.request_drain,
+                                              "bench done")
+        self._thread.join(60)
+
+    @property
+    def port(self):
+        return self.daemon.port
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1,
+                       int(round(fraction * (len(ordered) - 1))))]
+
+
+def _batch_summary(result):
+    return check_campaign_result(result, baseline=False,
+                                 pipeline="delta").collective.summary()
+
+
+def _write_snapshot():
+    _RESULTS.mkdir(exist_ok=True)
+    payload = {"schema": "repro.bench-serve", "version": 1,
+               "config": _CONFIG.name, "iterations": BENCH_ITERS,
+               "seed": _SEED, "batch": _BATCH}
+    payload.update(_SNAPSHOT)
+    (_RESULTS / "BENCH_serve.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def test_serve_check_latency_percentiles():
+    """Round-trip latency of one batch, cold (novel) vs warm (dedup)."""
+    # serve counters (dedup hit/miss splits, queue gauges) depend on
+    # socket scheduling; keep them out of the deterministic obs snapshot
+    obs.disable()
+    _, result = run_campaign(_CONFIG, seed=_SEED)
+    # single-entry batches: one round trip per unique signature, so the
+    # percentiles are over enough samples to mean something
+    batches = list(iter_batches(result, 1))
+    expected = _batch_summary(result)
+
+    def timed_session(port, label):
+        latencies = []
+        with ServeClient("127.0.0.1", port, result.program,
+                         result.codec.register_width, session=label,
+                         window=1) as client:
+            for entries in batches:
+                started = time.perf_counter()
+                client.submit(entries)       # window=1: blocks on the ack
+                latencies.append((time.perf_counter() - started) * 1e3)
+            report = client.drain()
+        assert report["summary"] == expected
+        return latencies
+
+    with _daemon_session() as handle:
+        cold = timed_session(handle.port, "latency-cold")
+        warm = []
+        for repeat in range(4):
+            warm += timed_session(handle.port, "latency-warm-%d" % repeat)
+        assert handle.daemon.dedup.unique_signatures == \
+            result.unique_signatures
+
+    _SNAPSHOT["latency"] = {
+        "batches": len(batches),
+        "unique_signatures": result.unique_signatures,
+        "cold_p50_ms": round(_percentile(cold, 0.50), 3),
+        "cold_p99_ms": round(_percentile(cold, 0.99), 3),
+        "warm_p50_ms": round(_percentile(warm, 0.50), 3),
+        "warm_p99_ms": round(_percentile(warm, 0.99), 3),
+    }
+    record_table("serve_latency", format_table(
+        ["path", "samples", "p50 ms", "p99 ms"],
+        [["cold (novel)", len(cold),
+          "%.2f" % _percentile(cold, 0.50), "%.2f" % _percentile(cold, 0.99)],
+         ["warm (dedup)", len(warm),
+          "%.2f" % _percentile(warm, 0.50),
+          "%.2f" % _percentile(warm, 0.99)]],
+        title="Serve check latency: %s — per-signature round trip"
+              % _CONFIG.name))
+    _write_snapshot()
+
+
+def test_serve_concurrent_throughput(benchmark):
+    """Sustained signatures/sec with %d clients streaming at once.
+
+    The daemon stays up across rounds, so round 1 measures the cold
+    store and later rounds the warm dedup path — the steady state of a
+    long-lived service.  Every client's report must stay byte-identical
+    to the batch-path summary in every round.
+    """ % _CLIENTS
+    obs.disable()
+    _, result = run_campaign(_CONFIG, seed=_SEED)
+    expected = _batch_summary(result)
+    rounds: list = []
+
+    with _daemon_session() as handle:
+
+        def fleet_round():
+            reports = [None] * _CLIENTS
+
+            def stream(index):
+                reports[index] = submit_campaign(
+                    "127.0.0.1", handle.port, result, batch=_BATCH,
+                    session="load-%d" % index)
+
+            threads = [threading.Thread(target=stream, args=(index,))
+                       for index in range(_CLIENTS)]
+            started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(120)
+            elapsed = time.perf_counter() - started
+            assert all(r["summary"] == expected for r in reports)
+            rounds.append((_CLIENTS * result.iterations) / elapsed)
+
+        benchmark.pedantic(fleet_round, rounds=3, iterations=1)
+        assert handle.daemon.dedup.unique_signatures == \
+            result.unique_signatures
+
+    _SNAPSHOT["throughput"] = {
+        "clients": _CLIENTS,
+        "signatures_per_round": _CLIENTS * result.iterations,
+        "unique_signatures": result.unique_signatures,
+        "cold_sigs_per_s": round(rounds[0], 1),
+        "warm_sigs_per_s": round(max(rounds[1:]), 1),
+    }
+    record_table("serve_throughput", format_table(
+        ["round", "store", "signatures/sec"],
+        [[index + 1, "cold" if index == 0 else "warm", "%.0f" % rate]
+         for index, rate in enumerate(rounds)],
+        title="Serve ingest throughput: %d concurrent clients, %s, "
+              "%d signatures per round"
+              % (_CLIENTS, _CONFIG.name, _CLIENTS * result.iterations)))
+    _write_snapshot()

@@ -26,7 +26,15 @@ Commands mirror the paper's flow so each stage can run standalone:
   registry (``--list``) or run detection campaigns (all operational
   mutations by default, ``--detailed`` to add the gem5 bugs,
   ``--mutation NAME`` to select); exits 1 when any selected mutation
-  goes undetected within its budget.
+  goes undetected within its budget,
+* ``serve`` — run the streaming checking-as-a-service daemon (sessions,
+  cross-client signature dedup, bounded-queue backpressure, graceful
+  SIGTERM drain; ``--pool-port`` additionally accepts remote checking
+  workers),
+* ``submit`` — stream a saved signature dump into a running daemon and
+  print its final report,
+* ``worker`` — join a pool (``--connect HOST:PORT``) and serve remote
+  checking/shard tasks until the pool says goodbye.
 
 ``run`` also accepts ``--mutation NAME`` to arm a registered mutation's
 fault plane (or detailed-simulator bug) on the campaign being run.
@@ -485,6 +493,98 @@ def _cmd_mutate(args) -> int:
     return 1 if undetected else 0
 
 
+def _parse_address(text: str) -> tuple:
+    """Split ``HOST:PORT`` (the serve/pool addressing syntax)."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError("expected HOST:PORT, got %r" % text)
+    return host or "127.0.0.1", int(port)
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve.daemon import ServeConfig, serve_forever
+    from repro.serve.protocol import protocol_markdown
+
+    if args.protocol_doc:
+        print(protocol_markdown())
+        return 0
+    handle = repro_obs.enable() if _metrics_wanted(args) else None
+    progress = on_beat = None
+    if args.progress:
+        from repro.fleet.progress import FleetProgress
+
+        progress = FleetProgress()
+        on_beat = _progress_renderer()
+    config = ServeConfig(host=args.host, port=args.port,
+                         queue_depth=args.queue_depth,
+                         max_batch=args.max_batch,
+                         port_file=args.port_file,
+                         report_out=args.report_out,
+                         dedup_path=args.dedup,
+                         pool_port=args.pool_port,
+                         offload=args.offload)
+
+    def ready(daemon):
+        line = "serving on %s:%d" % (config.host, daemon.port)
+        if daemon.pool is not None:
+            line += ", worker pool on :%d" % daemon.pool.port
+        print(line + " (SIGTERM drains)", file=sys.stderr)
+
+    daemon = serve_forever(config, progress=progress, on_beat=on_beat,
+                           ready=ready)
+    if on_beat is not None:
+        sys.stderr.write("\n")
+    sessions = len(daemon.reports)
+    print("drained: %d session%s, %d signatures (%d unique), "
+          "%d violations, %d dedup hits"
+          % (sessions, "" if sessions == 1 else "s",
+             sum(r.signatures for r in daemon.reports),
+             sum(r.unique_signatures for r in daemon.reports),
+             sum(r.violations for r in daemon.reports),
+             sum(r.dedup_hits for r in daemon.reports)))
+    report = _emit_report(
+        args, handle,
+        meta={"command": "serve", "host": config.host},
+        summary={"sessions": sessions,
+                 "signatures": sum(r.signatures for r in daemon.reports),
+                 "violations": sum(r.violations for r in daemon.reports),
+                 "dedup_hits": sum(r.dedup_hits for r in daemon.reports)})
+    _emit_telemetry(args, handle, report)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.serve.client import submit_campaign
+
+    host, port = _parse_address(args.address)
+    result = repro_io.read_campaign(args.dump)
+    report = submit_campaign(host, port, result, batch=args.batch,
+                             session=args.session, window=args.window,
+                             timeout_s=args.timeout)
+    if args.json:
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print("session %d: %d signatures (%d unique), %d violations, "
+              "%d dedup hits%s"
+              % (report["session_id"], report["signatures"],
+                 report["unique_signatures"], report["violations"],
+                 report["dedup_hits"],
+                 " [daemon drained]" if report["drained"] else ""))
+    return 1 if report["violations"] else 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.fleet.remote import remote_worker_main
+
+    host, port = _parse_address(args.connect)
+    served = remote_worker_main(host, port, name=args.name,
+                                tasks_limit=args.tasks)
+    print("worker served %d task%s" % (served, "" if served == 1 else "s"),
+          file=sys.stderr)
+    return 0
+
+
 def _cmd_stats(args) -> int:
     from repro.obs import events as obs_events
 
@@ -716,6 +816,69 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", metavar="PATH",
                    help="write a schema-versioned observability run report")
     p.set_defaults(fn=_cmd_mutate)
+
+    p = sub.add_parser(
+        "serve", help="run the streaming checking-as-a-service daemon")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="ingest port (default 0: pick a free one)")
+    p.add_argument("--port-file", metavar="PATH",
+                   help="write the bound ingest port here once listening")
+    p.add_argument("--queue-depth", type=int, default=8,
+                   help="bounded per-session ingest queue; submits beyond "
+                        "it are answered 'busy' (default 8)")
+    p.add_argument("--max-batch", type=int, default=4096,
+                   help="largest signature batch one submit may carry")
+    p.add_argument("--report-out", metavar="PATH",
+                   help="append every flushed session report as JSONL")
+    p.add_argument("--dedup", metavar="PATH",
+                   help="JSONL journal for the cross-client signature "
+                        "dedup store (replayed on restart)")
+    p.add_argument("--pool-port", type=int, default=None,
+                   help="also accept remote checking workers on this "
+                        "port (0: pick); see 'repro worker --connect'")
+    p.add_argument("--offload", type=int, default=512,
+                   help="batches with at least this many entries check "
+                        "on the worker pool when one is attached")
+    p.add_argument("--progress", action="store_true",
+                   help="draw live per-session progress rows on stderr")
+    p.add_argument("--protocol-doc", action="store_true",
+                   help="print the wire-protocol reference "
+                        "(docs/SERVE_PROTOCOL.md) and exit")
+    _add_report_arguments(p, json_flag=False)
+    p.add_argument("--events-out", metavar="PATH",
+                   help="write the daemon's structured event log as JSONL")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="write a Perfetto-loadable Chrome trace of the "
+                        "serve run")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="stream a signature dump into a serve daemon")
+    p.add_argument("address", metavar="HOST:PORT",
+                   help="the daemon's ingest address")
+    p.add_argument("dump", help="JSON dump from 'repro run -o'")
+    p.add_argument("--batch", type=int, default=256,
+                   help="signatures per submit frame (default 256)")
+    p.add_argument("--session", default="",
+                   help="session label echoed in daemon telemetry")
+    p.add_argument("--window", type=int, default=4,
+                   help="max unacknowledged batches in flight")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="per-frame socket timeout in seconds")
+    p.add_argument("--json", action="store_true",
+                   help="print the final report frame as JSON")
+    p.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser(
+        "worker", help="serve checking/shard tasks for a remote pool")
+    p.add_argument("--connect", metavar="HOST:PORT", required=True,
+                   help="the pool address ('repro serve --pool-port')")
+    p.add_argument("--name", default="",
+                   help="worker name shown in pool telemetry")
+    p.add_argument("--tasks", type=int, default=None,
+                   help="exit after serving this many tasks")
+    p.set_defaults(fn=_cmd_worker)
 
     p = sub.add_parser("stats",
                        help="render saved telemetry (run report or event log)")

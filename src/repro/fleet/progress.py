@@ -38,6 +38,13 @@ class ShardProgress:
     heartbeats: int = 0
     #: lifecycle: pending -> running -> done | crashed
     state: str = "pending"
+    #: row label; empty means the default "#<index>" shard naming
+    #: (serve sessions label their rows "serve:<client>")
+    label: str = ""
+
+    @property
+    def name(self) -> str:
+        return self.label or "#%d" % self.index
 
 
 @dataclass
@@ -80,21 +87,34 @@ class ProgressSnapshot:
 
     @property
     def iterations_per_sec(self) -> float:
-        return self.iterations_done / self.elapsed_s if self.elapsed_s > 0 \
-            else 0.0
+        """Observed iteration rate; 0.0 until the window is meaningful.
+
+        Guarded against *both* degenerate windows: zero (or negative —
+        a clock hiccup) elapsed time would divide by zero, and a
+        first-heartbeat snapshot with zero completed iterations over a
+        microscopic elapsed would otherwise report a nonsense rate that
+        the ETA then amplifies.
+        """
+        if self.elapsed_s <= 0.0 or self.iterations_done <= 0:
+            return 0.0
+        return self.iterations_done / self.elapsed_s
 
     @property
     def signatures_per_sec(self) -> float:
-        return self.unique_signatures / self.elapsed_s if self.elapsed_s > 0 \
-            else 0.0
+        """Observed unique-signature rate, guarded like
+        :attr:`iterations_per_sec`."""
+        if self.elapsed_s <= 0.0 or self.unique_signatures <= 0:
+            return 0.0
+        return self.unique_signatures / self.elapsed_s
 
     @property
     def eta_s(self) -> float:
         """Seconds to completion at the observed iteration rate (0 when
-        done or no rate has been established yet)."""
+        done or no rate has been established yet — never a division by
+        zero or an absurd first-heartbeat extrapolation)."""
         rate = self.iterations_per_sec
         remaining = self.iterations_total - self.iterations_done
-        if remaining <= 0 or rate <= 0:
+        if remaining <= 0 or rate <= 0.0:
             return 0.0
         return remaining / rate
 
@@ -115,11 +135,14 @@ class FleetProgress:
 
     # -- supervisor hooks --------------------------------------------------------
 
-    def launch(self, index: int, iterations: int, attempt: int) -> None:
+    def launch(self, index: int, iterations: int, attempt: int,
+               label: str = None) -> None:
         with self._lock:
             shard = self._shard(index)
             shard.iterations_total = iterations
             shard.state = "running"
+            if label is not None:
+                shard.label = label
             if attempt > 1:
                 shard.retries += 1
                 # a relaunched worker starts its shard over
@@ -157,7 +180,7 @@ class FleetProgress:
             shards = [ShardProgress(s.index, s.iterations_total,
                                     s.iterations_done, s.unique_signatures,
                                     s.crashes, s.retries, s.heartbeats,
-                                    s.state)
+                                    s.state, s.label)
                       for _, s in sorted(self._shards.items())]
         return ProgressSnapshot(shards, time.perf_counter() - self._t0)
 
@@ -202,7 +225,7 @@ def render_progress_table(snap: ProgressSnapshot) -> str:
     for shard in snap.shards:
         pct = (100.0 * shard.iterations_done / shard.iterations_total
                if shard.iterations_total else 0.0)
-        rows.append(["#%d" % shard.index, shard.state,
+        rows.append([shard.name, shard.state,
                      "%d/%d" % (shard.iterations_done,
                                 shard.iterations_total),
                      "%.0f%%" % pct, shard.unique_signatures,

@@ -31,6 +31,51 @@ class FormatError(ReproError):
     """A dump file is malformed or from an incompatible version."""
 
 
+class TruncatedPayloadError(FormatError):
+    """A JSON payload ends mid-document (a short read, not a syntax error).
+
+    The serve framing path (:mod:`repro.serve.protocol`) can deliver
+    partial payloads when a peer dies mid-write; distinguishing "cut off
+    at byte N" from "malformed JSON" turns a debugging session into one
+    error message.  ``offset`` is the byte position where the document
+    stopped making sense — for a clean truncation, the payload length.
+    """
+
+    def __init__(self, message: str, offset: int):
+        super().__init__(message)
+        self.offset = offset
+
+
+def parse_json_payload(text: str, what: str = "payload") -> dict:
+    """Parse one JSON document, typing truncation separately.
+
+    Raises :class:`TruncatedPayloadError` (naming the byte offset) when
+    the decoder ran off the end of the input — an unterminated string or
+    an error at/after the last byte — and plain :class:`FormatError` for
+    any other malformation.
+    """
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        # an error at/after the last non-space byte means the decoder ran
+        # out of input; an unterminated string is reported at its opening
+        # quote but likewise only happens when the closing quote never
+        # arrives before EOF
+        at_end = exc.pos >= len(text.rstrip())
+        unterminated = exc.msg.startswith("Unterminated string")
+        if at_end or unterminated:
+            raise TruncatedPayloadError(
+                "%s truncated at byte %d of %d (%s); the sender died "
+                "mid-write or the read was short"
+                % (what, exc.pos, len(text.encode("utf-8")), exc.msg),
+                exc.pos) from None
+        raise FormatError("%s is not valid JSON: %s" % (what, exc)) from None
+    if not isinstance(doc, dict):
+        raise FormatError("%s must be a JSON object, not %s"
+                          % (what, type(doc).__name__))
+    return doc
+
+
 def dump_program(program: TestProgram) -> dict:
     """Serialize a test program (assembler text + metadata)."""
     return {"name": program.name, "listing": disassemble(program)}
@@ -49,6 +94,20 @@ def _signature_to_list(signature: Signature) -> list:
 
 def _signature_from_list(data) -> Signature:
     return Signature(tuple(tuple(int(w) for w in words) for words in data))
+
+
+def signature_to_entry(signature: Signature, count: int = 1) -> dict:
+    """One ``{"words", "count"}`` signature entry (the dump/serve unit)."""
+    return {"words": _signature_to_list(signature), "count": int(count)}
+
+
+def signature_from_entry(entry: dict) -> tuple:
+    """Decode one signature entry; returns ``(signature, count)``."""
+    try:
+        return (_signature_from_list(entry["words"]),
+                int(entry.get("count", 1)))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise FormatError("bad signature entry: %s" % (exc,)) from None
 
 
 def dump_campaign(result: CampaignResult, include_ws: bool = True,
@@ -91,10 +150,7 @@ def dump_campaign(result: CampaignResult, include_ws: bool = True,
 
 def campaign_meta(text: str) -> dict:
     """The free-form ``meta`` block of a campaign dump (``{}`` if absent)."""
-    try:
-        doc = json.loads(text)
-    except json.JSONDecodeError as exc:
-        raise FormatError("not valid JSON: %s" % exc) from None
+    doc = parse_json_payload(text, what="campaign dump")
     meta = doc.get("meta", {})
     if not isinstance(meta, dict):
         raise FormatError("campaign 'meta' must be an object")
@@ -108,10 +164,7 @@ def load_campaign(text: str) -> CampaignResult:
     includes ws) representative executions whose ``rf`` is recovered by
     decoding each signature — Algorithm 1 on the host, as in the paper.
     """
-    try:
-        doc = json.loads(text)
-    except json.JSONDecodeError as exc:
-        raise FormatError("not valid JSON: %s" % exc) from None
+    doc = parse_json_payload(text, what="campaign dump")
     if doc.get("format") != _FORMAT_VERSION:
         raise FormatError("unsupported dump format %r" % doc.get("format"))
     program = load_program(doc["program"])

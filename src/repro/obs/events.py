@@ -164,6 +164,66 @@ _kind("mutate.seed", HOST,
       ("channel", "first channel that fired (empty if none)"),
       ("executions_to_detection",
        "executions until detection (null when undetected)"))
+_kind("serve.session.open", HOST,
+      "A streaming client completed its hello and owns a session.",
+      ("session", "daemon-assigned session index"),
+      ("label", "free-form client label from the hello"),
+      ("campaign", "dedup campaign key (program + register width digest)"))
+_kind("serve.session.close", HOST,
+      "A session drained: its final report was flushed.",
+      ("session", "session index"),
+      ("signatures", "total signature occurrences ingested"),
+      ("unique", "distinct signatures the session saw"),
+      ("violations", "violating unique signatures in the final report"),
+      ("drained", "True when flushed by daemon drain (SIGTERM), False "
+       "for a client-requested close"))
+_kind("serve.session.error", HOST,
+      "A session crashed mid-stream and was torn down in isolation "
+      "(the daemon and every other session keep running).",
+      ("session", "session index"),
+      ("error", "failure reason"))
+_kind("serve.batch", HOST,
+      "One submitted signature batch was checked and acknowledged.",
+      ("session", "session index"),
+      ("seq", "client-chosen batch sequence number"),
+      ("novel", "signatures never seen before (checked live)"),
+      ("repeats", "dedup hits answered in O(1)"),
+      ("violations", "violating signatures present in the batch"))
+_kind("serve.busy", HOST,
+      "A submit was rejected with explicit backpressure (queue full).",
+      ("session", "session index"),
+      ("seq", "rejected batch sequence number"),
+      ("queue_depth", "the exhausted ingest-queue capacity"))
+_kind("serve.drain", HOST,
+      "The daemon began draining: intake stopped, queued batches "
+      "finish, every live session's report flushes before exit.",
+      ("sessions", "live sessions at drain start"),
+      ("reason", "what triggered it (\"sigterm\", \"close\")"))
+_kind("serve.dedup", HOST,
+      "A snapshot of the cross-client dedup store (emitted at drain "
+      "and with each flushed session report).",
+      ("hits", "lookups answered from the store, daemon-lifetime"),
+      ("misses", "lookups that required a live check"),
+      ("unique", "distinct (campaign, signature) records stored"),
+      ("campaigns", "distinct campaign keys seen"))
+_kind("pool.worker.join", HOST,
+      "A remote worker dialed the TCP pool and joined.",
+      ("worker", "worker label (or assigned name)"),
+      ("address", "remote host:port"))
+_kind("pool.worker.dead", HOST,
+      "A remote worker went silent past the heartbeat timeout or "
+      "dropped its connection; its task is re-queued (bug-3 crash "
+      "outcome once retries are exhausted).",
+      ("worker", "worker label"),
+      ("task", "task id it owned"),
+      ("error", "what the pool observed"))
+_kind("pool.task", HOST,
+      "A pool task finished on a remote worker.",
+      ("task", "task id"),
+      ("worker", "worker label"),
+      ("type", "task type (shard/check)"),
+      ("ok", "whether the worker returned a valid result"),
+      ("elapsed_s", "dispatch-to-result wall time (seconds)"))
 _kind("mutate.campaign", HOST,
       "A mutation's full sensitivity campaign finished.",
       ("mutation", "registered mutation name"),

@@ -1,0 +1,59 @@
+"""Checking as a service: the resident streaming-campaign daemon.
+
+The paper's flow is batch-shaped — run a campaign, ship the signature
+dump, check it — but post-silicon validation at production volume is a
+stream: every test run on silicon emits one more signature, and
+collective checking cost is dominated by *novel* interleavings.  This
+package turns the batch pipeline into infrastructure:
+
+* :mod:`~repro.serve.protocol` — length-prefixed JSON frames and the
+  :data:`~repro.serve.protocol.MESSAGE_KINDS` registry (generates
+  ``docs/SERVE_PROTOCOL.md``);
+* :mod:`~repro.serve.dedup` — the cross-client signature-dedup store:
+  repeat interleavings cost O(1) no matter which client saw them first;
+* :mod:`~repro.serve.session` — one client's campaign: arrival-order
+  incremental checking (:class:`~repro.checker.stream.
+  StreamingCollectiveChecker`) for live acks, canonical batch replay at
+  drain for a report byte-identical to ``repro run``;
+* :mod:`~repro.serve.daemon` — the asyncio ingest daemon: bounded
+  queues with explicit ``busy`` backpressure, graceful SIGTERM drain,
+  crash-isolated session teardown;
+* :mod:`~repro.serve.client` — the blocking submit client behind
+  ``repro submit``.
+
+Everything imports lazily (the daemon pulls in asyncio machinery no
+batch run needs).
+"""
+
+from __future__ import annotations
+
+_LAZY = {
+    "MESSAGE_KINDS": "repro.serve.protocol",
+    "PROTOCOL_VERSION": "repro.serve.protocol",
+    "ProtocolError": "repro.serve.protocol",
+    "protocol_markdown": "repro.serve.protocol",
+    "SignatureDedupStore": "repro.serve.dedup",
+    "campaign_key": "repro.serve.dedup",
+    "CampaignSession": "repro.serve.session",
+    "SessionReport": "repro.serve.session",
+    "ServeConfig": "repro.serve.daemon",
+    "ServeDaemon": "repro.serve.daemon",
+    "serve_forever": "repro.serve.daemon",
+    "ServeClient": "repro.serve.client",
+    "submit_campaign": "repro.serve.client",
+}
+
+__all__ = sorted(_LAZY)
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError("module %r has no attribute %r" % (__name__, name))
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -310,6 +310,35 @@ class TestMutateCLI:
         assert err.startswith("error:") and "x86" in err
 
 
+class TestServeCLI:
+    def test_protocol_doc_matches_generator(self, capsys):
+        from repro.serve.protocol import protocol_markdown
+
+        assert main(["serve", "--protocol-doc"]) == 0
+        assert capsys.readouterr().out == protocol_markdown() + "\n"
+
+    def test_parse_address_accepts_host_port(self):
+        from repro.cli import _parse_address
+
+        assert _parse_address("10.0.0.9:4821") == ("10.0.0.9", 4821)
+        assert _parse_address(":4821") == ("127.0.0.1", 4821)
+
+    def test_parse_address_rejects_malformed(self):
+        from repro.cli import _parse_address
+
+        for text in ("nocolon", "host:", "host:abc", "4821"):
+            with pytest.raises(ValueError):
+                _parse_address(text)
+
+    def test_submit_rejects_bad_address(self, capsys, tmp_path):
+        dump = str(tmp_path / "d.json")
+        assert main(["run", "--threads", "2", "--ops", "10", "--addresses",
+                     "4", "--iterations", "20", "-o", dump]) == 0
+        capsys.readouterr()
+        assert main(["submit", "not-an-address", dump]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -122,6 +122,34 @@ class TestRatesAndEta:
         assert snap.fraction_done == 0.0
         assert snap.eta_s == 0.0
 
+    def test_zero_elapsed_with_progress_never_divides(self):
+        """A first heartbeat can land before the clock moves: progress
+        over a zero (or negative — clock hiccup) window must rate 0."""
+        for elapsed in (0.0, -0.001):
+            snap = ProgressSnapshot(
+                [ShardProgress(0, iterations_total=100, iterations_done=40,
+                               unique_signatures=5, state="running")],
+                elapsed_s=elapsed)
+            assert snap.iterations_per_sec == 0.0
+            assert snap.signatures_per_sec == 0.0
+            assert snap.eta_s == 0.0
+
+    def test_zero_done_over_real_elapsed_has_no_rate_or_eta(self):
+        """No completed work yet: rate 0 and ETA 0, not an absurd
+        extrapolation from a microscopic numerator."""
+        snap = ProgressSnapshot(
+            [ShardProgress(0, iterations_total=100, state="running")],
+            elapsed_s=3.0)
+        assert snap.iterations_per_sec == 0.0
+        assert snap.signatures_per_sec == 0.0
+        assert snap.eta_s == 0.0
+
+    def test_render_survives_degenerate_snapshots(self):
+        for snap in (ProgressSnapshot(),
+                     ProgressSnapshot([ShardProgress(0)], elapsed_s=0.0)):
+            assert "fleet" in render_progress_line(snap)
+            assert "fleet progress" in render_progress_table(snap)
+
 
 class TestGauges:
     def test_record_gauges_publishes_aggregates(self):
@@ -163,3 +191,21 @@ class TestRendering:
         assert "all" in text
         assert "25/50" in text and "75/100" in text
         assert "fleet progress" in text
+
+
+class TestLabels:
+    def test_launch_label_names_the_row(self):
+        tracker = FleetProgress()
+        tracker.launch(1, iterations=5, attempt=1, label="serve:alpha")
+        tracker.launch(2, iterations=5, attempt=1)
+        snap = tracker.snapshot()
+        assert snap.shards[0].name == "serve:alpha"
+        assert snap.shards[1].name == "#2"
+        table = render_progress_table(snap)
+        assert "serve:alpha" in table and "#2" in table
+
+    def test_label_survives_snapshot_copies_and_retries(self):
+        tracker = FleetProgress()
+        tracker.launch(0, iterations=5, attempt=1, label="serve:beta")
+        tracker.launch(0, iterations=5, attempt=2)
+        assert tracker.snapshot().shards[0].label == "serve:beta"

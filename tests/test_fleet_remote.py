@@ -1,0 +1,153 @@
+"""Tests for the TCP worker pool (repro.fleet.remote)."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.fleet import merge_campaign_results, plan_campaign_tasks
+from repro.fleet.remote import (
+    TcpWorkerPool,
+    remote_worker_main,
+    task_from_doc,
+    task_to_doc,
+)
+from repro.harness import Campaign, check_campaign_result
+from repro.io import dump_campaign, load_campaign
+from repro.serve.protocol import PROTOCOL_VERSION, write_frame_socket
+from repro.testgen import TestConfig, generate
+
+CONFIG = TestConfig(isa="arm", threads=2, ops_per_thread=15,
+                    addresses=8, seed=21)
+
+
+def _worker_thread(pool, name="w", tasks_limit=None):
+    thread = threading.Thread(
+        target=remote_worker_main, args=(pool.host, pool.port),
+        kwargs={"name": name, "tasks_limit": tasks_limit}, daemon=True)
+    thread.start()
+    return thread
+
+
+def _zombie(pool, name="zombie"):
+    """A worker that joins, then never answers anything."""
+    sock = socket.create_connection((pool.host, pool.port))
+    write_frame_socket(sock, {"kind": "join", "v": PROTOCOL_VERSION,
+                              "name": name})
+    return sock
+
+
+class TestTaskDocs:
+    def test_round_trip(self):
+        program = generate(CONFIG)
+        task = plan_campaign_tasks(program, CONFIG, 120, 2, seed=3,
+                                   block=30)[0]
+        assert task_from_doc(task_to_doc(task)) == task
+
+    def test_round_trip_without_config(self):
+        program = generate(CONFIG)
+        task = plan_campaign_tasks(program, None, 60, 1, seed=1,
+                                   block=30)[0]
+        assert task_from_doc(task_to_doc(task)) == task
+
+
+class TestShardTasks:
+    def test_remote_merge_is_identical_to_serial(self):
+        """Two remote workers stealing shard tasks produce the serial
+        run's exact signature multiset (same seed-block plan)."""
+        program = generate(CONFIG)
+        tasks = plan_campaign_tasks(program, CONFIG, 120, 3, seed=3,
+                                    block=30)
+        with TcpWorkerPool(grace_s=10.0) as pool:
+            for index in range(2):
+                _worker_thread(pool, name="w%d" % index)
+            assert pool.wait_for_workers(2) == 2
+            outcomes = pool.run(tasks)
+        assert not any(o.crashed for o in outcomes)
+        merged = merge_campaign_results(
+            [load_campaign(o.payload) for o in outcomes])
+        serial = Campaign(config=CONFIG, seed=3).run(120, block=30)
+        assert merged.signature_counts == serial.signature_counts
+        assert merged.iterations == serial.iterations
+
+
+class TestCheckTasks:
+    def test_check_remote_matches_local_checking(self):
+        result = Campaign(config=CONFIG, seed=4).run(150)
+        with TcpWorkerPool(grace_s=10.0) as pool:
+            _worker_thread(pool, tasks_limit=1)
+            assert pool.wait_for_workers(1) == 1
+            digest = pool.check_remote(dump_campaign(result))
+        local = check_campaign_result(result, baseline=False,
+                                      pipeline="delta").collective
+        assert digest["summary"] == local.summary()
+        assert digest["unique"] == result.unique_signatures
+        assert digest["violations"] == []
+
+
+class TestWorkerDeath:
+    def test_silent_worker_becomes_bug3_crash_outcome(self):
+        """A worker that joins then never heartbeats is declared dead;
+        with retries exhausted its shard is the paper's bug-3 crash."""
+        program = generate(CONFIG)
+        tasks = plan_campaign_tasks(program, CONFIG, 30, 1, seed=3,
+                                    block=30)
+        with TcpWorkerPool(heartbeat_timeout_s=0.4, max_retries=0,
+                           grace_s=0.5) as pool:
+            sock = _zombie(pool)
+            assert pool.wait_for_workers(1) == 1
+            outcomes = pool.run(tasks)
+            sock.close()
+        assert outcomes[0].crashed
+        assert outcomes[0].payload is None
+        assert "died" in outcomes[0].error
+
+    def test_requeued_task_is_stolen_by_a_live_worker(self):
+        """Work stealing after death: the zombie's task re-queues and a
+        later-joining live worker completes it."""
+        program = generate(CONFIG)
+        tasks = plan_campaign_tasks(program, CONFIG, 30, 1, seed=3,
+                                    block=30)
+        with TcpWorkerPool(heartbeat_timeout_s=0.4, max_retries=1,
+                           grace_s=10.0) as pool:
+            sock = _zombie(pool)
+            assert pool.wait_for_workers(1) == 1
+            box = {}
+            runner = threading.Thread(
+                target=lambda: box.update(outcomes=pool.run(tasks)))
+            runner.start()
+            time.sleep(0.2)          # let the zombie take the task
+            _worker_thread(pool, name="rescuer")
+            runner.join(30)
+            sock.close()
+        assert not runner.is_alive()
+        outcome = box["outcomes"][0]
+        assert not outcome.crashed
+        assert outcome.attempts == 2
+        assert load_campaign(outcome.payload).iterations == 30
+
+    def test_no_workers_crashes_the_plan_after_grace(self):
+        program = generate(CONFIG)
+        tasks = plan_campaign_tasks(program, CONFIG, 30, 2, seed=3,
+                                    block=15)
+        with TcpWorkerPool(grace_s=0.2) as pool:
+            outcomes = pool.run(tasks)
+        assert all(o.crashed for o in outcomes)
+        assert all(o.error == "no remote workers connected"
+                   for o in outcomes)
+
+    def test_second_run_refused_while_one_is_in_flight(self):
+        from repro.serve.protocol import ProtocolError
+
+        with TcpWorkerPool(grace_s=0.1) as pool:
+            pool.run([])             # empty: returns immediately
+            box = {}
+            runner = threading.Thread(
+                target=lambda: box.update(o=pool.run(
+                    [("check", "{}", None)])))
+            runner.start()
+            time.sleep(0.05)
+            with pytest.raises(ProtocolError):
+                pool.run([("check", "{}", None)])
+            runner.join(10)

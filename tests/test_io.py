@@ -88,3 +88,56 @@ class TestFormatValidation:
         doc["format"] = 999
         with pytest.raises(repro_io.FormatError):
             repro_io.load_campaign(json.dumps(doc))
+
+
+class TestTruncationDiagnostics:
+    def test_truncated_dump_names_the_byte_offset(self, finished_campaign):
+        _, result = finished_campaign
+        dump = repro_io.dump_campaign(result)
+        cut = dump[: len(dump) // 2]
+        with pytest.raises(repro_io.TruncatedPayloadError) as err:
+            repro_io.load_campaign(cut)
+        assert err.value.offset <= len(cut)
+        assert "truncated at byte" in str(err.value)
+
+    def test_truncation_is_a_format_error_subclass(self):
+        assert issubclass(repro_io.TruncatedPayloadError,
+                          repro_io.FormatError)
+        with pytest.raises(repro_io.FormatError):
+            repro_io.parse_json_payload('{"a": 1')
+
+    def test_unterminated_string_counts_as_truncation(self):
+        with pytest.raises(repro_io.TruncatedPayloadError):
+            repro_io.parse_json_payload('{"listing": "ld r0')
+
+    def test_mid_document_garbage_is_not_truncation(self):
+        with pytest.raises(repro_io.FormatError) as err:
+            repro_io.parse_json_payload('{"a": zap, "b": 1}')
+        assert not isinstance(err.value, repro_io.TruncatedPayloadError)
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(repro_io.FormatError):
+            repro_io.parse_json_payload("[1, 2, 3]")
+
+
+class TestSignatureEntries:
+    def test_entry_round_trip(self, finished_campaign):
+        _, result = finished_campaign
+        for signature, count in result.signature_counts.items():
+            entry = repro_io.signature_to_entry(signature, count)
+            again, n = repro_io.signature_from_entry(entry)
+            assert again == signature and n == count
+
+    def test_count_defaults_to_one(self, finished_campaign):
+        _, result = finished_campaign
+        signature = next(iter(result.signature_counts))
+        entry = repro_io.signature_to_entry(signature)
+        words = entry["words"]
+        _, n = repro_io.signature_from_entry({"words": words})
+        assert n == 1
+
+    def test_bad_entry_is_a_format_error(self):
+        for entry in ({}, {"words": "zap"}, {"words": [["x"]]},
+                      {"words": [[1]], "count": "many"}):
+            with pytest.raises(repro_io.FormatError):
+                repro_io.signature_from_entry(entry)

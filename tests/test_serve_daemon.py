@@ -1,0 +1,192 @@
+"""End-to-end tests for the serve daemon (repro.serve.daemon).
+
+The daemon runs on a private event loop in a helper thread; clients are
+real sockets.  The differential pin throughout: a streamed session's
+report ``summary`` must be byte-identical to checking the same multiset
+through the batch ``repro run --check-pipeline delta`` path.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.harness import Campaign, check_campaign_result
+from repro.serve.client import ServeClient, iter_batches, submit_campaign
+from repro.serve.daemon import ServeConfig, ServeDaemon
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    read_frame_socket,
+    write_frame_socket,
+)
+from repro.testgen import TestConfig
+
+
+@pytest.fixture(scope="module")
+def campaign_result():
+    config = TestConfig(isa="arm", threads=2, ops_per_thread=18,
+                        addresses=8, seed=17)
+    return Campaign(config=config, seed=8).run(300)
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    with run_daemon(ServeConfig(report_out=str(tmp_path / "reports.jsonl"))) \
+            as handle:
+        yield handle
+
+
+class run_daemon:
+    """Context manager hosting one daemon on a background event loop."""
+
+    def __init__(self, config=None, daemon=None):
+        self.daemon = daemon or ServeDaemon(config or ServeConfig())
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        async def body():
+            await self.daemon.start()
+            self._ready.set()
+            await self.daemon.run_until_drained()
+
+        asyncio.run(body())
+
+    def __enter__(self):
+        self._thread.start()
+        if not self._ready.wait(15):
+            raise RuntimeError("daemon did not start")
+        return self
+
+    def drain(self, reason="test"):
+        self.daemon.loop.call_soon_threadsafe(self.daemon.request_drain,
+                                              reason)
+        self._thread.join(30)
+        assert not self._thread.is_alive(), "daemon failed to drain"
+
+    def __exit__(self, *exc):
+        if self._thread.is_alive():
+            self.drain()
+
+    @property
+    def port(self):
+        return self.daemon.port
+
+
+def batch_summary(result):
+    return check_campaign_result(result, baseline=False,
+                                 pipeline="delta").collective.summary()
+
+
+class TestEndToEnd:
+    def test_streamed_report_is_byte_identical_to_batch(
+            self, daemon, campaign_result):
+        report = submit_campaign("127.0.0.1", daemon.port, campaign_result,
+                                 batch=16, session="e2e")
+        assert report["summary"] == batch_summary(campaign_result)
+        assert report["unique_signatures"] == \
+            campaign_result.unique_signatures
+        assert report["signatures"] == campaign_result.iterations
+        assert report["drained"] is False
+
+    def test_report_journaled_as_jsonl(self, daemon, campaign_result,
+                                       tmp_path):
+        submit_campaign("127.0.0.1", daemon.port, campaign_result,
+                        batch=64, session="journaled")
+        daemon.drain()
+        lines = (tmp_path / "reports.jsonl").read_text().splitlines()
+        doc = json.loads(lines[0])
+        assert doc["label"] == "journaled"
+        assert doc["summary"] == batch_summary(campaign_result)
+        assert doc["batches"] == len(list(iter_batches(campaign_result, 64)))
+
+    def test_concurrent_clients_share_the_dedup_store(
+            self, daemon, campaign_result):
+        expected = batch_summary(campaign_result)
+        reports = [None] * 4
+
+        def stream(index):
+            reports[index] = submit_campaign(
+                "127.0.0.1", daemon.port, campaign_result, batch=8,
+                session="c%d" % index, window=2)
+
+        threads = [threading.Thread(target=stream, args=(index,))
+                   for index in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        assert all(r["summary"] == expected for r in reports)
+        store = daemon.daemon.dedup
+        unique = campaign_result.unique_signatures
+        assert store.unique_signatures == unique
+        # every lookup is counted; concurrent first-sights of the same
+        # signature may each miss, so misses is bounded, not exact
+        assert store.hits + store.misses == 4 * unique
+        assert unique <= store.misses <= 4 * unique
+
+
+class TestHandshake:
+    def test_version_mismatch_gets_error_frame_naming_version(self, daemon):
+        with socket.create_connection(("127.0.0.1", daemon.port),
+                                      timeout=10) as sock:
+            write_frame_socket(sock, {"kind": "hello", "v": 99,
+                                      "program": {"listing": ""},
+                                      "register_width": 32})
+            reply = read_frame_socket(sock)
+        assert reply["kind"] == "error"
+        assert "version %d" % PROTOCOL_VERSION in reply["message"]
+
+    def test_bad_program_gets_error_frame(self, daemon):
+        with socket.create_connection(("127.0.0.1", daemon.port),
+                                      timeout=10) as sock:
+            write_frame_socket(sock, {"kind": "hello",
+                                      "v": PROTOCOL_VERSION,
+                                      "program": {"name": "x"},
+                                      "register_width": 32})
+            assert read_frame_socket(sock)["kind"] == "error"
+
+    def test_client_constructor_surfaces_refusal(self, daemon,
+                                                 campaign_result):
+        with pytest.raises(ProtocolError):
+            ServeClient("127.0.0.1", daemon.port, campaign_result.program,
+                        48, session="bad-width")
+
+
+class TestCrashIsolation:
+    def test_bad_batch_tears_down_only_that_session(
+            self, daemon, campaign_result):
+        with ServeClient("127.0.0.1", daemon.port, campaign_result.program,
+                         32, session="hostile") as bad:
+            bad.submit([{"words": "garbage"}])
+            with pytest.raises(ProtocolError):
+                bad.drain()
+        # the daemon survives and serves the next client normally
+        report = submit_campaign("127.0.0.1", daemon.port, campaign_result,
+                                 batch=32, session="after-crash")
+        assert report["summary"] == batch_summary(campaign_result)
+        daemon.drain()
+        crashed = [r for r in daemon.daemon.reports
+                   if r.label == "hostile"]
+        assert crashed == []        # no report for the torn-down session
+
+    def test_oversized_batch_is_a_protocol_error(self, campaign_result):
+        with run_daemon(ServeConfig(max_batch=4)) as handle:
+            with ServeClient("127.0.0.1", handle.port,
+                             campaign_result.program, 32) as client:
+                with pytest.raises(ProtocolError):
+                    client.submit([{"words": [[0]], "count": 1}] * 5)
+
+
+class TestPortFile:
+    def test_port_file_written_and_probe_sees_the_daemon(self, tmp_path):
+        from repro.serve.daemon import probe, wait_for_port
+
+        port_file = tmp_path / "port.txt"
+        with run_daemon(ServeConfig(port_file=str(port_file))) as handle:
+            assert wait_for_port(str(port_file), 10.0) == handle.port
+            assert probe("127.0.0.1", handle.port)
+        assert not probe("127.0.0.1", handle.port)

@@ -1,0 +1,198 @@
+"""Drain-semantics tests (repro.serve): no accepted batch is ever
+dropped, no signature is checked twice, exactly one report per session.
+
+Every scenario pins the flushed report against a serial oracle: the
+batch ``check_campaign_result(..., pipeline="delta")`` summary over the
+multiset of *acknowledged* batches.  Accepted-but-unacked work cannot
+exist at the protocol level — a batch is accepted exactly when it is
+(eventually) acked — so "covers the acked multiset byte-identically"
+is simultaneously the no-drop and the no-double-check statement.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.harness import Campaign, CampaignResult, check_campaign_result
+from repro.io import signature_from_entry
+from repro.serve.client import ServeClient, iter_batches
+from repro.serve.daemon import ServeConfig, ServeDaemon
+from repro.testgen import TestConfig
+
+from tests.test_serve_daemon import run_daemon
+
+
+@pytest.fixture(scope="module")
+def campaign_result():
+    config = TestConfig(isa="arm", threads=2, ops_per_thread=18,
+                        addresses=8, seed=23)
+    return Campaign(config=config, seed=9).run(300)
+
+
+def oracle_summary(result, entry_batches):
+    """The serial-oracle summary over exactly these batches' multiset."""
+    oracle = CampaignResult(result.program, result.codec)
+    for entries in entry_batches:
+        for entry in entries:
+            signature, count = signature_from_entry(entry)
+            oracle.signature_counts[signature] += count
+    oracle.iterations = sum(oracle.signature_counts.values())
+    return check_campaign_result(oracle, baseline=False,
+                                 pipeline="delta").collective.summary()
+
+
+class GatedDaemon(ServeDaemon):
+    """A daemon whose batch checking blocks until the test says go —
+    the deterministic way to fill queues and catch drains mid-batch."""
+
+    def __init__(self, config=None):
+        super().__init__(config)
+        self.gate = threading.Event()
+
+    def _check_batch(self, session, message):
+        assert self.gate.wait(30), "test never opened the gate"
+        return super()._check_batch(session, message)
+
+
+class TestClientDisconnect:
+    def test_disconnect_without_drain_still_flushes_the_report(
+            self, campaign_result):
+        """A client that vanishes mid-stream loses nothing it was acked
+        for: the daemon flushes a report covering the acked batches."""
+        batches = list(iter_batches(campaign_result, 8))[:4]
+        with run_daemon(ServeConfig()) as handle:
+            client = ServeClient("127.0.0.1", handle.port,
+                                 campaign_result.program, 32,
+                                 session="vanisher", window=2)
+            for entries in batches:
+                client.submit(entries)
+            while client._pending:            # flush every ack
+                client._read_reply()
+            client.close()                    # no drain frame
+            deadline = time.monotonic() + 15
+            while not handle.daemon.reports and time.monotonic() < deadline:
+                time.sleep(0.02)
+            reports = list(handle.daemon.reports)
+        assert len(reports) == 1
+        report = reports[0]
+        assert report.drained is False
+        assert report.batches == len(batches)
+        assert report.summary == oracle_summary(campaign_result, batches)
+
+    def test_disconnect_with_unread_frames_covers_only_accepted(
+            self, campaign_result):
+        """Frames never read before the disconnect were never accepted:
+        the report covers exactly the acked prefix, nothing phantom."""
+        batches = list(iter_batches(campaign_result, 8))[:3]
+        with run_daemon(ServeConfig()) as handle:
+            client = ServeClient("127.0.0.1", handle.port,
+                                 campaign_result.program, 32, window=8)
+            client.submit(batches[0])
+            while client._pending:
+                client._read_reply()
+            client.close()
+            deadline = time.monotonic() + 15
+            while not handle.daemon.reports and time.monotonic() < deadline:
+                time.sleep(0.02)
+            report = handle.daemon.reports[0]
+        assert report.batches == 1
+        assert report.summary == oracle_summary(campaign_result,
+                                                batches[:1])
+
+
+class TestQueueFullBusy:
+    def test_busy_batches_are_resubmitted_not_lost(self, campaign_result):
+        """queue_depth=1 plus a gated checker forces busy replies; after
+        retries, the report must cover every batch exactly once."""
+        batches = list(iter_batches(campaign_result, 8))[:5]
+        daemon = GatedDaemon(ServeConfig(queue_depth=1,
+                                         retry_after_s=0.01))
+        with run_daemon(daemon=daemon) as handle:
+            client = ServeClient("127.0.0.1", handle.port,
+                                 campaign_result.program, 32,
+                                 session="busy", window=8)
+            for entries in batches:
+                client.submit(entries)
+            # open the gate only once the daemon has had to say busy at
+            # least once: submits beyond slot+queue are all rejected
+            opener = threading.Timer(0.3, daemon.gate.set)
+            opener.start()
+            report = client.drain()
+            client.close()
+            opener.join()
+        assert client.busy_replies > 0
+        assert len(client.acks) == len(batches)
+        # each batch acked exactly once, in one piece
+        assert sorted(a["seq"] for a in client.acks) == \
+            list(range(1, len(batches) + 1))
+        assert report["summary"] == oracle_summary(campaign_result, batches)
+        # no double-check: novel counts over the acks sum to the unique
+        # count of the submitted multiset (a re-checked signature would
+        # inflate this; a dropped one would deflate the summary above)
+        uniques = {signature_from_entry(e)[0]
+                   for entries in batches for e in entries}
+        assert sum(a["novel"] for a in client.acks) == len(uniques)
+
+
+class TestDaemonDrainMidStream:
+    def test_sigterm_finishes_accepted_batches_then_reports(
+            self, campaign_result):
+        """The SIGTERM handler body (request_drain) arriving with
+        batches queued and one mid-check: all accepted batches finish,
+        exactly one report is flushed, drained=True."""
+        batches = list(iter_batches(campaign_result, 8))[:3]
+        daemon = GatedDaemon(ServeConfig(queue_depth=8))
+        with run_daemon(daemon=daemon) as handle:
+            client = ServeClient("127.0.0.1", handle.port,
+                                 campaign_result.program, 32,
+                                 session="sigterm", window=8)
+            for entries in batches:
+                client.submit(entries)
+            # all three are accepted (consumer holds one at the gate,
+            # two queued); drain lands mid-batch, then the gate opens
+            time.sleep(0.2)
+            handle.daemon.loop.call_soon_threadsafe(
+                handle.daemon.request_drain, "sigterm")
+            daemon.gate.set()
+            while client.report is None:
+                client._read_reply()
+            client.close()
+            handle._thread.join(30)
+            assert not handle._thread.is_alive()
+        assert client.report["drained"] is True
+        assert len(client.acks) == len(batches)
+        assert len(daemon.reports) == 1
+        assert client.report["summary"] == \
+            oracle_summary(campaign_result, batches)
+
+    def test_unread_submit_at_drain_is_not_accepted(self, campaign_result):
+        """A frame still in the socket when drain cancels the read was
+        never accepted: no ack, and the report excludes it — the client
+        knows exactly which batches need re-submitting elsewhere."""
+        batches = list(iter_batches(campaign_result, 8))[:2]
+        daemon = GatedDaemon(ServeConfig(queue_depth=8))
+        with run_daemon(daemon=daemon) as handle:
+            client = ServeClient("127.0.0.1", handle.port,
+                                 campaign_result.program, 32, window=8)
+            client.submit(batches[0])
+            time.sleep(0.2)           # batch 0 accepted (held at gate)
+            handle.daemon.loop.call_soon_threadsafe(
+                handle.daemon.request_drain, "sigterm")
+            time.sleep(0.2)           # intake already stopped
+            client.submit(batches[1])
+            daemon.gate.set()
+            while client.report is None:
+                client._read_reply()
+            client.close()
+            handle._thread.join(30)
+        assert client.report["summary"] == oracle_summary(campaign_result,
+                                                          batches[:1])
+        # the unacked batch is still pending from the client's view
+        acked = {a["seq"] for a in client.acks}
+        assert acked == {1}
+
+    def test_drain_with_no_sessions_exits_cleanly(self):
+        with run_daemon(ServeConfig()) as handle:
+            handle.drain("sigterm")
+        assert handle.daemon.reports == []
