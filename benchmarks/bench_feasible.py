@@ -1,0 +1,71 @@
+"""Static feasibility enumeration: set sizes, pruning power, oracle cost.
+
+Enumerates the feasible signature set of every litmus shape under all
+three models and writes a deterministic snapshot — encodable
+cardinality, feasible count, prefixes explored, assignments pruned and
+the resulting pruning factor — to
+``benchmarks/results/BENCH_feasible.json`` so enumerator behaviour is
+diffable across PRs.  Wall-clock never enters the file; the timed
+section benchmarks a single exhaustive enumeration of the widest litmus
+shape (IRIW), which bounds the per-program cost of the ``repro lint``
+feasible pass and the ``--cross-check feasible`` oracle warm-up.
+"""
+
+import json
+import pathlib
+
+from conftest import obs_off, record_table
+from repro.feasible import enumerate_feasible
+from repro.harness import format_table
+from repro.instrument import SignatureCodec
+from repro.mcm import get_model
+from repro.testgen.litmus import all_litmus_tests
+
+_MODELS = ("sc", "tso", "weak")
+
+_RESULTS = pathlib.Path(__file__).parent / "results"
+
+
+def test_feasible_litmus_enumeration(benchmark):
+    rows = []
+    snapshot = {}
+    for lt in all_litmus_tests():
+        codec = SignatureCodec(lt.program, 64)
+        per_model = {}
+        for model_name in _MODELS:
+            fset = enumerate_feasible(lt.program, get_model(model_name),
+                                      codec=codec)
+            assert fset.exhaustive
+            per_model[model_name] = {
+                "cardinality": fset.cardinality,
+                "feasible": len(fset.signatures),
+                "prefixes_explored": fset.prefixes_explored,
+                "assignments_pruned": fset.assignments_pruned,
+                "pruning_factor": round(fset.pruning_factor, 4),
+            }
+            rows.append([lt.name, model_name, fset.cardinality,
+                         len(fset.signatures), fset.prefixes_explored,
+                         "%.2f" % fset.pruning_factor])
+        # monotonicity is part of the snapshot's meaning: sc ⊆ tso ⊆ weak
+        assert (per_model["sc"]["feasible"] <= per_model["tso"]["feasible"]
+                <= per_model["weak"]["feasible"])
+        snapshot[lt.name] = per_model
+
+    record_table("feasible_enumeration", format_table(
+        ["litmus", "model", "encodable", "feasible", "prefixes", "pruning"],
+        rows,
+        title="repro.feasible over the litmus corpus: feasible set sizes "
+              "and canonical-prefix pruning factor per model"))
+
+    _RESULTS.mkdir(exist_ok=True)
+    (_RESULTS / "BENCH_feasible.json").write_text(json.dumps(
+        {"schema": "repro.bench-feasible", "version": 1,
+         "litmus": snapshot}, indent=2, sort_keys=True) + "\n")
+
+    # oracle cost: one exhaustive enumeration of the widest shape (IRIW,
+    # 16 encodable outcomes, 4 threads) under the weakest model
+    iriw = next(lt for lt in all_litmus_tests() if lt.name == "IRIW")
+    codec = SignatureCodec(iriw.program, 64)
+    fset = benchmark(obs_off(enumerate_feasible), iriw.program,
+                     get_model("weak"), codec=codec)
+    assert fset.exhaustive

@@ -21,6 +21,10 @@ Commands mirror the paper's flow so each stage can run standalone:
 * ``lint`` — statically lint test programs and verify their
   instrumentation without running a single iteration; ``--fail-on``
   selects the severity that flips the exit code to 1,
+* ``feasible`` — statically enumerate the architecturally feasible
+  outcome set of a program (``--list-outcomes``), measure how much of
+  it a real run observes (``--coverage``), or print the reference doc
+  (``--doc``, docs/FEASIBLE.md),
 * ``stats`` — render (and validate) a saved observability run report,
 * ``mutate`` — checker-sensitivity campaigns: list the fault-injection
   registry (``--list``) or run detection campaigns (all operational
@@ -43,6 +47,14 @@ fault plane (or detailed-simulator bug) on the campaign being run.
 campaign on the same analyses (skip statically wasted iterations, or
 abort on lint errors).
 
+``run``, ``check`` and ``mutate`` accept ``--cross-check feasible`` to
+corroborate the constraint-graph checker against the static
+feasibility oracle (:mod:`repro.feasible`): an observed signature
+outside the enumerated feasible set is a hardware bug even when the
+checker passed it, and a checker violation on a feasible signature is
+a checker bug — either disagreement flips ``run``/``check`` to exit 1
+and fires ``mutate``'s ``feasible`` detection channel.
+
 ``run``, ``check`` and ``litmus`` accept ``--metrics-out PATH`` to write
 a schema-versioned run report (metrics registry snapshot + phase span
 tree); ``run`` and ``check`` additionally accept ``--json`` to print the
@@ -60,6 +72,7 @@ from repro import obs as repro_obs
 from repro.errors import ReproError
 from repro.checker import describe_cycle
 from repro.harness import Campaign, SuiteRunner, check_campaign_result, format_table
+from repro.feasible.enumerator import DEFAULT_BUDGET, DEFAULT_SAMPLES
 from repro.instrument import SignatureCodec, code_size, emit_listing, intrusiveness
 from repro.isa.assembler import assemble, disassemble
 from repro.mcm import get_model
@@ -201,6 +214,7 @@ def _cmd_run(args) -> int:
             on_beat=on_beat)
         if on_beat is not None:
             sys.stderr.write("\n")
+        model = None  # register-width convention, same as the checker's
         checker = lambda: check_campaign_result(result,
                                                 pipeline=args.check_pipeline)
     else:
@@ -220,17 +234,28 @@ def _cmd_run(args) -> int:
                             mutation=args.mutation, **extra)
         result = campaign.run(args.iterations, block=args.block,
                               lint=args.lint)
+        model = campaign.model
         checker = lambda: campaign.check(result, pipeline=args.check_pipeline)
     summary = {"config": config.name, "iterations": result.iterations,
                "unique_signatures": result.unique_signatures,
                "crashes": result.crashes, "jobs": args.jobs,
                "skipped_iterations": result.skipped_iterations,
                "signature_asserts": result.signature_asserts}
-    if handle is not None:
+    exit_code = 0
+    if handle is not None or args.cross_check:
         # complete the pipeline so the report's span tree covers all four
         # phases and carries the checker counters for this very run
         outcome = checker()
         summary["violations"] = len(outcome.collective.violations)
+        if args.cross_check:
+            from repro.feasible import cross_check_outcome
+
+            xc = cross_check_outcome(result, outcome, model)
+            summary["cross_check"] = xc.summary_json()
+            if not args.json:
+                print(xc.render())
+            if not xc.agreement:
+                exit_code = 1
     if not args.json:
         skipped = (", %d statically skipped" % result.skipped_iterations
                    if result.skipped_iterations else "")
@@ -250,7 +275,7 @@ def _cmd_run(args) -> int:
                                 "jobs": args.jobs},
                           summary=summary)
     _emit_telemetry(args, handle, report)
-    return 0
+    return exit_code
 
 
 def _cmd_check(args) -> int:
@@ -270,11 +295,22 @@ def _cmd_check(args) -> int:
             print()
             print(describe_cycle(result.program, outcome.graph_at(verdict.index),
                                  verdict.cycle))
+    summary = {"unique_executions": report.num_graphs,
+               "violations": len(report.violations)}
+    xc = None
+    if args.cross_check:
+        from repro.feasible import cross_check_outcome
+
+        xc = cross_check_outcome(result, outcome, config_model)
+        summary["cross_check"] = xc.summary_json()
+        if not args.json:
+            print(xc.render())
     _emit_report(args, handle,
                  meta={"command": "check", "dump": args.dump,
                        "model": config_model.name, "ws_mode": args.ws_mode},
-                 summary={"unique_executions": report.num_graphs,
-                          "violations": len(report.violations)})
+                 summary=summary)
+    if xc is not None and not xc.agreement:
+        return 1
     return 1 if report.violations else 0
 
 
@@ -385,7 +421,14 @@ def _lint_targets(args):
 
 
 def _cmd_lint(args) -> int:
-    from repro.lint import LintConfig, fail_on_severity, lint_program, rules_markdown, rules_table
+    from repro.lint import (
+        LintConfig,
+        all_rules,
+        fail_on_severity,
+        lint_program,
+        rules_markdown,
+        rules_table,
+    )
 
     if args.rules:
         print(rules_markdown() if args.markdown else rules_table())
@@ -407,7 +450,10 @@ def _cmd_lint(args) -> int:
                 print(report.render())
     zero_entropy = sum(1 for r in reports if r.zero_entropy)
     if args.json:
-        json.dump({"programs": len(reports), "failing": failing,
+        # same schema header every other JSON-emitting subcommand carries
+        json.dump({"schema": "repro.lint", "version": 1,
+                   "rules": len(all_rules()),
+                   "programs": len(reports), "failing": failing,
                    "fail_on": args.fail_on, "zero_entropy": zero_entropy,
                    "reports": [r.to_json() for r in reports]},
                   sys.stdout, indent=2, sort_keys=True)
@@ -452,7 +498,8 @@ def _cmd_mutate(args) -> int:
     handle = repro_obs.enable() if getattr(args, "metrics_out", None) else None
     outcomes = run_sensitivity_suite(
         selected, base_seed=args.base_seed, budget=args.budget,
-        seeds=args.seeds, jobs=args.jobs, control=not args.no_control)
+        seeds=args.seeds, jobs=args.jobs, control=not args.no_control,
+        cross_check=bool(args.cross_check))
     undetected = [o.mutation.name for o in outcomes if not o.detected]
     if args.json:
         json.dump({"mutations": [o.to_json() for o in outcomes],
@@ -491,6 +538,109 @@ def _cmd_mutate(args) -> int:
         if not args.json:
             print("run report written to %s" % args.metrics_out)
     return 1 if undetected else 0
+
+
+def _render_rf(rf: dict) -> str:
+    """One decoded outcome as ``opL<-opS`` / ``opL<-init`` pairs."""
+    parts = []
+    for load in sorted(rf):
+        src = rf[load]
+        parts.append("op%d<-%s" % (load, "init" if isinstance(src, tuple)
+                                   else "op%d" % src))
+    return " ".join(parts)
+
+
+def _cmd_feasible(args) -> int:
+    from repro.feasible import FeasibilityOracle, enumerate_feasible
+    from repro.feasible.doc import feasible_markdown
+
+    if args.doc:
+        print(feasible_markdown())
+        return 0
+    handle = repro_obs.enable() if getattr(args, "metrics_out", None) else None
+    docs = []
+    out_of_set_total = 0
+    for program, config in _lint_targets(args):
+        register_width = config.register_width if config is not None else 32
+        codec = SignatureCodec(program, register_width)
+        if args.model:
+            model = get_model(args.model)
+        elif config is not None:
+            model = get_model(config.memory_model_name)
+        else:
+            model = get_model("tso")
+        fset = enumerate_feasible(program, model, codec=codec,
+                                  budget=args.budget, samples=args.samples,
+                                  seed=args.feasible_seed)
+        doc = fset.to_json()
+        if not args.json:
+            title = program.name or "program"
+            if fset.exhaustive:
+                print("%s under %s: %d of %d encodable signatures feasible "
+                      "(%d prefixes explored, pruning %.2fx)"
+                      % (title, model.name, fset.feasible_count,
+                         fset.cardinality, fset.prefixes_explored,
+                         fset.pruning_factor))
+            else:
+                print("%s under %s: sampled %d assignments, %d feasible "
+                      "(space ~2^%d exceeds budget %d)"
+                      % (title, model.name, fset.sampled,
+                         fset.feasible_count, fset.cardinality.bit_length(),
+                         args.budget))
+        if args.list_outcomes:
+            sigs = fset.sorted_signatures()
+            if args.json:
+                doc["signatures"] = [str(s) for s in sigs]
+            else:
+                for sig in sigs:
+                    print("  %s  %s" % (sig, _render_rf(codec.decode(sig))))
+        if args.coverage:
+            executor = OperationalExecutor(program, model,
+                                           seed=args.run_seed)
+            observed = {codec.encode(execution.rf)
+                        for execution in executor.run(args.iterations)}
+            oracle = FeasibilityOracle(program, model)
+            out_of_set = sum(
+                1 for sig in sorted(observed)
+                if not (sig in fset.signatures if fset.exhaustive
+                        else oracle.is_feasible(codec.decode(sig))))
+            out_of_set_total += out_of_set
+            hits = len(observed) - out_of_set
+            doc["observed"] = len(observed)
+            doc["out_of_set"] = out_of_set
+            doc["coverage"] = (round(hits / fset.feasible_count, 4)
+                               if fset.exhaustive and fset.feasible_count
+                               else None)
+            if handle is not None:
+                handle.metrics.gauge("feasible.coverage.observed").set(hits)
+                handle.metrics.gauge("feasible.coverage.feasible").set(
+                    fset.feasible_count)
+                if doc["coverage"] is not None:
+                    handle.metrics.gauge("feasible.coverage.ratio").set(
+                        doc["coverage"])
+            if not args.json:
+                denom = ("%d" % fset.feasible_count if fset.exhaustive
+                         else "~%d sampled" % fset.feasible_count)
+                line = ("  coverage: %d/%s feasible outcomes observed in "
+                        "%d iterations" % (hits, denom, args.iterations))
+                if out_of_set:
+                    line += ", %d OUT OF FEASIBLE SET" % out_of_set
+                print(line)
+        docs.append(doc)
+    if args.json:
+        json.dump({"schema": "repro.feasible", "version": 1,
+                   "programs": docs, "out_of_set": out_of_set_total},
+                  sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    if handle is not None:
+        report = repro_obs.build_run_report(
+            handle, meta={"command": "feasible"},
+            summary={"programs": len(docs),
+                     "out_of_set": out_of_set_total})
+        repro_obs.write_report(report, args.metrics_out)
+        if not args.json:
+            print("run report written to %s" % args.metrics_out)
+    return 1 if out_of_set_total else 0
 
 
 def _parse_address(text: str) -> tuple:
@@ -711,6 +861,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(heartbeats; needs --jobs > 1)")
     _add_lint_argument(p)
     _add_pipeline_argument(p)
+    _add_cross_check_argument(p)
     _add_report_arguments(p, json_flag=True)
     p.add_argument("--events-out", metavar="PATH",
                    help="write the run's structured event log as JSONL")
@@ -745,6 +896,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="memory model (default: inferred from the dump)")
     p.add_argument("--ws-mode", choices=("static", "observed"), default="static")
     _add_pipeline_argument(p)
+    _add_cross_check_argument(p)
     _add_report_arguments(p, json_flag=True)
     p.set_defaults(fn=_cmd_check)
 
@@ -791,6 +943,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser(
+        "feasible",
+        help="statically enumerate the feasible outcome set of a test")
+    _add_config_arguments(p)
+    p.add_argument("--tests", type=int, default=1,
+                   help="analyze a generated suite of N tests (default 1)")
+    p.add_argument("--input", "-i", metavar="PATH",
+                   help="analyze an assembler-text program file instead "
+                        "(as emitted by 'repro generate')")
+    p.add_argument("--litmus", action="store_true",
+                   help="analyze every program in the litmus library instead")
+    p.add_argument("--model", choices=("sc", "tso", "weak"), default=None,
+                   help="memory model (default: the config's, or tso for "
+                        "--input/--litmus)")
+    p.add_argument("--budget", type=int, default=DEFAULT_BUDGET,
+                   help="full enumeration up to this many rf assignments "
+                        "(default %d); larger spaces are sampled"
+                        % DEFAULT_BUDGET)
+    p.add_argument("--samples", type=int, default=DEFAULT_SAMPLES,
+                   help="seeded assignments drawn above the budget "
+                        "(default %d)" % DEFAULT_SAMPLES)
+    p.add_argument("--feasible-seed", type=int, default=0,
+                   help="sampling seed above the budget")
+    p.add_argument("--list-outcomes", action="store_true",
+                   help="print every feasible signature with its decoded "
+                        "per-load outcome")
+    p.add_argument("--coverage", action="store_true",
+                   help="also execute the program and report how much of "
+                        "the feasible set the run observed; exits 1 when "
+                        "any observed signature is infeasible")
+    p.add_argument("--iterations", type=int, default=2000,
+                   help="iterations for --coverage (default 2000)")
+    p.add_argument("--run-seed", type=int, default=1,
+                   help="execution seed for --coverage")
+    p.add_argument("--json", action="store_true",
+                   help="print the analysis as one JSON document")
+    p.add_argument("--doc", action="store_true",
+                   help="print the feasibility reference "
+                        "(docs/FEASIBLE.md) and exit")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="write a schema-versioned observability run report")
+    p.set_defaults(fn=_cmd_feasible)
+
+    p = sub.add_parser(
         "mutate", help="checker-sensitivity campaigns over injected faults")
     p.add_argument("--list", action="store_true",
                    help="print the fault-injection registry and exit")
@@ -811,6 +1006,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-control", action="store_true",
                    help="skip the unmutated control runs (faster; drops "
                         "the signature-diversity comparison)")
+    _add_cross_check_argument(p)
     p.add_argument("--json", action="store_true",
                    help="print detection outcomes as one JSON document")
     p.add_argument("--metrics-out", metavar="PATH",
@@ -941,6 +1137,16 @@ def _add_pipeline_argument(parser: argparse.ArgumentParser) -> None:
                              "than one full graph; 'graphs' materializes "
                              "every constraint graph first (legacy path; "
                              "--ws-mode observed always uses it)")
+
+
+def _add_cross_check_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cross-check", choices=("feasible",), default=None,
+                        help="corroborate the checker against the static "
+                             "feasibility oracle: observed signatures "
+                             "outside the enumerated feasible set are "
+                             "hardware bugs even when the checker passed "
+                             "them, checker violations on feasible "
+                             "signatures are checker bugs")
 
 
 def _add_lint_argument(parser: argparse.ArgumentParser) -> None:

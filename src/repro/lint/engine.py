@@ -27,13 +27,19 @@ from repro.errors import ReproError
 from repro.instrument.signature import SignatureCodec
 from repro.isa.layout import MemoryLayout
 from repro.isa.program import TestProgram
-from repro.lint import graph_lints, program_lints, signature_lints, verifier
+from repro.lint import (
+    feasible_lints,
+    graph_lints,
+    program_lints,
+    signature_lints,
+    verifier,
+)
 from repro.lint.findings import LintReport, Severity
 from repro.mcm import get_model
 from repro.obs import get_obs
 
 #: analyzer families, in execution order
-FAMILIES = ("program", "signature", "verifier", "graph")
+FAMILIES = ("program", "signature", "verifier", "graph", "feasible")
 
 #: accepted ``lint=`` policies (None and "off" disable the gate)
 POLICIES = ("off", "skip", "fail")
@@ -53,6 +59,8 @@ class LintConfig:
     seed: int = 0
     #: extra word address of the signature region (None = after test data)
     signature_base: int = field(default=None)
+    #: full feasible-set enumeration up to this many rf assignments
+    feasible_budget: int = feasible_lints.DEFAULT_BUDGET
 
     def with_families(self, *families: str) -> "LintConfig":
         unknown = set(families) - set(FAMILIES)
@@ -133,6 +141,17 @@ def lint_program(program: TestProgram, *, codec: SignatureCodec = None,
                     # closure finding pure noise
                     report.extend(graph_lints.lint_canonical_closure(
                         program, model, candidates))
+        if "feasible" in lc.families and not report.errors:
+            # error findings (zero-candidate loads, cyclic skeletons)
+            # poison the enumeration's inputs, so skip it like the
+            # closure lint does
+            with obs.span("lint.feasible"):
+                findings, fset = feasible_lints.lint_feasible(
+                    program, codec, model, budget=lc.feasible_budget,
+                    samples=lc.samples, seed=lc.seed)
+                report.extend(findings)
+                report.feasible_outcomes = fset.feasible_count
+                report.feasible_exhaustive = fset.exhaustive
     if obs.enabled:
         metrics = obs.metrics
         metrics.counter("lint.programs").inc()

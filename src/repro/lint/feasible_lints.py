@@ -1,0 +1,118 @@
+"""Feasible-set lints (``MTC10x``): static outcome enumeration as lint.
+
+Runs :func:`repro.feasible.enumerate_feasible` over the program and
+turns the result into findings:
+
+* ``MTC100`` — part of the encodable signature space is infeasible
+  (the PR-3 static cardinality over-approximates the reachable set);
+* ``MTC101`` — the feasible set collapsed to a single outcome although
+  the signature space is larger (dynamically zero-entropy);
+* ``MTC102`` — a barrier whose removal provably leaves the feasible
+  set unchanged.  Soundness: dropping a barrier only removes ordering
+  constraints, so ``feasible(without) ⊇ feasible(with)`` — equal counts
+  therefore mean equal *sets*, and the count comparison is exact;
+* ``MTC104`` — the feasible set is empty (every execution violates).
+
+Above the enumeration budget only ``MTC103`` (sampled analysis) is
+emitted; the exact rules need the whole space.
+"""
+
+from __future__ import annotations
+
+from repro.feasible.enumerator import (
+    DEFAULT_BUDGET,
+    DEFAULT_SAMPLES,
+    FeasibleSet,
+    enumerate_feasible,
+)
+from repro.instrument.signature import SignatureCodec
+from repro.isa.instructions import Operation
+from repro.isa.program import TestProgram
+from repro.lint import rules
+from repro.mcm.model import MemoryModel
+
+
+def _without_barrier(program: TestProgram, barrier_uid: int) -> TestProgram:
+    """The program with one barrier dropped (uids/indices recomputed).
+
+    Candidate sets do not depend on barriers and the load order is
+    preserved, so the variant's assignment space corresponds 1:1 to the
+    original's — feasible *counts* are directly comparable.
+    """
+    per_thread = []
+    for tp in program.threads:
+        ops = []
+        for op in tp.ops:
+            if op.uid == barrier_uid:
+                continue
+            ops.append(Operation(op.kind, op.thread, len(ops),
+                                 addr=op.addr, value=op.value))
+        per_thread.append(ops)
+    return TestProgram.from_ops(per_thread, program.num_addresses,
+                                name=program.name)
+
+
+def lint_feasible(program: TestProgram, codec: SignatureCodec,
+                  model: MemoryModel, *, budget: int = DEFAULT_BUDGET,
+                  samples: int = DEFAULT_SAMPLES,
+                  seed: int = 0) -> tuple:
+    """Run the feasible-set analysis; returns ``(findings, FeasibleSet)``."""
+    fset = enumerate_feasible(program, model, codec=codec, budget=budget,
+                              samples=samples, seed=seed)
+    findings = []
+    if not fset.exhaustive:
+        findings.append(rules.finding(
+            rules.FEASIBLE_BUDGET_EXCEEDED,
+            "assignment space ~2^%d exceeds the enumeration budget %d; "
+            "analyzed a seeded sample of %d assignments (%d feasible)"
+            % (fset.cardinality.bit_length(), budget, fset.sampled,
+               fset.feasible_count)))
+        return findings, fset
+    feasible = fset.feasible_count
+    total = fset.cardinality
+    if feasible == 0 and total > 0:
+        findings.append(rules.finding(
+            rules.EMPTY_FEASIBLE_SET,
+            "all %d encodable signatures are infeasible under %s: every "
+            "execution will report a violation" % (total, model.name)))
+    elif feasible == 1 and total > 1:
+        findings.append(rules.finding(
+            rules.FEASIBLE_COLLAPSE,
+            "only 1 of %d encodable signatures is feasible under %s: the "
+            "test is dynamically zero-entropy" % (total, model.name)))
+    elif 0 < feasible < total:
+        infeasible = total - feasible
+        findings.append(rules.finding(
+            rules.INFEASIBLE_OUTCOMES,
+            "%d of %d encodable signatures (%.1f%%) are architecturally "
+            "infeasible under %s; static cardinality over-approximates "
+            "the feasible set %.2fx"
+            % (infeasible, total, 100.0 * infeasible / total, model.name,
+               total / feasible)))
+    if feasible:
+        findings.extend(_lint_fences(program, codec, model, fset, budget))
+    return findings, fset
+
+
+def _lint_fences(program: TestProgram, codec: SignatureCodec,
+                 model: MemoryModel, fset: FeasibleSet,
+                 budget: int) -> list:
+    """``MTC102``: barriers that provably do not shrink the feasible set."""
+    findings = []
+    for op in program.all_ops:
+        if not op.is_barrier:
+            continue
+        variant = _without_barrier(program, op.uid)
+        vcodec = SignatureCodec(variant, codec.register_width)
+        vset = enumerate_feasible(variant, model, codec=vcodec,
+                                  budget=budget, seed=fset.seed)
+        # same assignment space, monotone constraints: the variant's
+        # enumeration is exhaustive iff the original's was
+        if vset.exhaustive and vset.feasible_count == fset.feasible_count:
+            findings.append(rules.finding(
+                rules.INEFFECTIVE_FENCE,
+                "barrier does not shrink the feasible outcome set under "
+                "%s (%d outcomes with or without it)"
+                % (model.name, fset.feasible_count),
+                thread=op.thread, uid=op.uid))
+    return findings

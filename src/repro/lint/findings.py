@@ -88,6 +88,11 @@ class LintReport:
         self.verified_assignments: int = 0
         #: True when the verifier enumerated the whole assignment space
         self.verified_exhaustive: bool = False
+        #: feasible outcomes found by static enumeration (None until the
+        #: feasible family ran; exact only when ``feasible_exhaustive``)
+        self.feasible_outcomes: int = None
+        #: True when the feasible enumeration covered the whole space
+        self.feasible_exhaustive: bool = False
 
     # -- accumulation ------------------------------------------------------
 
@@ -140,6 +145,8 @@ class LintReport:
             "zero_entropy": self.zero_entropy,
             "verified_assignments": self.verified_assignments,
             "verified_exhaustive": self.verified_exhaustive,
+            "feasible_outcomes": self.feasible_outcomes,
+            "feasible_exhaustive": self.feasible_exhaustive,
             "counts": {str(s): len([f for f in self.findings
                                     if f.severity is s])
                        for s in Severity},

@@ -7,7 +7,8 @@ them), so a retired rule's number is never reused:
 * ``MTC00x`` — program lints (structure, layout, fences),
 * ``MTC01x`` — signature-space analysis (weight tables, cardinality),
 * ``MTC02x`` — instrumentation verification (compare/branch chains),
-* ``MTC03x`` — constraint-graph lints (po skeleton, candidates, closure).
+* ``MTC03x`` — constraint-graph lints (po skeleton, candidates, closure),
+* ``MTC10x`` — feasible-set analysis (static outcome enumeration).
 
 ``repro lint --rules`` renders this table; ``docs/LINT_RULES.md`` is the
 committed markdown rendering (regenerate with
@@ -136,6 +137,37 @@ CANONICAL_CLOSURE_CONTRADICTION = _rule(
     "already cyclic under the configured model — every campaign result "
     "will be dominated by violations; the program/model pairing is "
     "suspect.")
+
+
+# -- feasible-set analysis (MTC10x) ------------------------------------------
+
+INFEASIBLE_OUTCOMES = _rule(
+    "MTC100", "statically-infeasible-outcomes", Severity.INFO, "feasible",
+    "Part of the encodable signature space is architecturally infeasible "
+    "under the configured model: the static cardinality over-approximates "
+    "what hardware may legally produce, so signature-space metrics "
+    "overstate the reachable outcome diversity.")
+FEASIBLE_COLLAPSE = _rule(
+    "MTC101", "feasible-set-collapse", Severity.WARNING, "feasible",
+    "The feasible set has exactly one member although the signature space "
+    "is larger: the test is dynamically zero-entropy, and every iteration "
+    "beyond the first is provably wasted.")
+INEFFECTIVE_FENCE = _rule(
+    "MTC102", "ineffective-fence", Severity.WARNING, "feasible",
+    "Removing the barrier provably leaves the feasible outcome set "
+    "unchanged (dropping constraints can only grow the set, so equal "
+    "counts mean equal sets): the fence orders nothing the model does "
+    "not already order.")
+FEASIBLE_BUDGET_EXCEEDED = _rule(
+    "MTC103", "feasible-budget-exceeded", Severity.INFO, "feasible",
+    "The reads-from assignment space exceeds the enumeration budget; "
+    "feasible-set analysis ran on a seeded sample and the exact rules "
+    "(MTC100/MTC101/MTC102/MTC104) were skipped.")
+EMPTY_FEASIBLE_SET = _rule(
+    "MTC104", "empty-feasible-set", Severity.WARNING, "feasible",
+    "Every encodable signature is infeasible under the configured model: "
+    "each execution will report a violation regardless of hardware "
+    "behavior; the program/model pairing is suspect.")
 
 
 def get_rule(rule_id: str) -> Rule:

@@ -21,7 +21,11 @@ Detection channels, in the order they are consulted:
 2. ``assert`` — an observed rf source fell outside the instrumented
    candidate set, firing the compare/branch chain's assertion tail
    (paper Figure 4 "assert error"); free to test, no checking needed.
-3. ``violation`` — the collective checker found a constraint-graph
+3. ``feasible`` — only with ``cross_check=True``: an observed unique
+   signature falls outside the statically enumerated feasible set
+   (:mod:`repro.feasible`) — a detection by the cross-oracle, checked
+   by exact per-signature membership before the graph checker runs.
+4. ``violation`` — the collective checker found a constraint-graph
    cycle among the collected signatures (paper Section 3).
 
 Campaigns reuse the standard harness end to end — :class:`Campaign`
@@ -48,6 +52,8 @@ from repro.obs import get_obs
 
 #: detection channel names
 CRASH, ASSERT, VIOLATION = "crash", "assert", "violation"
+#: cross-oracle channel (active only with ``cross_check=True``)
+FEASIBLE = "feasible"
 
 
 @dataclass
@@ -58,7 +64,8 @@ class SeedOutcome:
     #: iterations actually executed (stops early on detection)
     iterations: int = 0
     detected: bool = False
-    #: ``"crash"`` / ``"assert"`` / ``"violation"`` (None if undetected)
+    #: ``"crash"`` / ``"assert"`` / ``"feasible"`` / ``"violation"``
+    #: (None if undetected)
     channel: str = None
     #: iterations run when the first signal was seen (chunk-granular)
     executions_to_detection: int = None
@@ -66,6 +73,9 @@ class SeedOutcome:
     signature_asserts: int = 0
     crashes: int = 0
     unique_signatures: int = 0
+    #: unique signatures outside the static feasible set (cross-check
+    #: campaigns only; stays 0 otherwise)
+    out_of_feasible: int = 0
 
     def to_json(self) -> dict:
         return {"seed": self.seed, "iterations": self.iterations,
@@ -74,7 +84,8 @@ class SeedOutcome:
                 "violations": self.violations,
                 "signature_asserts": self.signature_asserts,
                 "crashes": self.crashes,
-                "unique_signatures": self.unique_signatures}
+                "unique_signatures": self.unique_signatures,
+                "out_of_feasible": self.out_of_feasible}
 
 
 @dataclass
@@ -86,6 +97,8 @@ class DetectionOutcome:
     #: unique signatures of the unmutated control run (same config,
     #: first seed, full budget); None for crash-class mutations
     clean_unique_signatures: int = None
+    #: whether the feasible cross-oracle channel was active
+    cross_check: bool = False
 
     @property
     def detected(self) -> bool:
@@ -119,6 +132,7 @@ class DetectionOutcome:
             "config": m.spec.config.name,
             "budget": m.spec.budget,
             "ws_mode": m.spec.ws_mode,
+            "cross_check": self.cross_check,
             "detected": self.detected,
             "detection_rate": self.detection_rate,
             "max_executions_to_detection": self.max_executions_to_detection,
@@ -144,10 +158,17 @@ class SensitivityCampaign:
         control: also run the unmutated control campaign for the
             signature-diversity comparison (skipped for crash-class
             mutations, whose devices ship no signatures at all).
+        cross_check: also consult the static feasibility oracle
+            (:mod:`repro.feasible`): any observed unique signature
+            outside the enumerated feasible set detects the mutation on
+            the ``"feasible"`` channel, before the graph checker is even
+            consulted.  Membership is exact (per-signature acyclicity
+            test), never sampled.
     """
 
     def __init__(self, mutation, *, base_seed: int = 0, budget: int = None,
-                 seeds: int = None, jobs: int = 1, control: bool = True):
+                 seeds: int = None, jobs: int = 1, control: bool = True,
+                 cross_check: bool = False):
         self.mutation = mutation if isinstance(mutation, Mutation) \
             else get_mutation(mutation)
         spec = self.mutation.spec
@@ -156,10 +177,15 @@ class SensitivityCampaign:
         self.seeds = spec.seeds if seeds is None else seeds
         self.jobs = jobs
         self.control = control and self.mutation.fault_class != "crash"
+        self.cross_check = cross_check
+        #: lazy per-campaign state: the oracle is program/model-bound
+        #: and membership verdicts are cached per signature
+        self._oracle = None
+        self._membership: dict = {}
 
     def run(self) -> DetectionOutcome:
         obs = get_obs()
-        outcome = DetectionOutcome(self.mutation)
+        outcome = DetectionOutcome(self.mutation, cross_check=self.cross_check)
         with obs.span("mutate.campaign"):
             for s in range(self.seeds):
                 seed_out = self._run_seed(self.base_seed + s)
@@ -219,6 +245,13 @@ class SensitivityCampaign:
             out.detected, out.channel = True, ASSERT
             out.executions_to_detection = executed
             return True
+        if self.cross_check and merged.signature_counts:
+            out.out_of_feasible = self._count_out_of_feasible(
+                merged, campaign.model)
+            if out.out_of_feasible:
+                out.detected, out.channel = True, FEASIBLE
+                out.executions_to_detection = executed
+                return True
         if merged.signature_counts:
             check = check_campaign_result(
                 merged, campaign.model, ws_mode=self.mutation.spec.ws_mode,
@@ -229,6 +262,29 @@ class SensitivityCampaign:
                 out.executions_to_detection = executed
                 return True
         return False
+
+    def _count_out_of_feasible(self, merged, model) -> int:
+        """Unique signatures outside the static feasible set, cached.
+
+        The oracle depends only on the (unmutated) program and the
+        model, so one instance serves every seed; per-signature
+        membership verdicts are memoized across the cumulative
+        re-inspections of the chunk loop.
+        """
+        from repro.feasible import FeasibilityOracle
+
+        if self._oracle is None:
+            self._oracle = FeasibilityOracle(merged.program, model)
+        decode = merged.codec.decode
+        misses = 0
+        for sig in merged.sorted_signatures():
+            verdict = self._membership.get(sig)
+            if verdict is None:
+                verdict = self._oracle.is_feasible(decode(sig))
+                self._membership[sig] = verdict
+            if not verdict:
+                misses += 1
+        return misses
 
     def _run_control(self) -> int:
         """Unmutated run of the same recipe, for the diversity baseline."""
@@ -255,7 +311,8 @@ class SensitivityCampaign:
 def run_sensitivity_suite(mutations=None, *, include_detailed: bool = False,
                           base_seed: int = 0, budget: int = None,
                           seeds: int = None, jobs: int = 1,
-                          control: bool = True) -> list:
+                          control: bool = True,
+                          cross_check: bool = False) -> list:
     """Run detection campaigns for a set of mutations.
 
     Args:
@@ -276,6 +333,7 @@ def run_sensitivity_suite(mutations=None, *, include_detailed: bool = False,
                     for m in mutations]
     return [
         SensitivityCampaign(m, base_seed=base_seed, budget=budget,
-                            seeds=seeds, jobs=jobs, control=control).run()
+                            seeds=seeds, jobs=jobs, control=control,
+                            cross_check=cross_check).run()
         for m in selected
     ]

@@ -230,6 +230,16 @@ _kind("mutate.campaign", HOST,
       ("detected", "detected in every seeded campaign"),
       ("detection_rate", "fraction of seeds that detected"),
       ("channels", "distinct channels that fired, sorted"))
+_kind("feasible.crosscheck", HOST,
+      "The static feasibility oracle cross-checked one campaign's "
+      "observed signatures against the constraint-graph checker.",
+      ("program", "test program name"),
+      ("model", "memory model the feasible set was enumerated under"),
+      ("signatures", "observed unique signatures classified"),
+      ("out_of_set", "observed signatures outside the feasible set"),
+      ("checker_false_alarms",
+       "feasible signatures the checker flagged (checker bug)"),
+      ("agreement", "True when no signature produced a disagreement"))
 
 
 class Event:

@@ -339,6 +339,120 @@ class TestServeCLI:
         assert "HOST:PORT" in capsys.readouterr().err
 
 
+class TestLintCLI:
+    def test_json_document_carries_schema_header(self, capsys):
+        assert main(["lint", "--litmus", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.lint"
+        assert doc["version"] == 1
+        assert doc["rules"] > 0
+        assert doc["programs"] == len(doc["reports"]) == 8
+
+    def test_empty_program_set_exits_zero_for_every_fail_on(self, capsys):
+        """Pinned contract: zero programs means zero failures, at any
+        threshold — an empty suite must never flip the exit code."""
+        for fail_on in ("error", "warning", "info", "never"):
+            assert main(["lint", "--tests", "0", "--fail-on", fail_on,
+                         "--json"]) == 0
+            doc = json.loads(capsys.readouterr().out)
+            assert doc["programs"] == 0
+            assert doc["failing"] == 0
+            assert doc["reports"] == []
+
+    def test_reports_carry_feasible_fields(self, capsys):
+        assert main(["lint", "--litmus", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        for report in doc["reports"]:
+            assert "feasible_outcomes" in report
+            assert "feasible_exhaustive" in report
+            assert report["feasible_exhaustive"] is True
+
+
+class TestFeasibleCLI:
+    def test_doc_flag_matches_generator(self, capsys):
+        from repro.feasible.doc import feasible_markdown
+
+        assert main(["feasible", "--doc"]) == 0
+        assert capsys.readouterr().out == feasible_markdown() + "\n"
+
+    def test_litmus_enumeration_text(self, capsys):
+        assert main(["feasible", "--litmus", "--model", "tso"]) == 0
+        out = capsys.readouterr().out
+        assert "MP under tso: 3 of 4 encodable signatures feasible" in out
+
+    def test_json_document(self, capsys):
+        assert main(["feasible", "--litmus", "--model", "tso", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.feasible"
+        assert doc["version"] == 1
+        assert len(doc["programs"]) == 8
+        assert doc["out_of_set"] == 0
+        mp = next(p for p in doc["programs"] if p["program"] == "MP")
+        assert mp["feasible"] == 3 and mp["exhaustive"] is True
+
+    def test_list_outcomes_decodes_rf(self, capsys):
+        assert main(["feasible", "--isa", "x86", "--threads", "2",
+                     "--ops", "4", "--addresses", "2",
+                     "--list-outcomes"]) == 0
+        out = capsys.readouterr().out
+        assert "<-" in out  # decoded per-load outcomes printed
+
+    def test_coverage_clean_corpus_exits_zero(self, capsys):
+        assert main(["feasible", "--litmus", "--model", "tso", "--coverage",
+                     "--iterations", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage:" in out
+        assert "OUT OF FEASIBLE SET" not in out
+
+    def test_coverage_json_fields(self, capsys):
+        assert main(["feasible", "--litmus", "--model", "tso", "--coverage",
+                     "--iterations", "100", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        for p in doc["programs"]:
+            assert p["out_of_set"] == 0
+            assert p["observed"] >= 1
+            assert 0 < p["coverage"] <= 1
+
+
+class TestCrossCheckCLI:
+    RUN = ["run", "--isa", "x86", "--threads", "2", "--ops", "8",
+           "--addresses", "4", "--iterations", "60"]
+
+    def test_run_cross_check_agrees(self, capsys):
+        assert main(self.RUN + ["--cross-check", "feasible"]) == 0
+        out = capsys.readouterr().out
+        assert "cross-check (feasible oracle, tso)" in out
+        assert "verdict: AGREE" in out
+
+    def test_run_json_summary_carries_cross_check(self, capsys):
+        assert main(self.RUN + ["--cross-check", "feasible", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        xc = report["summary"]["cross_check"]
+        assert xc["agreement"] is True
+        assert xc["out_of_set"] == 0
+
+    def test_check_cross_check(self, capsys, tmp_path):
+        dump = str(tmp_path / "d.json")
+        assert main(self.RUN + ["-o", dump]) == 0
+        capsys.readouterr()
+        assert main(["check", dump, "--cross-check", "feasible"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: AGREE" in out
+
+    def test_mutate_cross_check_channel(self, capsys):
+        assert main(["mutate", "--mutation", "tso-sb-reorder", "--seeds", "1",
+                     "--no-control", "--cross-check", "feasible",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        [m] = doc["mutations"]
+        assert m["cross_check"] is True
+        assert m["detected"] is True
+
+    def test_cross_check_rejects_unknown_oracle(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self.RUN + ["--cross-check", "nonsense"])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

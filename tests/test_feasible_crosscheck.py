@@ -1,0 +1,175 @@
+"""Cross-oracle tests: the verdict table and the agreement contract."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro import obs as repro_obs
+from repro.feasible import (
+    AGREE_CLEAN,
+    AGREE_VIOLATION,
+    CHECKER_FALSE_ALARM,
+    CHECKER_MISS,
+    CrossCheckReport,
+    SignatureVerdict,
+    cross_check_outcome,
+    enumerate_feasible,
+)
+from repro.harness import Campaign
+from repro.instrument import SignatureCodec
+from repro.mcm import get_model
+from repro.testgen import TestConfig
+from repro.testgen.litmus import all_litmus_tests
+
+
+def _mp():
+    for lt in all_litmus_tests():
+        if lt.name == "MP":
+            return lt.program
+    raise KeyError("MP")
+
+
+class TestVerdictTable:
+    CASES = [
+        (True, False, AGREE_CLEAN, False),
+        (False, True, AGREE_VIOLATION, False),
+        (False, False, CHECKER_MISS, True),
+        (True, True, CHECKER_FALSE_ALARM, True),
+    ]
+
+    @pytest.mark.parametrize("feasible,violation,kind,disagree", CASES)
+    def test_kinds(self, feasible, violation, kind, disagree):
+        v = SignatureVerdict(0, "sig", feasible, violation)
+        assert v.kind == kind
+        assert v.disagreement == disagree
+
+    def test_disagreement_iff_feasible_equals_violation(self):
+        for feasible, violation, _, disagree in self.CASES:
+            assert disagree == (feasible == violation)
+
+    def test_report_counts_and_agreement(self):
+        fset = enumerate_feasible(_mp(), get_model("tso"),
+                                  codec=SignatureCodec(_mp(), 64))
+        report = CrossCheckReport("MP", "tso", fset)
+        report.verdicts = [SignatureVerdict(i, "s%d" % i, f, v)
+                           for i, (f, v, _, _) in enumerate(self.CASES)]
+        assert report.count(AGREE_CLEAN) == 1
+        assert report.count(CHECKER_MISS) == 1
+        assert len(report.out_of_set) == 2
+        assert len(report.disagreements) == 2
+        assert not report.agreement
+        assert report.observed_feasible == 2
+
+    def test_summary_json_and_render(self):
+        fset = enumerate_feasible(_mp(), get_model("tso"),
+                                  codec=SignatureCodec(_mp(), 64))
+        report = CrossCheckReport("MP", "tso", fset)
+        report.verdicts = [SignatureVerdict(0, s, True, False)
+                           for s in fset.sorted_signatures()[:2]]
+        doc = report.summary_json()
+        assert doc["agreement"] is True
+        assert doc["feasible"] == 3
+        assert doc["coverage"] == pytest.approx(2 / 3, abs=1e-3)
+        text = report.render()
+        assert "verdict: AGREE" in text
+        assert "coverage: 2/3" in text
+
+
+def _checked_campaign(seed=1, iterations=200):
+    cfg = TestConfig(isa="x86", threads=2, ops_per_thread=6, addresses=2,
+                     seed=5)
+    campaign = Campaign(config=cfg, seed=seed)
+    result = campaign.run(iterations)
+    return campaign, result, campaign.check(result)
+
+
+class TestCrossCheckOutcome:
+    def test_clean_campaign_agrees(self):
+        campaign, result, outcome = _checked_campaign()
+        xc = cross_check_outcome(result, outcome, campaign.model)
+        assert xc.agreement
+        assert not xc.out_of_set
+        assert len(xc.verdicts) == result.unique_signatures
+        assert xc.count(AGREE_CLEAN) == len(xc.verdicts)
+        assert xc.coverage is not None and 0 < xc.coverage <= 1
+
+    def test_default_model_matches_register_width(self):
+        _, result, outcome = _checked_campaign()
+        xc = cross_check_outcome(result, outcome)  # 64-bit -> tso
+        assert xc.model_name == "tso"
+        assert xc.agreement
+
+    def test_membership_miss_is_checker_miss(self):
+        """A signature outside the feasible set that the checker passed."""
+        program = _mp()
+        codec = SignatureCodec(program, 64)
+        model = get_model("tso")
+        fset = enumerate_feasible(program, model, codec=codec)
+        import itertools
+
+        uids = sorted(codec.candidates)
+        infeasible = [
+            codec.encode(dict(zip(uids, combo)))
+            for combo in itertools.product(
+                *(codec.candidates[u] for u in uids))
+        ]
+        infeasible = [s for s in infeasible if s not in fset]
+        assert infeasible  # MP forbids one outcome under tso
+        result = SimpleNamespace(program=program, codec=codec)
+        outcome = SimpleNamespace(
+            signatures=[infeasible[0]],
+            collective=SimpleNamespace(violations=[]))
+        xc = cross_check_outcome(result, outcome, model)
+        assert xc.count(CHECKER_MISS) == 1
+        assert not xc.agreement
+
+    def test_false_alarm_on_feasible_signature(self):
+        program = _mp()
+        codec = SignatureCodec(program, 64)
+        model = get_model("tso")
+        fset = enumerate_feasible(program, model, codec=codec)
+        member = fset.sorted_signatures()[0]
+        result = SimpleNamespace(program=program, codec=codec)
+        outcome = SimpleNamespace(
+            signatures=[member],
+            collective=SimpleNamespace(violations=[SimpleNamespace(index=0)]))
+        xc = cross_check_outcome(result, outcome, model)
+        assert xc.count(CHECKER_FALSE_ALARM) == 1
+        assert not xc.agreement
+
+    def test_sampled_membership_stays_exact(self):
+        """Tiny budget forces sampling; per-signature verdicts don't change."""
+        campaign, result, outcome = _checked_campaign()
+        exact = cross_check_outcome(result, outcome, campaign.model)
+        sampled = cross_check_outcome(result, outcome, campaign.model,
+                                      budget=1, samples=4)
+        assert not sampled.feasible_set.exhaustive
+        assert sampled.coverage is None
+        assert [v.feasible for v in sampled.verdicts] == \
+            [v.feasible for v in exact.verdicts]
+
+    def test_obs_event_and_gauges(self):
+        campaign, result, outcome = _checked_campaign(iterations=50)
+        handle = repro_obs.enable()
+        try:
+            xc = cross_check_outcome(result, outcome, campaign.model)
+            events = [e for e in handle.events.events()
+                      if e.kind == "feasible.crosscheck"]
+            snap = handle.metrics.snapshot()
+        finally:
+            repro_obs.disable()
+        assert len(events) == 1
+        assert events[0].data["agreement"] is True
+        assert snap["feasible.crosscheck.signatures"]["value"] == \
+            len(xc.verdicts)
+        assert snap["feasible.coverage.feasible"]["value"] == \
+            xc.feasible_set.feasible_count
+
+    def test_to_json_round_trip_fields(self):
+        campaign, result, outcome = _checked_campaign(iterations=50)
+        xc = cross_check_outcome(result, outcome, campaign.model)
+        doc = xc.to_json()
+        assert doc["program"] == result.program.name
+        assert doc["feasible_set"]["exhaustive"] is True
+        assert len(doc["verdicts"]) == len(xc.verdicts)
+        assert all(v["kind"] == AGREE_CLEAN for v in doc["verdicts"])

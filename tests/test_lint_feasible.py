@@ -1,0 +1,153 @@
+"""MTC10x feasible-set lints: rule firing conditions and engine wiring."""
+
+import pytest
+
+from repro.feasible import FeasibleSet
+from repro.instrument import SignatureCodec
+from repro.lint import LintConfig, lint_program
+from repro.lint import feasible_lints, rules
+from repro.mcm import get_model
+from repro.testgen.litmus import all_litmus_tests
+
+
+def _litmus(name):
+    for lt in all_litmus_tests():
+        if lt.name == name:
+            return lt.program
+    raise KeyError(name)
+
+
+def _lint(name, model="tso", **kw):
+    program = _litmus(name)
+    codec = SignatureCodec(program, 64)
+    return feasible_lints.lint_feasible(program, codec, get_model(model), **kw)
+
+
+def _rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestInfeasibleOutcomes:
+    def test_mp_fires_mtc100(self):
+        findings, fset = _lint("MP")
+        assert "MTC100" in _rules_of(findings)
+        [f] = [f for f in findings if f.rule == "MTC100"]
+        assert "1 of 4" in f.message
+        assert fset.feasible_count == 3
+
+    def test_sb_all_feasible_under_tso_no_finding(self):
+        findings, fset = _lint("SB")
+        assert "MTC100" not in _rules_of(findings)
+        assert fset.feasible_count == fset.cardinality == 4
+
+    def test_sb_fires_under_sc(self):
+        findings, _ = _lint("SB", model="sc")
+        assert "MTC100" in _rules_of(findings)
+
+
+class TestIneffectiveFence:
+    def test_redundant_dmbs_under_tso(self):
+        """TSO already orders st-st and ld-ld; MP's dmbs change nothing."""
+        findings, _ = _lint("MP+dmbs")
+        fences = [f for f in findings if f.rule == "MTC102"]
+        assert len(fences) == 2
+        assert all(f.uid is not None for f in fences)
+
+    def test_effective_sb_fences_stay_silent(self):
+        """SB's fences forbid the both-read-zero outcome: they matter."""
+        findings, _ = _lint("SB+fences")
+        assert "MTC102" not in _rules_of(findings)
+
+    def test_mp_dmbs_effective_under_weak(self):
+        findings, _ = _lint("MP+dmbs", model="weak")
+        assert "MTC102" not in _rules_of(findings)
+
+    def test_variant_builder_preserves_everything_else(self):
+        program = _litmus("SB+fences")
+        barrier = next(op for op in program.all_ops if op.is_barrier)
+        variant = feasible_lints._without_barrier(program, barrier.uid)
+        assert variant.name == program.name
+        assert len(variant.all_ops) == len(program.all_ops) - 1
+        assert not any(op.uid == barrier.uid and op.is_barrier
+                       and op.thread == barrier.thread
+                       for op in variant.all_ops if op.is_barrier)
+        # candidate spaces correspond 1:1 (barriers don't add candidates)
+        assert SignatureCodec(variant, 64).cardinality == \
+            SignatureCodec(program, 64).cardinality
+
+
+class TestSyntheticBranches:
+    """Branch coverage via crafted FeasibleSets (monkeypatched)."""
+
+    def _patched(self, monkeypatch, fset):
+        monkeypatch.setattr(feasible_lints, "enumerate_feasible",
+                            lambda *a, **kw: fset)
+        program = _litmus("SB")
+        codec = SignatureCodec(program, 64)
+        return feasible_lints.lint_feasible(program, codec, get_model("tso"))
+
+    def test_collapse_fires_mtc101(self, monkeypatch):
+        fset = FeasibleSet("SB", "tso", 4, frozenset(["only"]), True, 4096)
+        findings, _ = self._patched(monkeypatch, fset)
+        assert _rules_of(findings).count("MTC101") == 1
+
+    def test_empty_set_fires_mtc104(self, monkeypatch):
+        fset = FeasibleSet("SB", "tso", 4, frozenset(), True, 4096)
+        findings, _ = self._patched(monkeypatch, fset)
+        assert _rules_of(findings) == ["MTC104"]
+
+    def test_budget_exceeded_fires_mtc103_only(self, monkeypatch):
+        fset = FeasibleSet("SB", "tso", 1 << 40, frozenset(["a", "b"]),
+                           False, 4096, sampled=64)
+        findings, _ = self._patched(monkeypatch, fset)
+        assert _rules_of(findings) == ["MTC103"]
+
+    def test_real_budget_exceeded_path(self):
+        findings, fset = _lint("IRIW", budget=2, samples=4)
+        assert _rules_of(findings) == ["MTC103"]
+        assert not fset.exhaustive
+
+
+class TestRuleRegistry:
+    def test_mtc10x_registered_with_feasible_family(self):
+        for rid in ("MTC100", "MTC101", "MTC102", "MTC103", "MTC104"):
+            rule = rules.get_rule(rid)
+            assert rule.family == "feasible"
+        assert rules.get_rule("MTC100").severity == rules.Severity.INFO
+        assert rules.get_rule("MTC102").severity == rules.Severity.WARNING
+        assert rules.get_rule("MTC104").severity == rules.Severity.WARNING
+
+
+class TestEngineWiring:
+    def test_lint_program_runs_feasible_family(self):
+        report = lint_program(_litmus("MP"), model=get_model("tso"),
+                              register_width=64)
+        assert report.count("MTC100") == 1
+        assert report.feasible_outcomes == 3
+        assert report.feasible_exhaustive is True
+
+    def test_family_opt_out(self):
+        lc = LintConfig().with_families("program", "signature")
+        report = lint_program(_litmus("MP"), model=get_model("tso"),
+                              register_width=64, lint_config=lc)
+        assert report.count("MTC100") == 0
+        assert report.feasible_outcomes is None
+        assert report.feasible_exhaustive is False
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            LintConfig().with_families("feasible", "nonsense")
+
+    def test_report_json_carries_feasible_fields(self):
+        report = lint_program(_litmus("MP"), model=get_model("tso"),
+                              register_width=64)
+        doc = report.to_json()
+        assert doc["feasible_outcomes"] == 3
+        assert doc["feasible_exhaustive"] is True
+
+    def test_feasible_budget_knob_forwarded(self):
+        lc = LintConfig(feasible_budget=2)
+        report = lint_program(_litmus("IRIW"), model=get_model("tso"),
+                              register_width=64, lint_config=lc)
+        assert report.count("MTC103") == 1
+        assert report.feasible_exhaustive is False
