@@ -1,12 +1,10 @@
 """Deterministic perf-regression guard for the delta checking pipeline.
 
-Runs a reduced Figure-9 configuration set through *both* checking
-pipelines and compares every deterministic work count — unique graphs,
-violations, sorted vertices, incremental-decode digits, per-load edge
-deltas — against the committed snapshot
-``benchmarks/results/DELTA_GUARD.json``.  The campaigns are seeded pure
-Python, so every number is bit-reproducible across machines; wall time
-is deliberately *not* guarded (CI runners are too noisy for it).  A
+Runs the shared reduced Figure-9 configuration table (see
+``guard_common.py``) through *both* checking pipelines and compares
+every deterministic work count — unique graphs, violations, sorted
+vertices, incremental-decode digits, per-load edge deltas — against the
+committed snapshot ``benchmarks/results/DELTA_GUARD.json``.  A
 regression that makes the delta pipeline decode more digits, shuffle
 more edges or re-sort more vertices than the snapshot fails CI even
 when verdict parity still holds.
@@ -19,102 +17,22 @@ Usage::
 
 from __future__ import annotations
 
-import argparse
-import json
-import pathlib
 import sys
 
-from repro.checker.results import COMPLETE, INCREMENTAL, NO_RESORT
-from repro.harness import Campaign, check_campaign_result
-from repro.testgen import paper_config
+import guard_common
 
-#: small but representative: both ISAs, two graph-population sizes
-CONFIGS = ("ARM-2-50-32", "x86-2-100-32")
-ITERATIONS = 300
-SEED = 31
-SNAPSHOT = pathlib.Path(__file__).parent / "results" / "DELTA_GUARD.json"
+SNAPSHOT = guard_common.RESULTS_DIR / "DELTA_GUARD.json"
 
 
 def collect() -> dict:
-    """Deterministic checking-work counts for every guarded config."""
-    counts = {}
-    for name in CONFIGS:
-        campaign = Campaign(config=paper_config(name), seed=SEED)
-        result = campaign.run(ITERATIONS)
-        streamed = check_campaign_result(result, campaign.model,
-                                         pipeline="delta")
-        legacy = check_campaign_result(result, campaign.model,
-                                       pipeline="graphs")
-        if streamed.collective.summary() != legacy.collective.summary():
-            raise SystemExit("FATAL: pipeline verdict parity broken on %s"
-                             % name)
-        if streamed.baseline.summary() != legacy.baseline.summary():
-            raise SystemExit("FATAL: baseline parity broken on %s" % name)
-        report = streamed.collective
-        counts[name] = {
-            "graphs": report.num_graphs,
-            "violations": len(report.violations),
-            "methods": {"complete": report.count(COMPLETE),
-                        "no_resort": report.count(NO_RESORT),
-                        "incremental": report.count(INCREMENTAL)},
-            "sorted_vertices": report.sorted_vertices,
-            "baseline_sorted_vertices": streamed.baseline.sorted_vertices,
-            "digits_changed": report.digits_changed,
-            "edges_added": report.edges_added,
-            "edges_removed": report.edges_removed,
-        }
-    return counts
-
-
-def diff(expected: dict, actual: dict) -> list:
-    lines = []
-    for name in sorted(set(expected) | set(actual)):
-        want, got = expected.get(name), actual.get(name)
-        if want == got:
-            continue
-        if want is None or got is None:
-            lines.append("%s: missing from %s" %
-                         (name, "snapshot" if want is None else "run"))
-            continue
-        for key in sorted(set(want) | set(got)):
-            if want.get(key) != got.get(key):
-                lines.append("%s.%s: snapshot %r, run %r"
-                             % (name, key, want.get(key), got.get(key)))
-    return lines
+    """Delta-pipeline work counts, parity-checked against legacy graphs."""
+    return guard_common.collect("delta", cross=("graphs",))
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--update", action="store_true",
-                        help="rewrite the committed snapshot from this run")
-    args = parser.parse_args(argv)
-
-    actual = collect()
-    payload = {"schema": "repro.delta-guard", "version": 1,
-               "iterations": ITERATIONS, "seed": SEED, "configs": actual}
-    if args.update:
-        SNAPSHOT.parent.mkdir(exist_ok=True)
-        SNAPSHOT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-        print("snapshot updated: %s" % SNAPSHOT)
-        return 0
-    if not SNAPSHOT.exists():
-        print("no snapshot at %s — run with --update first" % SNAPSHOT)
-        return 1
-    committed = json.loads(SNAPSHOT.read_text())
-    if committed.get("iterations") != ITERATIONS or committed.get("seed") != SEED:
-        print("snapshot was taken with different knobs; re-run with --update")
-        return 1
-    lines = diff(committed.get("configs", {}), actual)
-    if lines:
-        print("delta-pipeline work counts diverged from the snapshot:")
-        for line in lines:
-            print("  " + line)
-        print("if intentional: PYTHONPATH=src python benchmarks/delta_guard.py "
-              "--update")
-        return 1
-    print("delta guard ok: %d configs, counts identical to snapshot"
-          % len(actual))
-    return 0
+    return guard_common.run_guard(
+        argv, __doc__, "repro.delta-guard", SNAPSHOT, collect, "delta",
+        "PYTHONPATH=src python benchmarks/delta_guard.py --update")
 
 
 if __name__ == "__main__":

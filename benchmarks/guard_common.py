@@ -1,0 +1,134 @@
+"""Shared machinery for the deterministic checking-work count guards.
+
+The guards (``delta_guard.py``, ``packed_guard.py``) pin every
+deterministic work count of a checking pipeline — unique graphs,
+violations, verdict-method mix, sorted vertices, incremental-decode
+digits, per-load edge deltas — against a committed snapshot, over one
+shared reduced Figure-9 configuration table.  The campaigns are seeded
+pure Python, so every number is bit-reproducible across machines; wall
+time is deliberately *not* guarded (CI runners are too noisy for it).
+
+Each guard picks its pipeline, the pipelines to cross-check verdict
+parity against, and any extra per-config counts; everything else —
+campaign construction, parity enforcement, snapshot diffing and the
+verify/--update driver — lives here so a new pipeline's guard is a few
+lines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+
+from repro.checker.results import COMPLETE, INCREMENTAL, NO_RESORT
+from repro.harness import Campaign, check_campaign_result
+from repro.testgen import paper_config
+
+#: small but representative: both ISAs, two graph-population sizes
+CONFIGS = ("ARM-2-50-32", "x86-2-100-32")
+ITERATIONS = 300
+SEED = 31
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report_counts(outcome) -> dict:
+    """The snapshot-pinned work counts of one checked campaign."""
+    report = outcome.collective
+    return {
+        "graphs": report.num_graphs,
+        "violations": len(report.violations),
+        "methods": {"complete": report.count(COMPLETE),
+                    "no_resort": report.count(NO_RESORT),
+                    "incremental": report.count(INCREMENTAL)},
+        "sorted_vertices": report.sorted_vertices,
+        "baseline_sorted_vertices": outcome.baseline.sorted_vertices,
+        "digits_changed": report.digits_changed,
+        "edges_added": report.edges_added,
+        "edges_removed": report.edges_removed,
+    }
+
+
+def collect(pipeline: str, cross: tuple = (), extra=None) -> dict:
+    """Deterministic work counts of ``pipeline`` for every guarded config.
+
+    Every pipeline named in ``cross`` is run over the same campaign and
+    must agree verdict for verdict (collective and baseline summaries) —
+    a parity break is fatal, not a snapshot diff.  ``extra`` may add
+    pipeline-specific counts: called as ``extra(outcome)`` and merged
+    into each config's dict.
+    """
+    counts = {}
+    for name in CONFIGS:
+        campaign = Campaign(config=paper_config(name), seed=SEED)
+        result = campaign.run(ITERATIONS)
+        outcome = check_campaign_result(result, campaign.model,
+                                        pipeline=pipeline)
+        for other in cross:
+            against = check_campaign_result(result, campaign.model,
+                                            pipeline=other)
+            if outcome.collective.summary() != against.collective.summary():
+                raise SystemExit(
+                    "FATAL: %s/%s verdict parity broken on %s"
+                    % (pipeline, other, name))
+            if outcome.baseline.summary() != against.baseline.summary():
+                raise SystemExit("FATAL: baseline parity broken on %s" % name)
+        counts[name] = report_counts(outcome)
+        if extra is not None:
+            counts[name].update(extra(outcome))
+    return counts
+
+
+def diff(expected: dict, actual: dict) -> list:
+    """Human-readable per-config, per-count divergence lines."""
+    lines = []
+    for name in sorted(set(expected) | set(actual)):
+        want, got = expected.get(name), actual.get(name)
+        if want == got:
+            continue
+        if want is None or got is None:
+            lines.append("%s: missing from %s" %
+                         (name, "snapshot" if want is None else "run"))
+            continue
+        for key in sorted(set(want) | set(got)):
+            if want.get(key) != got.get(key):
+                lines.append("%s.%s: snapshot %r, run %r"
+                             % (name, key, want.get(key), got.get(key)))
+    return lines
+
+
+def run_guard(argv, doc: str, schema: str, snapshot: pathlib.Path,
+              collect_fn, guard_name: str, update_hint: str) -> int:
+    """The shared verify / ``--update`` driver every guard's main wraps."""
+    parser = argparse.ArgumentParser(description=doc.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the committed snapshot from this run")
+    args = parser.parse_args(argv)
+
+    actual = collect_fn()
+    payload = {"schema": schema, "version": 1,
+               "iterations": ITERATIONS, "seed": SEED, "configs": actual}
+    if args.update:
+        snapshot.parent.mkdir(exist_ok=True)
+        snapshot.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                            + "\n")
+        print("snapshot updated: %s" % snapshot)
+        return 0
+    if not snapshot.exists():
+        print("no snapshot at %s — run with --update first" % snapshot)
+        return 1
+    committed = json.loads(snapshot.read_text())
+    if (committed.get("iterations") != ITERATIONS
+            or committed.get("seed") != SEED):
+        print("snapshot was taken with different knobs; re-run with --update")
+        return 1
+    lines = diff(committed.get("configs", {}), actual)
+    if lines:
+        print("%s work counts diverged from the snapshot:" % guard_name)
+        for line in lines:
+            print("  " + line)
+        print("if intentional: %s" % update_hint)
+        return 1
+    print("%s guard ok: %d configs, counts identical to snapshot"
+          % (guard_name, len(actual)))
+    return 0

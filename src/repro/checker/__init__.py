@@ -4,6 +4,7 @@ from repro.checker.baseline import BaselineChecker
 from repro.checker.collective import CollectiveChecker
 from repro.checker.delta import SignatureDeltaSource
 from repro.checker.minimize import MinimizedViolation, minimize_violation
+from repro.checker.packed import PackedChecker, PackedPlan
 from repro.checker.results import (
     COMPLETE,
     INCREMENTAL,
@@ -22,6 +23,8 @@ __all__ = [
     "CheckReport",
     "CollectiveChecker",
     "MinimizedViolation",
+    "PackedChecker",
+    "PackedPlan",
     "SignatureDeltaSource",
     "minimize_violation",
     "Verdict",

@@ -197,7 +197,8 @@ class StreamingCollectiveChecker:
 
     # -- canonical finalization --------------------------------------------------------
 
-    def finalize(self, signatures=None) -> CheckReport:
+    def finalize(self, signatures=None,
+                 pipeline: str = "delta") -> CheckReport:
         """The canonical batch report over everything fed so far.
 
         Replays the accepted signatures in ascending order through the
@@ -210,8 +211,16 @@ class StreamingCollectiveChecker:
         ``signatures`` overrides the replayed set: serve sessions pass
         their full unique multiset, which includes dedup hits whose live
         check was answered by the store and therefore never fed here.
+
+        ``pipeline="packed"`` replays through the array-compiled
+        :class:`~repro.checker.packed.PackedChecker` instead — same
+        summary by construction, faster on large blocks.
         """
         pool = self.signatures if signatures is None else signatures
-        source = SignatureDeltaSource(self.codec, self.builder,
-                                      sorted(set(pool)))
+        block = sorted(set(pool))
+        if pipeline == "packed":
+            from repro.checker.packed import PackedChecker, PackedPlan
+            plan = PackedPlan(self.codec, self.builder, block)
+            return PackedChecker(self.initial_key).check(plan)
+        source = SignatureDeltaSource(self.codec, self.builder, block)
         return CollectiveChecker(self.initial_key).check_deltas(source)

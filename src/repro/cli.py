@@ -10,9 +10,9 @@ Commands mirror the paper's flow so each stage can run standalone:
   shards the iterations over N worker processes,
 * ``check`` — load a signature dump, decode, build graphs, and run the
   collective checker (the host side); ``--check-pipeline`` selects the
-  streaming ``delta`` pipeline (default) or the legacy ``graphs`` path
-  (``run`` and ``suite`` accept the same switch for their checking
-  stage),
+  streaming ``delta`` pipeline (default), the array-compiled ``packed``
+  pipeline or the legacy ``graphs`` path (``run`` and ``suite`` accept
+  the same switch for their checking stage),
 * ``suite`` — run a multi-test suite (the paper's per-configuration
   campaign), optionally sharded over ``--jobs`` workers,
 * ``merge`` — union saved campaign shard dumps into one dump (the host
@@ -65,6 +65,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro import io as repro_io
@@ -672,7 +673,8 @@ def _cmd_serve(args) -> int:
                          report_out=args.report_out,
                          dedup_path=args.dedup,
                          pool_port=args.pool_port,
-                         offload=args.offload)
+                         offload=args.offload,
+                         check_pipeline=args.check_pipeline)
 
     def ready(daemon):
         line = "serving on %s:%d" % (config.host, daemon.port)
@@ -788,6 +790,26 @@ def _cmd_bench_diff(args) -> int:
                              "drop the BASELINE/CURRENT arguments")
         comparison = bench.check_against_committed(args.results,
                                                    tolerance=tolerance)
+        packed_path = os.path.join(args.results, bench.PACKED_SNAPSHOT)
+        if os.path.exists(packed_path):
+            packed = bench.check_against_committed(
+                args.results, tolerance=tolerance,
+                snapshot=bench.PACKED_SNAPSHOT, pipeline="packed")
+            if args.json:
+                json.dump({"delta": comparison.to_json(),
+                           "packed": packed.to_json()},
+                          sys.stdout, indent=2, sort_keys=True)
+                sys.stdout.write("\n")
+            else:
+                print(comparison.render())
+                print(packed.render())
+                for name, cmp in (("delta", comparison), ("packed", packed)):
+                    if cmp.failed:
+                        print("BENCH REGRESSION (%s): %d regressed leaves, "
+                              "%d shape changes"
+                              % (name, len(cmp.regressions),
+                                 len(cmp.shape_changes)))
+            return 1 if (comparison.failed or packed.failed) else 0
     else:
         if not (args.baseline and args.current):
             raise ValueError("need BASELINE and CURRENT snapshots "
@@ -1036,6 +1058,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--offload", type=int, default=512,
                    help="batches with at least this many entries check "
                         "on the worker pool when one is attached")
+    p.add_argument("--check-pipeline", choices=("delta", "packed"),
+                   default="delta",
+                   help="finalize (drain) replay pipeline: streaming "
+                        "'delta' (default) or the array-compiled "
+                        "'packed' core — identical reports")
     p.add_argument("--progress", action="store_true",
                    help="draw live per-session progress rows on stderr")
     p.add_argument("--protocol-doc", action="store_true",
@@ -1129,14 +1156,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _add_pipeline_argument(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--check-pipeline", choices=("graphs", "delta"),
+    parser.add_argument("--check-pipeline",
+                        choices=("graphs", "delta", "packed"),
                         default="delta",
                         help="collective-checking pipeline: 'delta' "
                              "(default) streams incremental signature "
                              "decodes and edge deltas, never holding more "
-                             "than one full graph; 'graphs' materializes "
-                             "every constraint graph first (legacy path; "
-                             "--ws-mode observed always uses it)")
+                             "than one full graph; 'packed' compiles the "
+                             "block into flat arrays (CSR edge universe, "
+                             "batched decode) and replays it — fastest; "
+                             "'graphs' materializes every constraint "
+                             "graph first (legacy path; --ws-mode "
+                             "observed always uses it)")
 
 
 def _add_cross_check_argument(parser: argparse.ArgumentParser) -> None:

@@ -157,6 +157,37 @@ class GraphBuilder:
             pairs.append((load_uid, successor))
         return tuple(pairs)
 
+    @property
+    def static_pairs(self) -> tuple:
+        """Bare (src, dst) pairs of every static edge, with multiplicity.
+
+        Self-loop edges (a po/ws edge whose src and dst coincide cannot
+        occur, but the constructor drops them defensively) are excluded,
+        matching what a refcounted delta state counts.
+        """
+        return self._static_pairs
+
+    def load_edge_table(self, candidates: dict) -> dict:
+        """Eagerly materialize the complete (load, candidate) edge table.
+
+        Equivalent to what a delta-checking stream fills lazily through
+        :meth:`dynamic_edge_pairs`, but computed up front in deterministic
+        (uid, candidate-order) order — the packed pipeline builds its flat
+        edge universe from this table once per campaign.
+
+        Args:
+            candidates: load uid -> rf candidate list (the codec's static
+                analysis), candidates in canonical order.
+
+        Returns:
+            The (load uid, source) -> pair-tuple table, shared with the
+            builder's memo (later lookups are hits).
+        """
+        for uid in sorted(candidates):
+            for source in candidates[uid]:
+                self.dynamic_edge_pairs(uid, source)
+        return self._edge_table
+
     def iter_execution_pairs(self, rf: dict[int, object]):
         """All (src, dst) pairs of one static-ws execution *with
         multiplicity*.

@@ -25,6 +25,7 @@ from repro.harness.sortmodel import SortCostModel
 from repro.checker.baseline import BaselineChecker
 from repro.checker.collective import CollectiveChecker
 from repro.checker.delta import SignatureDeltaSource
+from repro.checker.packed import PackedChecker, PackedPlan
 from repro.checker.results import CheckReport
 from repro.graph.builder import GraphBuilder
 from repro.instrument.signature import Signature, SignatureCodec
@@ -385,7 +386,8 @@ class Campaign:
                 coherence order for strictly stronger checking).
             pipeline: ``"delta"`` (default) streams graph deltas through
                 the checker; ``"graphs"`` materializes every graph
-                first.  See :func:`check_campaign_result`.
+                first; ``"packed"`` compiles the block into flat arrays
+                and replays it.  See :func:`check_campaign_result`.
         """
         return check_campaign_result(result, self.model, ws_mode=ws_mode,
                                      pipeline=pipeline)
@@ -411,14 +413,18 @@ def check_campaign_result(result: CampaignResult, model: MemoryModel = None,
             full graph — signatures are decoded incrementally (changed
             digits only) and the collective checker consumes the edge-
             delta stream; ``"graphs"`` is the legacy path that builds
-            the whole graph list first.  Verdicts are identical either
-            way.  ``ws_mode="observed"`` graphs depend on per-execution
+            the whole graph list first; ``"packed"`` compiles the block
+            into flat arrays (CSR edge universe, batched signature
+            decode, per-step delta tapes) once and replays them through
+            the array-kernel checker.  Verdicts are identical in all
+            three.  ``ws_mode="observed"`` graphs depend on per-execution
             coherence order, not the signature alone, so they always
             fall back to ``"graphs"``.
     """
-    if pipeline not in ("graphs", "delta"):
-        raise ValueError("pipeline must be 'graphs' or 'delta'; got %r"
-                         % (pipeline,))
+    if pipeline not in ("graphs", "delta", "packed"):
+        raise ValueError(
+            "pipeline must be 'graphs', 'delta' or 'packed'; got %r"
+            % (pipeline,))
     if model is None:
         model = platform_for_isa(
             "x86" if result.codec.register_width == 64 else "arm").memory_model
@@ -428,6 +434,17 @@ def check_campaign_result(result: CampaignResult, model: MemoryModel = None,
     with obs.span("check"):
         builder = GraphBuilder(result.program, model, ws_mode=ws_mode)
         signatures = result.sorted_signatures()
+        if pipeline == "packed":
+            plan = PackedPlan(result.codec, builder, signatures)
+            outcome = CheckOutcome(
+                collective=PackedChecker().check(plan),
+                baseline=BaselineChecker().check_stream(plan)
+                if baseline else None,
+                signatures=signatures,
+                pipeline="packed",
+                source=plan,
+            )
+            return outcome
         if pipeline == "delta":
             source = SignatureDeltaSource(result.codec, builder, signatures)
             outcome = CheckOutcome(

@@ -78,9 +78,9 @@ class SuiteRunner:
             outright, zero-entropy tests trimmed to one iteration) or
             ``"fail"`` (lint errors abort the suite).
         pipeline: checking pipeline for every campaign — ``"delta"``
-            (default, streaming graph deltas) or ``"graphs"`` (legacy
-            full-graph path); see
-            :func:`repro.harness.check_campaign_result`.
+            (default, streaming graph deltas), ``"packed"``
+            (array-compiled replay) or ``"graphs"`` (legacy full-graph
+            path); see :func:`repro.harness.check_campaign_result`.
         campaign_kwargs: forwarded to every :class:`Campaign`
             (platform, instrumentation, executor_cls, os_model, ...);
             fleet mode accepts only the plain-data subset

@@ -43,6 +43,9 @@ CHECK_CONFIGS = ("ARM-2-50-32", "x86-2-50-32")
 #: the committed snapshot the watchdog re-runs against
 CHECK_SNAPSHOT = "BENCH_delta.json"
 
+#: packed-core snapshot; the watchdog re-runs it too when committed
+PACKED_SNAPSHOT = "BENCH_packed.json"
+
 #: key fragments marking a leaf as wall-clock derived
 _TIMING_SUFFIXES = ("_ms", "_s", "_seconds")
 _TIMING_WORDS = ("info_ms", "seconds", "elapsed", "time", "wall")
@@ -243,11 +246,14 @@ def load_snapshot(path) -> dict:
 # -- the CI watchdog -----------------------------------------------------------------
 
 
-def collect_check_counts(config_names, iterations: int, seed: int) -> dict:
-    """Deterministic delta-pipeline counts for the watchdog configs.
+def collect_check_counts(config_names, iterations: int, seed: int,
+                         pipeline: str = "delta") -> dict:
+    """Deterministic checking-pipeline counts for the watchdog configs.
 
     Mirrors ``benchmarks/bench_fig09`` / ``delta_guard``: seeded pure
-    Python end to end, so every leaf is bit-reproducible.
+    Python end to end, so every leaf is bit-reproducible.  The
+    ``packed`` pipeline adds its plan-level counts (edge-universe size
+    and similarity-ordering yield), matching ``bench_packed``.
     """
     # local imports: repro.obs must stay importable without the harness
     from repro.harness import Campaign, check_campaign_result
@@ -258,7 +264,7 @@ def collect_check_counts(config_names, iterations: int, seed: int) -> dict:
         campaign = Campaign(config=paper_config(name), seed=seed)
         result = campaign.run(iterations)
         outcome = check_campaign_result(result, campaign.model,
-                                        pipeline="delta")
+                                        pipeline=pipeline)
         report = outcome.collective
         counts[name] = {
             "graphs": report.num_graphs,
@@ -269,17 +275,28 @@ def collect_check_counts(config_names, iterations: int, seed: int) -> dict:
             "edges_added": report.edges_added,
             "edges_removed": report.edges_removed,
         }
+        if pipeline == "packed":
+            plan = outcome.source
+            counts[name].update(
+                edge_universe=plan.num_edges,
+                digit_columns=plan.similarity["digit_columns"],
+                sorted_digits_changed=plan.similarity[
+                    "sorted_digits_changed"],
+                bucket_digits_changed=plan.similarity[
+                    "bucket_digits_changed"])
     return counts
 
 
 def check_against_committed(results_dir,
                             tolerance: float = DEFAULT_TOLERANCE,
-                            configs=CHECK_CONFIGS) -> BenchComparison:
+                            configs=CHECK_CONFIGS,
+                            snapshot: str = CHECK_SNAPSHOT,
+                            pipeline: str = "delta") -> BenchComparison:
     """Re-run the pinned quick configs; diff against the committed
     snapshot (counts gate, timings informational)."""
     import os
 
-    snapshot_path = os.path.join(results_dir, CHECK_SNAPSHOT)
+    snapshot_path = os.path.join(results_dir, snapshot)
     committed = load_snapshot(snapshot_path)
     iterations = committed.get("iterations")
     seed = committed.get("seed")
@@ -298,7 +315,8 @@ def check_against_committed(results_dir,
                        for key, value in all_configs[name].items()
                        if key != "info_ms"}
                 for name in configs}
-    fresh = collect_check_counts(configs, iterations, seed)
+    fresh = collect_check_counts(configs, iterations, seed,
+                                 pipeline=pipeline)
     return diff_snapshots({"configs": baseline}, {"configs": fresh},
                           tolerance=tolerance, counts_only=True)
 

@@ -115,6 +115,13 @@ _kind("check.batch", RUN,
 _kind("checker.delta.plan", RUN,
       "A delta source was built over a sorted signature sequence.",
       ("signatures", "unique signatures the delta stream will cover"))
+_kind("checker.packed.plan", RUN,
+      "A packed plan was compiled over a sorted signature block.",
+      ("signatures", "unique signatures the plan covers"),
+      ("backend", "array kernel backend (numpy/array)"),
+      ("edge_universe", "distinct constraint-edge pairs any execution "
+                        "can contribute"),
+      ("digit_columns", "multi-candidate load slots (signature digits)"))
 
 # -- host scope: orchestration facts; absent or different in a serial run ------------
 

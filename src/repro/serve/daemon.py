@@ -77,6 +77,8 @@ class ServeConfig:
     pool_port: int = None
     #: batches with at least this many entries check on the pool
     offload: int = 512
+    #: finalize pipeline: "delta" (default) or array-compiled "packed"
+    check_pipeline: str = "delta"
 
 
 class ServeDaemon:
@@ -195,7 +197,8 @@ class ServeDaemon:
         self._session_seq += 1
         session = CampaignSession(self._session_seq, program,
                                   hello["register_width"], self.dedup,
-                                  label=hello.get("session") or "")
+                                  label=hello.get("session") or "",
+                                  pipeline=self.config.check_pipeline)
         if self.progress is not None:
             self.progress.launch(session.session_id, 0, 1,
                                  label="serve:%s" % (session.label or
@@ -292,7 +295,8 @@ class ServeDaemon:
         if (self.pool is not None and len(entries) >= self.config.offload
                 and self.pool.live_workers):
             digest = self.pool.check_remote(
-                session.remote_dump(entries))
+                session.remote_dump(entries),
+                pipeline=self.config.check_pipeline)
             if digest is not None:
                 return session.ingest_checked(
                     entries, digest["violations"], seq=seq,

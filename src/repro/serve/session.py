@@ -112,11 +112,15 @@ class CampaignSession:
         model: memory model override; defaults to the platform matching
             the register width, exactly as :func:`repro.harness.runner.
             check_campaign_result` does.
+        pipeline: finalize replay pipeline — ``"delta"`` (default) or
+            the array-compiled ``"packed"`` core; the drained report's
+            summary is identical either way.
     """
 
     def __init__(self, session_id: int, program: TestProgram,
                  register_width: int, dedup: SignatureDedupStore,
-                 label: str = "", model: MemoryModel = None):
+                 label: str = "", model: MemoryModel = None,
+                 pipeline: str = "delta"):
         if model is None:
             model = platform_for_isa(
                 "x86" if register_width == 64 else "arm").memory_model
@@ -125,6 +129,7 @@ class CampaignSession:
         self.codec = SignatureCodec(program, register_width)
         self.builder = GraphBuilder(program, model, ws_mode="static")
         self.checker = StreamingCollectiveChecker(self.codec, self.builder)
+        self.pipeline = pipeline
         self.dedup = dedup
         self.campaign = campaign_key(program, register_width)
         #: the session's accumulated multiset (the serve-side mirror of a
@@ -286,7 +291,8 @@ class CampaignSession:
             totals = self._totals
             self.result.iterations = totals.iterations
             self.result.crashes = totals.crashes
-            report = (self.checker.finalize(self.result.signature_counts)
+            report = (self.checker.finalize(self.result.signature_counts,
+                                            pipeline=self.pipeline)
                       if self.unique_signatures else self.checker.report)
             session_report = SessionReport(
                 session_id=self.session_id,

@@ -1,0 +1,332 @@
+"""The packed checking core: plan compilation and array-kernel replay.
+
+The packed pipeline's contract is *byte-identical verdicts* three ways:
+for any campaign, :class:`PackedChecker` over a :class:`PackedPlan`
+must produce the same summary — verdict methods, violation indices,
+witness cycles, ``sorted_vertices`` accounting — and the same delta
+work counts (``digits_changed``, ``edges_added``, ``edges_removed``)
+as both ``CollectiveChecker.check_deltas`` and the legacy
+``CollectiveChecker.check``.  These tests enforce that contract on
+real, violating and hand-rolled campaigns, on both array backends,
+plus the plan-compilation invariants (CSR universe, batched decode,
+similarity ordering) and the runner/serve wiring.
+"""
+
+import pytest
+
+from repro import obs
+from repro.checker import (
+    BaselineChecker,
+    CollectiveChecker,
+    PackedChecker,
+    PackedPlan,
+    SignatureDeltaSource,
+)
+from repro.checker.packed import default_backend
+from repro.errors import CheckerError, SignatureError
+from repro.graph import GraphBuilder
+from repro.harness import Campaign, check_campaign_result
+from repro.instrument import Signature, SignatureCodec
+from repro.mcm import get_model
+from repro.sim import OperationalExecutor, platform_for_isa
+from repro.testgen import TestConfig, generate
+
+try:
+    import numpy  # noqa: F401  (backend availability probe)
+    HAVE_NUMPY = True
+except ImportError:
+    HAVE_NUMPY = False
+
+#: the numpy rows drop out when only the fallback backend is installed
+BACKENDS = ("numpy", "array") if HAVE_NUMPY else ("array",)
+
+
+def run_unique_signatures(cfg, iterations, seed=8):
+    """Sorted unique signatures of one in-process campaign."""
+    program = generate(cfg)
+    platform = platform_for_isa(cfg.isa)
+    codec = SignatureCodec(program, platform.register_width)
+    executor = OperationalExecutor(program, platform.memory_model, platform,
+                                   seed=seed, layout=cfg.layout)
+    signatures = {codec.encode(e.rf) for e in executor.run(iterations)}
+    return program, codec, sorted(signatures)
+
+
+def reference_reports(program, codec, signatures, model):
+    """(legacy collective, delta collective) over the same block."""
+    builder = GraphBuilder(program, model, ws_mode="static")
+    source = SignatureDeltaSource(codec, builder, signatures)
+    graphs = [builder.build(codec.decode(sig)) for sig in signatures]
+    return (CollectiveChecker().check(graphs),
+            CollectiveChecker().check_deltas(source))
+
+
+def packed_report(program, codec, signatures, model, backend,
+                  initial_key=None):
+    plan = PackedPlan(codec, GraphBuilder(program, model, ws_mode="static"),
+                      signatures, backend=backend)
+    return PackedChecker(initial_key).check(plan), plan
+
+
+class TestPlanConstruction:
+    def test_rejects_observed_builder(self, small_program, small_codec):
+        builder = GraphBuilder(small_program, get_model("weak"),
+                               ws_mode="observed")
+        with pytest.raises(CheckerError):
+            PackedPlan(small_codec, builder, [])
+
+    def test_rejects_mismatched_program(self, small_codec):
+        other = generate(TestConfig(isa="arm", threads=2, ops_per_thread=6,
+                                    addresses=4, seed=99))
+        builder = GraphBuilder(other, get_model("weak"), ws_mode="static")
+        with pytest.raises(CheckerError):
+            PackedPlan(small_codec, builder, [])
+
+    def test_rejects_unknown_backend(self, small_program, small_codec):
+        builder = GraphBuilder(small_program, get_model("weak"),
+                               ws_mode="static")
+        with pytest.raises(CheckerError):
+            PackedPlan(small_codec, builder, [], backend="cupy")
+
+    def test_default_backend_honours_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PACKED_BACKEND", "array")
+        assert default_backend() == "array"
+        monkeypatch.delenv("REPRO_PACKED_BACKEND")
+        assert default_backend() in ("numpy", "array")
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_corrupt_signature_rejected(self, backend):
+        cfg = TestConfig(isa="arm", threads=2, ops_per_thread=10,
+                         addresses=4, seed=4)
+        program, codec, signatures = run_unique_signatures(cfg, 40)
+        builder = GraphBuilder(program, get_model("weak"), ws_mode="static")
+        sig = signatures[0]
+        # push one word past its mixed-radix range
+        bad_words = tuple(
+            tuple(w + 10 ** 9 for w in tw) if t == 0 else tw
+            for t, tw in enumerate(sig.words))
+        with pytest.raises(SignatureError):
+            PackedPlan(codec, builder, signatures + [Signature(bad_words)],
+                       backend=backend)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_mismatched_shape_rejected(self, backend, small_program,
+                                       small_codec):
+        builder = GraphBuilder(small_program, get_model("weak"),
+                               ws_mode="static")
+        with pytest.raises(SignatureError):
+            PackedPlan(small_codec, builder, [Signature(((1,),))],
+                       backend=backend)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_block(self, backend, small_program, small_codec):
+        builder = GraphBuilder(small_program, get_model("weak"),
+                               ws_mode="static")
+        plan = PackedPlan(small_codec, builder, [], backend=backend)
+        assert len(plan) == 0
+        assert plan.similarity["signatures"] == 0
+        report = PackedChecker().check(plan)
+        assert report.num_graphs == 0
+        assert report.summary() == CollectiveChecker().check([]).summary()
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="needs both backends")
+    def test_backends_compile_identical_plans(self):
+        cfg = TestConfig(isa="arm", threads=2, ops_per_thread=20,
+                         addresses=8, seed=6)
+        program, codec, signatures = run_unique_signatures(cfg, 120)
+        builder = GraphBuilder(program, get_model("weak"), ws_mode="static")
+        plans = [PackedPlan(codec, builder, signatures, backend=b)
+                 for b in BACKENDS]
+        a, b = plans
+        assert a._digit_rows == b._digit_rows
+        assert list(a.rem_flat) == list(b.rem_flat)
+        assert list(a.add_flat) == list(b.add_flat)
+        assert a.bucket_order == b.bucket_order
+        assert a.similarity == b.similarity
+
+    def test_full_graph_matches_legacy_build(self):
+        cfg = TestConfig(isa="x86", threads=2, ops_per_thread=15,
+                         addresses=6, seed=7)
+        program, codec, signatures = run_unique_signatures(cfg, 60)
+        model = platform_for_isa("x86").memory_model
+        builder = GraphBuilder(program, model, ws_mode="static")
+        plan = PackedPlan(codec, builder, signatures)
+        for index in range(len(signatures)):
+            assert plan.full_graph(index).adjacency == \
+                builder.build(codec.decode(signatures[index])).adjacency
+
+
+class TestSimilarityOrdering:
+    def test_bucket_order_is_permutation(self):
+        cfg = TestConfig(isa="arm", threads=2, ops_per_thread=20,
+                         addresses=8, seed=6)
+        program, codec, signatures = run_unique_signatures(cfg, 150)
+        builder = GraphBuilder(program, get_model("weak"), ws_mode="static")
+        plan = PackedPlan(codec, builder, signatures)
+        assert sorted(plan.bucket_order) == list(range(len(signatures)))
+
+    def test_bucket_order_reduces_transitions(self):
+        # the greedy chain may only tie the sorted order on degenerate
+        # blocks; on a real campaign it must not be worse
+        cfg = TestConfig(isa="arm", threads=3, ops_per_thread=30,
+                         addresses=8, seed=11)
+        program, codec, signatures = run_unique_signatures(cfg, 300)
+        builder = GraphBuilder(program, get_model("weak"), ws_mode="static")
+        plan = PackedPlan(codec, builder, signatures)
+        similarity = plan.similarity
+        assert similarity["signatures"] == len(signatures)
+        assert similarity["bucket_digits_changed"] <= \
+            similarity["sorted_digits_changed"]
+
+    def test_single_signature_block(self, small_program, small_codec):
+        builder = GraphBuilder(small_program, get_model("weak"),
+                               ws_mode="static")
+        program = small_program
+        platform = platform_for_isa("arm")
+        executor = OperationalExecutor(program, get_model("weak"), platform,
+                                       seed=1)
+        sig = small_codec.encode(next(iter(executor.run(1))).rf)
+        plan = PackedPlan(small_codec, builder, [sig])
+        assert plan.bucket_order == [0]
+        assert plan.similarity["bucket_digits_changed"] == 0
+        report = PackedChecker().check(plan)
+        assert report.num_graphs == 1
+        assert not report.violations
+
+
+class TestThreeWayParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("isa", ["arm", "x86"])
+    def test_real_campaign_parity(self, isa, backend):
+        cfg = TestConfig(isa=isa, threads=2, ops_per_thread=40,
+                         addresses=16, seed=3)
+        program, codec, signatures = run_unique_signatures(cfg, 400)
+        model = platform_for_isa(isa).memory_model
+        legacy, delta = reference_reports(program, codec, signatures, model)
+        packed, plan = packed_report(program, codec, signatures, model,
+                                     backend)
+        assert packed.summary() == delta.summary() == legacy.summary()
+        assert (packed.digits_changed, packed.edges_added,
+                packed.edges_removed) == \
+               (delta.digits_changed, delta.edges_added, delta.edges_removed)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_violating_campaign_parity(self, backend):
+        """ARM weak executions checked against SC: genuine violations
+        must flow through the packed windowed path with witness cycles
+        identical to both reference checkers'."""
+        cfg = TestConfig(isa="arm", threads=4, ops_per_thread=40,
+                         addresses=8, seed=3)
+        program, codec, signatures = run_unique_signatures(cfg, 300, seed=13)
+        legacy, delta = reference_reports(program, codec, signatures,
+                                          get_model("sc"))
+        packed, plan = packed_report(program, codec, signatures,
+                                     get_model("sc"), backend)
+        assert len(legacy.violations) > 0
+        assert packed.summary() == delta.summary() == legacy.summary()
+        for mine, theirs in zip(packed.verdicts, legacy.verdicts):
+            assert (mine.violation, mine.cycle) == \
+                (theirs.violation, theirs.cycle)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_initial_key_parity(self, backend):
+        cfg = TestConfig(isa="arm", threads=2, ops_per_thread=25,
+                         addresses=8, seed=5)
+        program, codec, signatures = run_unique_signatures(cfg, 150)
+        key = lambda v: -v
+        builder = GraphBuilder(program, get_model("weak"), ws_mode="static")
+        graphs = [builder.build(codec.decode(sig)) for sig in signatures]
+        legacy = CollectiveChecker(initial_key=key).check(graphs)
+        packed, plan = packed_report(program, codec, signatures,
+                                     get_model("weak"), backend,
+                                     initial_key=key)
+        assert packed.summary() == legacy.summary()
+
+    def test_precompiled_base_order_used_without_key(self):
+        cfg = TestConfig(isa="arm", threads=2, ops_per_thread=20,
+                         addresses=8, seed=6)
+        program, codec, signatures = run_unique_signatures(cfg, 100)
+        builder = GraphBuilder(program, get_model("weak"), ws_mode="static")
+        plan = PackedPlan(codec, builder, signatures)
+        assert plan.base_order is not None
+        assert sorted(plan.base_order) == list(range(plan.num_vertices))
+        assert all(plan.base_position[v] == p
+                   for p, v in enumerate(plan.base_order))
+        # the checker still counts the complete sort it skipped
+        report = PackedChecker().check(plan)
+        assert report.sorted_vertices >= plan.num_vertices
+
+
+class TestRunnerWiring:
+    @pytest.fixture(scope="class")
+    def campaign_result(self):
+        campaign = Campaign(config=TestConfig(
+            isa="arm", threads=2, ops_per_thread=30, addresses=8, seed=9),
+            seed=5)
+        return campaign, campaign.run(250)
+
+    def test_packed_outcome_matches_delta(self, campaign_result):
+        campaign, result = campaign_result
+        packed = check_campaign_result(result, campaign.model,
+                                       pipeline="packed")
+        delta = check_campaign_result(result, campaign.model,
+                                      pipeline="delta")
+        assert packed.pipeline == "packed"
+        assert packed.collective.summary() == delta.collective.summary()
+        assert packed.baseline.summary() == delta.baseline.summary()
+
+    def test_packed_outcome_materializes_no_graphs(self, campaign_result):
+        campaign, result = campaign_result
+        outcome = check_campaign_result(result, campaign.model,
+                                        pipeline="packed")
+        assert outcome.graphs == []
+        assert isinstance(outcome.source, PackedPlan)
+
+    def test_graph_at_rebuilds_identical_graphs(self, campaign_result):
+        campaign, result = campaign_result
+        packed = check_campaign_result(result, campaign.model,
+                                       pipeline="packed")
+        legacy = check_campaign_result(result, campaign.model,
+                                       pipeline="graphs")
+        for index in range(len(packed.signatures)):
+            assert packed.graph_at(index).adjacency == \
+                legacy.graphs[index].adjacency
+
+    def test_observed_ws_falls_back_to_graphs(self, campaign_result):
+        campaign, result = campaign_result
+        outcome = check_campaign_result(result, campaign.model,
+                                        ws_mode="observed",
+                                        pipeline="packed")
+        assert outcome.pipeline == "graphs"
+        assert outcome.graphs
+
+    def test_packed_obs_counters_recorded(self, campaign_result):
+        campaign, result = campaign_result
+        with obs.enabled_obs() as handle:
+            outcome = check_campaign_result(result, campaign.model,
+                                            pipeline="packed")
+        metrics = handle.metrics
+        report = outcome.collective
+        assert metrics.counter("checker.packed.graphs").value == \
+            report.num_graphs
+        assert metrics.counter("checker.packed.digits_changed").value == \
+            report.digits_changed
+        assert metrics.gauge("checker.packed.edge_universe").value == \
+            outcome.source.num_edges
+        assert metrics.gauge("checker.packed.bucket_digits_changed").value \
+            == outcome.source.similarity["bucket_digits_changed"]
+
+
+class TestStreamFinalizeWiring:
+    def test_finalize_packed_matches_delta(self):
+        from repro.checker.stream import StreamingCollectiveChecker
+
+        cfg = TestConfig(isa="arm", threads=2, ops_per_thread=20,
+                         addresses=8, seed=6)
+        program, codec, signatures = run_unique_signatures(cfg, 150)
+        builder = GraphBuilder(program, get_model("weak"), ws_mode="static")
+        checker = StreamingCollectiveChecker(codec, builder)
+        for sig in signatures:
+            checker.feed(sig)
+        assert checker.finalize(pipeline="packed").summary() == \
+            checker.finalize().summary()

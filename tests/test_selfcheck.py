@@ -117,3 +117,23 @@ def test_scopes_cover_the_checking_core():
                                    "src/repro/instrument")
     for scope in selfcheck.RUN_SCOPE:
         assert (REPO / scope).is_dir()
+
+
+class TestPackedCoverage:
+    """The packed checking core rides the auto-scan — pin it."""
+
+    def test_packed_core_is_scanned_and_clean(self):
+        packed = REPO / "src" / "repro" / "checker" / "packed.py"
+        assert packed.exists()
+        assert selfcheck.check_source(packed.read_text(), str(packed)) == []
+
+    def test_packed_regression_would_be_caught(self, tmp_path):
+        # a stray randomness import in the packed core must fail the
+        # tree scan — guards against the scope list shrinking past it
+        for scope in selfcheck.RUN_SCOPE:
+            (tmp_path / scope).mkdir(parents=True)
+        bad = tmp_path / "src" / "repro" / "checker" / "packed.py"
+        bad.write_text("import random\n")
+        rows = selfcheck.check_tree(tmp_path)
+        assert [(r[0], r[1]) for r in rows] == \
+            [("src/repro/checker/packed.py", selfcheck.BANNED_IMPORT)]
