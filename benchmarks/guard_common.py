@@ -49,15 +49,26 @@ def report_counts(outcome) -> dict:
     }
 
 
-def collect(pipeline: str, cross: tuple = (), extra=None) -> dict:
+def collect(pipeline: str, cross: tuple = (), extra=None,
+            parity: str = "summary") -> dict:
     """Deterministic work counts of ``pipeline`` for every guarded config.
 
     Every pipeline named in ``cross`` is run over the same campaign and
-    must agree verdict for verdict (collective and baseline summaries) —
-    a parity break is fatal, not a snapshot diff.  ``extra`` may add
+    must agree verdict for verdict — a parity break is fatal, not a
+    snapshot diff.  ``parity`` picks the comparison: ``"summary"``
+    demands byte-identical collective summaries (correct within the
+    graph family, whose members share methods/sorted-vertices
+    accounting), while ``"digest"`` compares the cross-family
+    :func:`repro.checker.violation_digest` projection — graph count
+    plus violating indices — which is the contract an independent
+    algorithm family like poly can and must meet.  Baseline summaries
+    are byte-compared either way (the conventional baseline is the
+    same algorithm in every pipeline).  ``extra`` may add
     pipeline-specific counts: called as ``extra(outcome)`` and merged
     into each config's dict.
     """
+    from repro.checker import violation_digest
+
     counts = {}
     for name in CONFIGS:
         campaign = Campaign(config=paper_config(name), seed=SEED)
@@ -67,7 +78,16 @@ def collect(pipeline: str, cross: tuple = (), extra=None) -> dict:
         for other in cross:
             against = check_campaign_result(result, campaign.model,
                                             pipeline=other)
-            if outcome.collective.summary() != against.collective.summary():
+            if parity == "summary":
+                agree = outcome.collective.summary() == \
+                    against.collective.summary()
+            elif parity == "digest":
+                agree = violation_digest(outcome.collective) == \
+                    violation_digest(against.collective)
+            else:
+                raise ValueError("parity must be summary/digest; got %r"
+                                 % (parity,))
+            if not agree:
                 raise SystemExit(
                     "FATAL: %s/%s verdict parity broken on %s"
                     % (pipeline, other, name))

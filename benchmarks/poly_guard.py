@@ -1,0 +1,53 @@
+"""Deterministic work-count guard for the poly frontier-closure pipeline.
+
+Runs the shared reduced Figure-9 configuration table (see
+``guard_common.py``) through the ``poly`` pipeline, enforces
+cross-family verdict parity against delta and legacy graphs — by
+violation digest, the projection both algorithm families share; the
+conventional baseline stays byte-compared — and pins every
+deterministic closure count — static ordering facts, rule
+applications, per-execution dynamic pairs — against the committed
+snapshot ``benchmarks/results/POLY_GUARD.json``.  A change that grows
+the static skeleton or the closure effort fails CI even when the
+verdicts still agree.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/poly_guard.py            # verify
+    PYTHONPATH=src python benchmarks/poly_guard.py --update   # re-baseline
+"""
+
+from __future__ import annotations
+
+import sys
+
+import guard_common
+
+SNAPSHOT = guard_common.RESULTS_DIR / "POLY_GUARD.json"
+
+
+def _closure_counts(outcome) -> dict:
+    """Poly-source counts the generic report misses."""
+    source = outcome.source
+    return {
+        "static_pairs": len(source.verifier.static_pairs),
+        "closure_unions": source.stats["closure_unions"],
+        "dynamic_pairs": source.stats["dynamic_pairs"],
+    }
+
+
+def collect() -> dict:
+    """Closure work counts, digest-parity-checked against the graph
+    family."""
+    return guard_common.collect("poly", cross=("delta", "graphs"),
+                                extra=_closure_counts, parity="digest")
+
+
+def main(argv=None) -> int:
+    return guard_common.run_guard(
+        argv, __doc__, "repro.poly-guard", SNAPSHOT, collect, "poly",
+        "PYTHONPATH=src python benchmarks/poly_guard.py --update")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

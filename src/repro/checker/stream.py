@@ -215,12 +215,26 @@ class StreamingCollectiveChecker:
         ``pipeline="packed"`` replays through the array-compiled
         :class:`~repro.checker.packed.PackedChecker` instead — same
         summary by construction, faster on large blocks.
+        ``pipeline="poly"`` finalizes through the frontier-closure
+        family (:class:`~repro.checker.poly.PolyChecker`): identical
+        violation verdicts, family-specific method statistics.
+        ``pipeline="auto"`` resolves to the cheapest backend for the
+        block's shape.
         """
         pool = self.signatures if signatures is None else signatures
         block = sorted(set(pool))
+        if pipeline == "auto":
+            from repro.checker.dispatch import choose_pipeline
+            pipeline = choose_pipeline(len(block),
+                                       self.builder.program.num_ops)
         if pipeline == "packed":
             from repro.checker.packed import PackedChecker, PackedPlan
             plan = PackedPlan(self.codec, self.builder, block)
             return PackedChecker(self.initial_key).check(plan)
+        if pipeline == "poly":
+            from repro.checker.poly import PolyChecker, PolySignatureSource
+            source = PolySignatureSource(self.codec, self.builder.model,
+                                         block)
+            return PolyChecker(self.initial_key).check(source)
         source = SignatureDeltaSource(self.codec, self.builder, block)
         return CollectiveChecker(self.initial_key).check_deltas(source)

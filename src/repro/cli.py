@@ -11,8 +11,10 @@ Commands mirror the paper's flow so each stage can run standalone:
 * ``check`` — load a signature dump, decode, build graphs, and run the
   collective checker (the host side); ``--check-pipeline`` selects the
   streaming ``delta`` pipeline (default), the array-compiled ``packed``
-  pipeline or the legacy ``graphs`` path (``run`` and ``suite`` accept
-  the same switch for their checking stage),
+  pipeline, the frontier-closure ``poly`` family, the shape-dispatched
+  ``auto`` or the legacy ``graphs`` path (``run`` and ``suite`` accept
+  the same switch for their checking stage; the choices come from the
+  :data:`repro.checker.PIPELINES` registry),
 * ``suite`` — run a multi-test suite (the paper's per-configuration
   campaign), optionally sharded over ``--jobs`` workers,
 * ``merge`` — union saved campaign shard dumps into one dump (the host
@@ -47,13 +49,16 @@ fault plane (or detailed-simulator bug) on the campaign being run.
 campaign on the same analyses (skip statically wasted iterations, or
 abort on lint errors).
 
-``run``, ``check`` and ``mutate`` accept ``--cross-check feasible`` to
-corroborate the constraint-graph checker against the static
-feasibility oracle (:mod:`repro.feasible`): an observed signature
-outside the enumerated feasible set is a hardware bug even when the
-checker passed it, and a checker violation on a feasible signature is
-a checker bug — either disagreement flips ``run``/``check`` to exit 1
-and fires ``mutate``'s ``feasible`` detection channel.
+``run``, ``check`` and ``mutate`` accept ``--cross-check
+{feasible,poly}`` to corroborate the constraint-graph checker against
+an independent oracle.  ``feasible`` (:mod:`repro.feasible`) tests
+each observed signature's membership in the statically enumerated
+feasible set; ``poly`` (:mod:`repro.checker.poly`) re-verifies each
+observed signature with the frontier-closure algorithm family — exact
+at any program size, never sampled.  A miss the checker passed is a
+hardware bug; an oracle/checker disagreement is a checker bug — either
+flips ``run``/``check`` to exit 1 and fires the matching ``mutate``
+detection channel.
 
 ``run``, ``check`` and ``litmus`` accept ``--metrics-out PATH`` to write
 a schema-versioned run report (metrics registry snapshot + phase span
@@ -71,7 +76,7 @@ import sys
 from repro import io as repro_io
 from repro import obs as repro_obs
 from repro.errors import ReproError
-from repro.checker import describe_cycle
+from repro.checker import CROSS_CHECKS, PIPELINES, SERVE_PIPELINES, describe_cycle
 from repro.harness import Campaign, SuiteRunner, check_campaign_result, format_table
 from repro.feasible.enumerator import DEFAULT_BUDGET, DEFAULT_SAMPLES
 from repro.instrument import SignatureCodec, code_size, emit_listing, intrusiveness
@@ -249,9 +254,7 @@ def _cmd_run(args) -> int:
         outcome = checker()
         summary["violations"] = len(outcome.collective.violations)
         if args.cross_check:
-            from repro.feasible import cross_check_outcome
-
-            xc = cross_check_outcome(result, outcome, model)
+            xc = _run_cross_check(args.cross_check, result, outcome, model)
             summary["cross_check"] = xc.summary_json()
             if not args.json:
                 print(xc.render())
@@ -279,6 +282,21 @@ def _cmd_run(args) -> int:
     return exit_code
 
 
+def _run_cross_check(kind, result, outcome, model):
+    """Dispatch ``--cross-check`` to the selected independent oracle.
+
+    Both oracles return reports with the same surface (``summary_json``
+    / ``render`` / ``agreement``), so run/check handle them uniformly.
+    """
+    if kind == "poly":
+        from repro.checker import cross_check_poly
+
+        return cross_check_poly(result, outcome, model)
+    from repro.feasible import cross_check_outcome
+
+    return cross_check_outcome(result, outcome, model)
+
+
 def _cmd_check(args) -> int:
     handle = repro_obs.enable() if _metrics_wanted(args) else None
     result = repro_io.read_campaign(args.dump)
@@ -300,9 +318,7 @@ def _cmd_check(args) -> int:
                "violations": len(report.violations)}
     xc = None
     if args.cross_check:
-        from repro.feasible import cross_check_outcome
-
-        xc = cross_check_outcome(result, outcome, config_model)
+        xc = _run_cross_check(args.cross_check, result, outcome, config_model)
         summary["cross_check"] = xc.summary_json()
         if not args.json:
             print(xc.render())
@@ -500,7 +516,7 @@ def _cmd_mutate(args) -> int:
     outcomes = run_sensitivity_suite(
         selected, base_seed=args.base_seed, budget=args.budget,
         seeds=args.seeds, jobs=args.jobs, control=not args.no_control,
-        cross_check=bool(args.cross_check))
+        cross_check=args.cross_check)
     undetected = [o.mutation.name for o in outcomes if not o.detected]
     if args.json:
         json.dump({"mutations": [o.to_json() for o in outcomes],
@@ -790,26 +806,29 @@ def _cmd_bench_diff(args) -> int:
                              "drop the BASELINE/CURRENT arguments")
         comparison = bench.check_against_committed(args.results,
                                                    tolerance=tolerance)
-        packed_path = os.path.join(args.results, bench.PACKED_SNAPSHOT)
-        if os.path.exists(packed_path):
-            packed = bench.check_against_committed(
-                args.results, tolerance=tolerance,
-                snapshot=bench.PACKED_SNAPSHOT, pipeline="packed")
+        extra = []
+        for pipeline, snapshot in (("packed", bench.PACKED_SNAPSHOT),
+                                   ("poly", bench.POLY_SNAPSHOT)):
+            if os.path.exists(os.path.join(args.results, snapshot)):
+                extra.append((pipeline, bench.check_against_committed(
+                    args.results, tolerance=tolerance,
+                    snapshot=snapshot, pipeline=pipeline)))
+        if extra:
+            legs = [("delta", comparison)] + extra
             if args.json:
-                json.dump({"delta": comparison.to_json(),
-                           "packed": packed.to_json()},
+                json.dump({name: cmp.to_json() for name, cmp in legs},
                           sys.stdout, indent=2, sort_keys=True)
                 sys.stdout.write("\n")
             else:
-                print(comparison.render())
-                print(packed.render())
-                for name, cmp in (("delta", comparison), ("packed", packed)):
+                for name, cmp in legs:
+                    print(cmp.render())
+                for name, cmp in legs:
                     if cmp.failed:
                         print("BENCH REGRESSION (%s): %d regressed leaves, "
                               "%d shape changes"
                               % (name, len(cmp.regressions),
                                  len(cmp.shape_changes)))
-            return 1 if (comparison.failed or packed.failed) else 0
+            return 1 if any(cmp.failed for _, cmp in legs) else 0
     else:
         if not (args.baseline and args.current):
             raise ValueError("need BASELINE and CURRENT snapshots "
@@ -1058,11 +1077,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--offload", type=int, default=512,
                    help="batches with at least this many entries check "
                         "on the worker pool when one is attached")
-    p.add_argument("--check-pipeline", choices=("delta", "packed"),
+    p.add_argument("--check-pipeline", choices=SERVE_PIPELINES,
                    default="delta",
                    help="finalize (drain) replay pipeline: streaming "
-                        "'delta' (default) or the array-compiled "
-                        "'packed' core — identical reports")
+                        "'delta' (default), the array-compiled 'packed' "
+                        "core, the frontier-closure 'poly' family or "
+                        "shape-dispatched 'auto' — identical violation "
+                        "verdicts (the legacy graphs path never streams)")
     p.add_argument("--progress", action="store_true",
                    help="draw live per-session progress rows on stderr")
     p.add_argument("--protocol-doc", action="store_true",
@@ -1157,7 +1178,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _add_pipeline_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--check-pipeline",
-                        choices=("graphs", "delta", "packed"),
+                        choices=PIPELINES,
                         default="delta",
                         help="collective-checking pipeline: 'delta' "
                              "(default) streams incremental signature "
@@ -1165,19 +1186,27 @@ def _add_pipeline_argument(parser: argparse.ArgumentParser) -> None:
                              "than one full graph; 'packed' compiles the "
                              "block into flat arrays (CSR edge universe, "
                              "batched decode) and replays it — fastest; "
-                             "'graphs' materializes every constraint "
-                             "graph first (legacy path; --ws-mode "
-                             "observed always uses it)")
+                             "'poly' verifies each signature by frontier "
+                             "closure (independent algorithm family, no "
+                             "constraint graph); 'auto' picks the cheapest "
+                             "backend for the block's shape from the "
+                             "pinned cost model; 'graphs' materializes "
+                             "every constraint graph first (legacy path; "
+                             "--ws-mode observed always uses it)")
 
 
 def _add_cross_check_argument(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--cross-check", choices=("feasible",), default=None,
-                        help="corroborate the checker against the static "
-                             "feasibility oracle: observed signatures "
-                             "outside the enumerated feasible set are "
-                             "hardware bugs even when the checker passed "
-                             "them, checker violations on feasible "
-                             "signatures are checker bugs")
+    parser.add_argument("--cross-check", choices=CROSS_CHECKS, default=None,
+                        help="corroborate the checker against an "
+                             "independent oracle: 'feasible' tests each "
+                             "observed signature's membership in the "
+                             "statically enumerated feasible set; 'poly' "
+                             "re-verifies each observed signature with the "
+                             "frontier-closure family (exact at any size, "
+                             "never sampled).  Misses the checker passed "
+                             "are hardware bugs; oracle/checker "
+                             "disagreements are checker bugs and flip the "
+                             "exit code")
 
 
 def _add_lint_argument(parser: argparse.ArgumentParser) -> None:

@@ -25,7 +25,9 @@ from repro.harness.sortmodel import SortCostModel
 from repro.checker.baseline import BaselineChecker
 from repro.checker.collective import CollectiveChecker
 from repro.checker.delta import SignatureDeltaSource
+from repro.checker.dispatch import PIPELINES, choose_pipeline
 from repro.checker.packed import PackedChecker, PackedPlan
+from repro.checker.poly import PolyChecker, PolySignatureSource
 from repro.checker.results import CheckReport
 from repro.graph.builder import GraphBuilder
 from repro.instrument.signature import Signature, SignatureCodec
@@ -387,7 +389,9 @@ class Campaign:
             pipeline: ``"delta"`` (default) streams graph deltas through
                 the checker; ``"graphs"`` materializes every graph
                 first; ``"packed"`` compiles the block into flat arrays
-                and replays it.  See :func:`check_campaign_result`.
+                and replays it; ``"poly"`` runs the frontier-closure
+                family; ``"auto"`` dispatches on workload shape.  See
+                :func:`check_campaign_result`.
         """
         return check_campaign_result(result, self.model, ws_mode=ws_mode,
                                      pipeline=pipeline)
@@ -416,15 +420,21 @@ def check_campaign_result(result: CampaignResult, model: MemoryModel = None,
             the whole graph list first; ``"packed"`` compiles the block
             into flat arrays (CSR edge universe, batched signature
             decode, per-step delta tapes) once and replays them through
-            the array-kernel checker.  Verdicts are identical in all
-            three.  ``ws_mode="observed"`` graphs depend on per-execution
-            coherence order, not the signature alone, so they always
-            fall back to ``"graphs"``.
+            the array-kernel checker; ``"poly"`` decodes each signature
+            and runs an independent frontier-closure verification (no
+            constraint graph, no topological sort — the second algorithm
+            family); ``"auto"`` resolves to the cheapest backend for the
+            block's shape via :func:`repro.checker.choose_pipeline`.
+            Violation verdicts are identical in all of them; the
+            graph-family pipelines additionally share the full report
+            summary byte for byte.  ``ws_mode="observed"`` graphs depend
+            on per-execution coherence order, not the signature alone,
+            so they always fall back to ``"graphs"``.
     """
-    if pipeline not in ("graphs", "delta", "packed"):
+    if pipeline not in PIPELINES:
         raise ValueError(
-            "pipeline must be 'graphs', 'delta' or 'packed'; got %r"
-            % (pipeline,))
+            "pipeline must be one of %s; got %r"
+            % ("/".join(PIPELINES), pipeline))
     if model is None:
         model = platform_for_isa(
             "x86" if result.codec.register_width == 64 else "arm").memory_model
@@ -432,8 +442,22 @@ def check_campaign_result(result: CampaignResult, model: MemoryModel = None,
         pipeline = "graphs"  # observed graphs are not signature-pure
     obs = get_obs()
     with obs.span("check"):
-        builder = GraphBuilder(result.program, model, ws_mode=ws_mode)
         signatures = result.sorted_signatures()
+        if pipeline == "auto":
+            pipeline = choose_pipeline(len(signatures),
+                                       result.program.num_ops, ws_mode)
+        if pipeline == "poly":
+            source = PolySignatureSource(result.codec, model, signatures)
+            outcome = CheckOutcome(
+                collective=PolyChecker().check(source),
+                baseline=BaselineChecker().check_stream(source)
+                if baseline else None,
+                signatures=signatures,
+                pipeline="poly",
+                source=source,
+            )
+            return outcome
+        builder = GraphBuilder(result.program, model, ws_mode=ws_mode)
         if pipeline == "packed":
             plan = PackedPlan(result.codec, builder, signatures)
             outcome = CheckOutcome(

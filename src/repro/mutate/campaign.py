@@ -21,10 +21,13 @@ Detection channels, in the order they are consulted:
 2. ``assert`` — an observed rf source fell outside the instrumented
    candidate set, firing the compare/branch chain's assertion tail
    (paper Figure 4 "assert error"); free to test, no checking needed.
-3. ``feasible`` — only with ``cross_check=True``: an observed unique
-   signature falls outside the statically enumerated feasible set
-   (:mod:`repro.feasible`) — a detection by the cross-oracle, checked
-   by exact per-signature membership before the graph checker runs.
+3. ``feasible`` / ``poly`` — only with ``cross_check`` set: an
+   independent oracle flags an observed unique signature before the
+   graph checker runs.  ``cross_check="feasible"`` tests exact
+   membership in the statically enumerated feasible set
+   (:mod:`repro.feasible`); ``cross_check="poly"`` re-verifies each
+   signature with the frontier-closure algorithm family
+   (:mod:`repro.checker.poly`) — exact at any size, never sampled.
 4. ``violation`` — the collective checker found a constraint-graph
    cycle among the collected signatures (paper Section 3).
 
@@ -52,8 +55,27 @@ from repro.obs import get_obs
 
 #: detection channel names
 CRASH, ASSERT, VIOLATION = "crash", "assert", "violation"
-#: cross-oracle channel (active only with ``cross_check=True``)
-FEASIBLE = "feasible"
+#: cross-oracle channels (active only with ``cross_check`` set)
+FEASIBLE, POLY = "feasible", "poly"
+#: accepted ``cross_check`` selectors
+CROSS_CHECK_MODES = (FEASIBLE, POLY)
+
+
+def normalize_cross_check(cross_check):
+    """Resolve a ``cross_check`` argument to an oracle name or None.
+
+    Accepts the historical booleans (``True`` meant the feasible
+    oracle) and the named selectors; anything else is a hard error so a
+    typo cannot silently disable the cross-oracle.
+    """
+    if cross_check in (None, False):
+        return None
+    if cross_check is True:
+        return FEASIBLE
+    if cross_check in CROSS_CHECK_MODES:
+        return cross_check
+    raise ValueError("cross_check must be one of %s (or True/False/None); "
+                     "got %r" % ("/".join(CROSS_CHECK_MODES), cross_check))
 
 
 @dataclass
@@ -73,9 +95,12 @@ class SeedOutcome:
     signature_asserts: int = 0
     crashes: int = 0
     unique_signatures: int = 0
-    #: unique signatures outside the static feasible set (cross-check
-    #: campaigns only; stays 0 otherwise)
+    #: unique signatures outside the static feasible set (feasible
+    #: cross-check campaigns only; stays 0 otherwise)
     out_of_feasible: int = 0
+    #: unique signatures the frontier closure flags (poly cross-check
+    #: campaigns only; stays 0 otherwise)
+    poly_flags: int = 0
 
     def to_json(self) -> dict:
         return {"seed": self.seed, "iterations": self.iterations,
@@ -85,7 +110,8 @@ class SeedOutcome:
                 "signature_asserts": self.signature_asserts,
                 "crashes": self.crashes,
                 "unique_signatures": self.unique_signatures,
-                "out_of_feasible": self.out_of_feasible}
+                "out_of_feasible": self.out_of_feasible,
+                "poly_flags": self.poly_flags}
 
 
 @dataclass
@@ -97,8 +123,9 @@ class DetectionOutcome:
     #: unique signatures of the unmutated control run (same config,
     #: first seed, full budget); None for crash-class mutations
     clean_unique_signatures: int = None
-    #: whether the feasible cross-oracle channel was active
-    cross_check: bool = False
+    #: which cross-oracle channel was active ("feasible"/"poly"), or
+    #: None/False when no cross-check ran
+    cross_check: object = False
 
     @property
     def detected(self) -> bool:
@@ -158,17 +185,19 @@ class SensitivityCampaign:
         control: also run the unmutated control campaign for the
             signature-diversity comparison (skipped for crash-class
             mutations, whose devices ship no signatures at all).
-        cross_check: also consult the static feasibility oracle
-            (:mod:`repro.feasible`): any observed unique signature
-            outside the enumerated feasible set detects the mutation on
-            the ``"feasible"`` channel, before the graph checker is even
-            consulted.  Membership is exact (per-signature acyclicity
-            test), never sampled.
+        cross_check: also consult an independent oracle before the
+            graph checker.  ``"feasible"`` (or the historical ``True``)
+            tests each observed unique signature's membership in the
+            statically enumerated feasible set (:mod:`repro.feasible`);
+            ``"poly"`` re-verifies each signature with the
+            frontier-closure family (:mod:`repro.checker.poly`).  An
+            oracle flag detects the mutation on the matching channel.
+            Both verdicts are exact per signature, never sampled.
     """
 
     def __init__(self, mutation, *, base_seed: int = 0, budget: int = None,
                  seeds: int = None, jobs: int = 1, control: bool = True,
-                 cross_check: bool = False):
+                 cross_check=False):
         self.mutation = mutation if isinstance(mutation, Mutation) \
             else get_mutation(mutation)
         spec = self.mutation.spec
@@ -177,11 +206,13 @@ class SensitivityCampaign:
         self.seeds = spec.seeds if seeds is None else seeds
         self.jobs = jobs
         self.control = control and self.mutation.fault_class != "crash"
-        self.cross_check = cross_check
-        #: lazy per-campaign state: the oracle is program/model-bound
-        #: and membership verdicts are cached per signature
+        self.cross_check = normalize_cross_check(cross_check)
+        #: lazy per-campaign state: both oracles are program/model-bound
+        #: and per-signature verdicts are cached across re-inspections
         self._oracle = None
         self._membership: dict = {}
+        self._poly = None
+        self._poly_verdicts: dict = {}
 
     def run(self) -> DetectionOutcome:
         obs = get_obs()
@@ -245,11 +276,17 @@ class SensitivityCampaign:
             out.detected, out.channel = True, ASSERT
             out.executions_to_detection = executed
             return True
-        if self.cross_check and merged.signature_counts:
+        if self.cross_check == FEASIBLE and merged.signature_counts:
             out.out_of_feasible = self._count_out_of_feasible(
                 merged, campaign.model)
             if out.out_of_feasible:
                 out.detected, out.channel = True, FEASIBLE
+                out.executions_to_detection = executed
+                return True
+        if self.cross_check == POLY and merged.signature_counts:
+            out.poly_flags = self._count_poly_flags(merged, campaign.model)
+            if out.poly_flags:
+                out.detected, out.channel = True, POLY
                 out.executions_to_detection = executed
                 return True
         if merged.signature_counts:
@@ -286,6 +323,30 @@ class SensitivityCampaign:
                 misses += 1
         return misses
 
+    def _count_poly_flags(self, merged, model) -> int:
+        """Unique signatures the frontier closure flags, cached.
+
+        Mirrors :meth:`_count_out_of_feasible` for the poly oracle: the
+        verifier is (program, model)-bound and per-signature closure
+        verdicts are memoized across cumulative re-inspections.  One
+        closure per new signature — exact, never enumerative, so this
+        channel scales to signature spaces ``feasible`` cannot bound.
+        """
+        from repro.checker.poly import PolyVerifier
+
+        if self._poly is None:
+            self._poly = PolyVerifier(merged.program, model)
+        decode = merged.codec.decode
+        flags = 0
+        for sig in merged.sorted_signatures():
+            verdict = self._poly_verdicts.get(sig)
+            if verdict is None:
+                verdict = self._poly.verify(decode(sig)).violation
+                self._poly_verdicts[sig] = verdict
+            if verdict:
+                flags += 1
+        return flags
+
     def _run_control(self) -> int:
         """Unmutated run of the same recipe, for the diversity baseline."""
         campaign = self._campaign(self.base_seed, None)
@@ -312,7 +373,7 @@ def run_sensitivity_suite(mutations=None, *, include_detailed: bool = False,
                           base_seed: int = 0, budget: int = None,
                           seeds: int = None, jobs: int = 1,
                           control: bool = True,
-                          cross_check: bool = False) -> list:
+                          cross_check=False) -> list:
     """Run detection campaigns for a set of mutations.
 
     Args:

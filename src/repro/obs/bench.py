@@ -46,6 +46,9 @@ CHECK_SNAPSHOT = "BENCH_delta.json"
 #: packed-core snapshot; the watchdog re-runs it too when committed
 PACKED_SNAPSHOT = "BENCH_packed.json"
 
+#: poly frontier-closure snapshot; ditto
+POLY_SNAPSHOT = "BENCH_poly.json"
+
 #: key fragments marking a leaf as wall-clock derived
 _TIMING_SUFFIXES = ("_ms", "_s", "_seconds")
 _TIMING_WORDS = ("info_ms", "seconds", "elapsed", "time", "wall")
@@ -253,7 +256,9 @@ def collect_check_counts(config_names, iterations: int, seed: int,
     Mirrors ``benchmarks/bench_fig09`` / ``delta_guard``: seeded pure
     Python end to end, so every leaf is bit-reproducible.  The
     ``packed`` pipeline adds its plan-level counts (edge-universe size
-    and similarity-ordering yield), matching ``bench_packed``.
+    and similarity-ordering yield), matching ``bench_packed``; the
+    ``poly`` pipeline adds its closure-effort counts (rule applications
+    and dynamic ordering facts), matching ``bench_poly``.
     """
     # local imports: repro.obs must stay importable without the harness
     from repro.harness import Campaign, check_campaign_result
@@ -284,6 +289,12 @@ def collect_check_counts(config_names, iterations: int, seed: int,
                     "sorted_digits_changed"],
                 bucket_digits_changed=plan.similarity[
                     "bucket_digits_changed"])
+        if pipeline == "poly":
+            source = outcome.source
+            counts[name].update(
+                static_pairs=len(source.verifier.static_pairs),
+                closure_unions=source.stats["closure_unions"],
+                dynamic_pairs=source.stats["dynamic_pairs"])
     return counts
 
 

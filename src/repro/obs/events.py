@@ -105,7 +105,7 @@ _kind("lint.gate", RUN,
 _kind("check.batch", RUN,
       "A checker finished one batch of unique executions.",
       ("checker", "which checker ran (collective/baseline)"),
-      ("pipeline", "checking pipeline (graphs/delta)"),
+      ("pipeline", "checking pipeline (graphs/delta/packed/poly)"),
       ("graphs", "unique executions checked"),
       ("violations", "memory-consistency violations found"),
       ("complete", "graphs re-sorted from scratch"),
@@ -122,6 +122,11 @@ _kind("checker.packed.plan", RUN,
       ("edge_universe", "distinct constraint-edge pairs any execution "
                         "can contribute"),
       ("digit_columns", "multi-candidate load slots (signature digits)"))
+_kind("checker.poly.plan", RUN,
+      "A poly frontier-closure source was built over a signature block.",
+      ("signatures", "unique signatures the closure will cover"),
+      ("loads", "multi-candidate load slots (decoded rf entries)"),
+      ("static_pairs", "statically-known ordering facts (ppo + ws chains)"))
 
 # -- host scope: orchestration facts; absent or different in a serial run ------------
 
@@ -246,6 +251,15 @@ _kind("feasible.crosscheck", HOST,
       ("out_of_set", "observed signatures outside the feasible set"),
       ("checker_false_alarms",
        "feasible signatures the checker flagged (checker bug)"),
+      ("agreement", "True when no signature produced a disagreement"))
+_kind("poly.crosscheck", HOST,
+      "The poly frontier-closure oracle cross-checked one campaign's "
+      "observed signatures against a graph-family check outcome.",
+      ("program", "test program name"),
+      ("model", "memory model the closure ran under"),
+      ("signatures", "observed unique signatures classified"),
+      ("poly_violations", "signatures the frontier closure flags"),
+      ("disagreements", "signatures where the algorithm families differ"),
       ("agreement", "True when no signature produced a disagreement"))
 
 

@@ -77,7 +77,9 @@ class ServeConfig:
     pool_port: int = None
     #: batches with at least this many entries check on the pool
     offload: int = 512
-    #: finalize pipeline: "delta" (default) or array-compiled "packed"
+    #: finalize pipeline: "delta" (default), array-compiled "packed",
+    #: frontier-closure "poly" or shape-dispatched "auto"
+    #: (:data:`repro.checker.SERVE_PIPELINES`)
     check_pipeline: str = "delta"
 
 

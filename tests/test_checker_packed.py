@@ -10,62 +10,30 @@ as both ``CollectiveChecker.check_deltas`` and the legacy
 real, violating and hand-rolled campaigns, on both array backends,
 plus the plan-compilation invariants (CSR universe, batched decode,
 similarity ordering) and the runner/serve wiring.
+
+The campaign/report helpers live in :mod:`tests.differential` so the
+delta, packed and poly suites all exercise the same fixture.
 """
 
 import pytest
 
 from repro import obs
-from repro.checker import (
-    BaselineChecker,
-    CollectiveChecker,
-    PackedChecker,
-    PackedPlan,
-    SignatureDeltaSource,
-)
+from repro.checker import CollectiveChecker, PackedChecker, PackedPlan
 from repro.checker.packed import default_backend
 from repro.errors import CheckerError, SignatureError
 from repro.graph import GraphBuilder
 from repro.harness import Campaign, check_campaign_result
-from repro.instrument import Signature, SignatureCodec
+from repro.instrument import Signature
 from repro.mcm import get_model
 from repro.sim import OperationalExecutor, platform_for_isa
 from repro.testgen import TestConfig, generate
-
-try:
-    import numpy  # noqa: F401  (backend availability probe)
-    HAVE_NUMPY = True
-except ImportError:
-    HAVE_NUMPY = False
-
-#: the numpy rows drop out when only the fallback backend is installed
-BACKENDS = ("numpy", "array") if HAVE_NUMPY else ("array",)
-
-
-def run_unique_signatures(cfg, iterations, seed=8):
-    """Sorted unique signatures of one in-process campaign."""
-    program = generate(cfg)
-    platform = platform_for_isa(cfg.isa)
-    codec = SignatureCodec(program, platform.register_width)
-    executor = OperationalExecutor(program, platform.memory_model, platform,
-                                   seed=seed, layout=cfg.layout)
-    signatures = {codec.encode(e.rf) for e in executor.run(iterations)}
-    return program, codec, sorted(signatures)
-
-
-def reference_reports(program, codec, signatures, model):
-    """(legacy collective, delta collective) over the same block."""
-    builder = GraphBuilder(program, model, ws_mode="static")
-    source = SignatureDeltaSource(codec, builder, signatures)
-    graphs = [builder.build(codec.decode(sig)) for sig in signatures]
-    return (CollectiveChecker().check(graphs),
-            CollectiveChecker().check_deltas(source))
-
-
-def packed_report(program, codec, signatures, model, backend,
-                  initial_key=None):
-    plan = PackedPlan(codec, GraphBuilder(program, model, ws_mode="static"),
-                      signatures, backend=backend)
-    return PackedChecker(initial_key).check(plan), plan
+from tests.differential import (
+    BACKENDS,
+    HAVE_NUMPY,
+    packed_report,
+    reference_reports,
+    run_unique_signatures,
+)
 
 
 class TestPlanConstruction:

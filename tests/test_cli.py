@@ -445,7 +445,7 @@ class TestCrossCheckCLI:
                      "--json"]) == 0
         doc = json.loads(capsys.readouterr().out)
         [m] = doc["mutations"]
-        assert m["cross_check"] is True
+        assert m["cross_check"] == "feasible"
         assert m["detected"] is True
 
     def test_cross_check_rejects_unknown_oracle(self, capsys):

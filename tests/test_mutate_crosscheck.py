@@ -1,21 +1,44 @@
-"""The ``feasible`` detection channel of the sensitivity campaigns."""
+"""The cross-oracle detection channels of the sensitivity campaigns.
+
+``cross_check="feasible"`` consults the static membership oracle,
+``cross_check="poly"`` the frontier-closure family; both fire before
+the graph checker and both must flag the signature-corrupting gem5
+bugs without false-firing on clean campaigns.
+"""
+
+import pytest
 
 from repro.mutate.campaign import (
     CRASH,
     FEASIBLE,
+    POLY,
     SensitivityCampaign,
+    normalize_cross_check,
     run_sensitivity_suite,
 )
+
+
+class TestNormalization:
+    def test_selectors(self):
+        assert normalize_cross_check(None) is None
+        assert normalize_cross_check(False) is None
+        assert normalize_cross_check(True) == FEASIBLE
+        assert normalize_cross_check("feasible") == FEASIBLE
+        assert normalize_cross_check("poly") == POLY
+
+    def test_typo_is_a_hard_error(self):
+        with pytest.raises(ValueError):
+            normalize_cross_check("polynomial")
 
 
 class TestChannelPlumbing:
     def test_default_keeps_channel_inactive(self):
         out = SensitivityCampaign("tso-sb-reorder", seeds=1,
                                   control=False).run()
-        assert out.cross_check is False
+        assert out.cross_check is None
         assert all(s.out_of_feasible == 0 for s in out.seeds)
         assert FEASIBLE not in out.channels
-        assert out.to_json()["cross_check"] is False
+        assert out.to_json()["cross_check"] is None
 
     def test_seed_outcome_json_carries_out_of_feasible(self):
         out = SensitivityCampaign("tso-sb-reorder", seeds=1,
@@ -28,7 +51,8 @@ class TestChannelPlumbing:
         any feasible-channel detection must come with real misses."""
         out = SensitivityCampaign("tso-sb-reorder", seeds=1, control=False,
                                   cross_check=True).run()
-        assert out.cross_check is True
+        # the historical boolean resolves to the feasible oracle
+        assert out.cross_check == FEASIBLE
         assert out.detected
         for s in out.seeds:
             if s.channel == FEASIBLE:
@@ -64,9 +88,47 @@ class TestGem5Bugs:
         assert all(s.out_of_feasible == 0 for s in out.seeds)
 
 
+class TestPolyChannel:
+    """The dynamic cross-oracle: same contract as the feasible channel,
+    decided by the independent frontier-closure family instead of set
+    membership (exact at any size, never enumerative)."""
+
+    def test_operational_mutation_with_poly_cross_check(self):
+        out = SensitivityCampaign("tso-sb-reorder", seeds=1, control=False,
+                                  cross_check="poly").run()
+        assert out.cross_check == POLY
+        assert out.detected
+        for s in out.seeds:
+            if s.channel == POLY:
+                assert s.poly_flags > 0
+            else:
+                assert s.poly_flags == 0
+
+    def test_protocol_squash_detected_by_closure(self):
+        out = SensitivityCampaign("gem5-protocol-squash", seeds=1,
+                                  control=False, cross_check="poly").run()
+        assert out.detected
+        assert out.channels == [POLY]
+        assert out.seeds[0].poly_flags >= 1
+
+    def test_lsq_squash_detected_by_closure(self):
+        out = SensitivityCampaign("gem5-lsq-squash", seeds=1,
+                                  control=False, cross_check="poly").run()
+        assert out.detected
+        assert POLY in out.channels
+        assert out.seeds[0].poly_flags >= 1
+
+    def test_writeback_race_still_detected_by_crash(self):
+        out = SensitivityCampaign("gem5-writeback-race", seeds=1,
+                                  control=False, cross_check="poly").run()
+        assert out.detected
+        assert out.channels == [CRASH]
+        assert all(s.poly_flags == 0 for s in out.seeds)
+
+
 def test_suite_forwards_cross_check_flag():
     outcomes = run_sensitivity_suite(["tso-stale-read"], seeds=1,
                                      control=False, cross_check=True)
     assert len(outcomes) == 1
-    assert outcomes[0].cross_check is True
+    assert outcomes[0].cross_check == FEASIBLE
     assert outcomes[0].detected

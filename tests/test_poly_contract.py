@@ -1,0 +1,158 @@
+"""The PR's pinned four-way differential contract (ISSUE acceptance).
+
+On every Figure-8..12 paper configuration and the litmus corpus, the
+two algorithm families — constraint-graph topological sorting
+(graphs/delta/packed) and frontier closure (poly) — must return the
+same verdicts:
+
+* clean legs: each campaign checked under its native model, all four
+  pipelines agree and report no violations;
+* violating legs: weak-hardware executions checked under stricter
+  models flow genuine violations through both families with
+  structurally valid witnesses;
+* ground-truth pins: on the classic litmus tests the poly verdict
+  counts over the *exhaustive* outcome space are hard-coded against
+  the architectural truth (SB admits all four outcomes under TSO but
+  only three under SC; IRIW's non-atomic outcome is TSO-forbidden),
+  matching the feasible-oracle pins in CI — the one place the suite
+  asserts absolute verdicts rather than cross-family agreement.
+"""
+
+import pytest
+
+from repro.checker import PolyVerifier
+from repro.harness import Campaign, check_campaign_result
+from repro.instrument import SignatureCodec
+from repro.mcm import get_model
+from repro.sim import OperationalExecutor
+from repro.testgen.config import PAPER_CONFIGS
+from repro.testgen.litmus import all_litmus_tests
+from tests.differential import (
+    ALL_PIPELINES,
+    assert_differential_contract,
+    every_rf,
+    pipeline_report,
+    violation_digest,
+)
+
+
+def litmus(name):
+    return next(lt for lt in all_litmus_tests() if lt.name == name)
+
+
+def litmus_signatures(program, model, iterations=200, seed=1):
+    codec = SignatureCodec(program, 64)
+    executor = OperationalExecutor(program, model, seed=seed)
+    signatures = {codec.encode(e.rf) for e in executor.run(iterations)}
+    return codec, sorted(signatures)
+
+
+@pytest.mark.parametrize("cfg", PAPER_CONFIGS, ids=lambda c: c.name)
+def test_paper_config_contract(cfg):
+    campaign = Campaign(config=cfg, seed=1)
+    result = campaign.run(4)
+    outcomes = {
+        pipeline: check_campaign_result(result, campaign.model,
+                                        baseline=False, pipeline=pipeline)
+        for pipeline in ALL_PIPELINES
+    }
+    # every pipeline clean under the native model
+    for pipeline, outcome in outcomes.items():
+        assert not outcome.collective.violations, (cfg.name, pipeline)
+    # graph family byte-identical, both families digest-identical
+    graphs = outcomes["graphs"].collective.summary()
+    assert outcomes["delta"].collective.summary() == graphs
+    assert outcomes["packed"].collective.summary() == graphs
+    digest = violation_digest(outcomes["graphs"].collective)
+    for pipeline, outcome in outcomes.items():
+        assert violation_digest(outcome.collective) == digest, \
+            (cfg.name, pipeline)
+
+
+@pytest.mark.parametrize("cfg", [c for c in PAPER_CONFIGS
+                                 if c.isa == "arm"][:4],
+                         ids=lambda c: c.name)
+def test_paper_config_violating_leg(cfg):
+    """Weak-hardware campaigns re-checked under SC: whatever verdicts
+    arise (violations included), both families must agree on them."""
+    campaign = Campaign(config=cfg, seed=1)
+    result = campaign.run(8)
+    assert_differential_contract(result.program, result.codec,
+                                 result.sorted_signatures(), get_model("sc"))
+
+
+@pytest.mark.parametrize("model_name", ("sc", "tso", "weak"))
+def test_litmus_corpus_clean_contract(model_name):
+    model = get_model(model_name)
+    for lt in all_litmus_tests():
+        codec, signatures = litmus_signatures(lt.program, model)
+        assert_differential_contract(lt.program, codec, signatures, model,
+                                     expect_violations=False)
+
+
+def test_litmus_violating_contract():
+    """Weak executions of the store-buffering test checked under SC
+    must violate — through all four pipelines, in agreement."""
+    lt = litmus("SB")
+    codec, signatures = litmus_signatures(lt.program, get_model("weak"))
+    assert_differential_contract(lt.program, codec, signatures,
+                                 get_model("sc"), expect_violations=True)
+
+
+class TestGroundTruthPins:
+    """Absolute poly verdict counts over exhaustive outcome spaces,
+    pinned against the architectural literature (and the CI feasible
+    smoke pins — two oracles, one truth)."""
+
+    PINS = (
+        # (litmus, model, feasible outcomes, total encodable outcomes)
+        ("SB", "tso", 4, 4),
+        ("SB", "sc", 3, 4),
+        ("MP", "tso", 3, 4),
+        ("MP", "sc", 3, 4),
+        # IRIW's only forbidden outcome, under SC and TSO alike, is the
+        # non-atomic one: the two readers observing the writes in
+        # opposite orders.
+        ("IRIW", "tso", 15, 16),
+        ("IRIW", "sc", 15, 16),
+    )
+
+    @pytest.mark.parametrize("name,model_name,feasible,total", PINS,
+                             ids=lambda v: str(v))
+    def test_exhaustive_poly_counts(self, name, model_name, feasible,
+                                    total):
+        lt = litmus(name)
+        codec = SignatureCodec(lt.program, 64)
+        verifier = PolyVerifier(lt.program, get_model(model_name))
+        outcomes = [verifier.verify(rf) for rf in every_rf(codec)]
+        assert len(outcomes) == total
+        assert sum(1 for o in outcomes if not o.violation) == feasible
+
+    def test_sb_tso_reorder_is_the_sc_delta(self):
+        """The one SB outcome SC forbids but TSO admits is both loads
+        reading INIT — the store-buffering reorder itself."""
+        from repro.isa.instructions import INIT
+
+        lt = litmus("SB")
+        codec = SignatureCodec(lt.program, 64)
+        sc = PolyVerifier(lt.program, get_model("sc"))
+        tso = PolyVerifier(lt.program, get_model("tso"))
+        delta = [rf for rf in every_rf(codec)
+                 if sc.verify(rf).violation and not tso.verify(rf).violation]
+        assert len(delta) == 1
+        assert all(source == INIT for source in delta[0].values())
+
+    def test_pins_agree_with_graph_family(self):
+        """The same exhaustive spaces, decided by the delta pipeline:
+        identical digests signature-by-signature."""
+        for name, model_name, feasible, total in self.PINS:
+            lt = litmus(name)
+            codec = SignatureCodec(lt.program, 64)
+            signatures = sorted(codec.encode(rf) for rf in every_rf(codec))
+            model = get_model(model_name)
+            delta = pipeline_report("delta", lt.program, codec, signatures,
+                                    model)
+            poly = pipeline_report("poly", lt.program, codec, signatures,
+                                   model)
+            assert violation_digest(poly) == violation_digest(delta)
+            assert total - len(delta.violations) == feasible
